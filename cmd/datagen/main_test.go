@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+		rows int
+		cols int
+	}{
+		{"mixture", options{kind: "mixture", points: 100, dims: 5, k: 3, spread: 6, seed: 1}, 100, 5},
+		{"correlated", options{kind: "correlated", points: 80, seed: 1}, 80, 2},
+		{"six", options{kind: "six", points: 60, seed: 1}, 60, 2},
+		{"boxes", options{kind: "boxes", points: 90, dims: 4, k: 2, seed: 1}, 90, 4},
+		{"trajectory-angles", options{kind: "trajectory", residues: 10, frames: 600, phases: 2, seed: 1}, 600, 30},
+		{"trajectory-features", options{kind: "trajectory", residues: 10, frames: 600, phases: 2, features: true, seed: 1}, 600, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data, labels, err := generate(c.o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data.Rows != c.rows || data.Cols != c.cols {
+				t.Fatalf("shape %dx%d want %dx%d", data.Rows, data.Cols, c.rows, c.cols)
+			}
+			if len(labels) != c.rows {
+				t.Fatalf("%d labels", len(labels))
+			}
+		})
+	}
+}
+
+func TestGenerateNoise(t *testing.T) {
+	data, labels, err := generate(options{kind: "six", points: 50, noise: 10, seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Rows != 60 || labels[59] != -1 {
+		t.Fatalf("noise handling: rows %d last label %d", data.Rows, labels[59])
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, _, err := generate(options{kind: "nope"}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

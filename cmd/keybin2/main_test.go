@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"keybin2/internal/dataio"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+func writeDataset(t *testing.T, dir string, withTruth bool) string {
+	t.Helper()
+	spec := synth.AutoMixture(3, 8, 6, 1, xrand.New(1))
+	data, truth := spec.Sample(2000, xrand.New(2))
+	path := filepath.Join(dir, "data.csv")
+	if withTruth {
+		if err := dataio.WriteLabeledFile(path, data, truth, nil); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := dataio.WriteMatrix(f, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestRunSerial(t *testing.T) {
+	dir := t.TempDir()
+	in := writeDataset(t, dir, true)
+	out := filepath.Join(dir, "labels.csv")
+	if err := run(in, out, 3, 1, 1, false, true, false, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	m, labels, err := dataio.ReadLabeledFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2000 || len(labels) != 2000 {
+		t.Fatalf("output shape %dx%d", m.Rows, m.Cols)
+	}
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("only %d distinct labels", len(distinct))
+	}
+}
+
+func TestRunDistributedRanks(t *testing.T) {
+	dir := t.TempDir()
+	in := writeDataset(t, dir, false)
+	out := filepath.Join(dir, "labels.csv")
+	if err := run(in, out, 2, 1, 3, true, false, false, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	_, labels, err := dataio.ReadLabeledFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2000 {
+		t.Fatalf("%d labels", len(labels))
+	}
+}
+
+func TestRunNoProjection(t *testing.T) {
+	dir := t.TempDir()
+	in := writeDataset(t, dir, false)
+	if err := run(in, filepath.Join(dir, "o.csv"), 1, 1, 1, false, false, true, 5, 4, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	err := run("/does/not/exist.csv", "", 3, 1, 1, false, false, false, 0, 0, false)
+	if err == nil {
+		t.Fatal("missing input must fail")
+	}
+	if !strings.Contains(err.Error(), "exist") && !os.IsNotExist(err) {
+		t.Logf("error (ok): %v", err)
+	}
+}

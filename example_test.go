@@ -1,0 +1,92 @@
+package keybin2_test
+
+import (
+	"fmt"
+
+	"keybin2"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// ExampleFit clusters a small synthetic mixture and prints the shape of
+// the result. KeyBin2 needs no cluster count K; the model can label points
+// it never saw.
+func ExampleFit() {
+	spec := synth.AutoMixture(3, 16, 6, 1, xrand.New(1))
+	data, truth := spec.Sample(5000, xrand.New(2))
+
+	model, labels, err := keybin2.Fit(data, keybin2.Config{Seed: 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, _, f1 := keybin2.PrecisionRecallF1(labels, truth)
+	fmt.Printf("found at least the 3 true clusters: %v, F1 >= 0.9: %v\n",
+		model.K() >= 3, f1 >= 0.9)
+
+	label, _ := model.Assign(data.Row(0))
+	fmt.Printf("assign matches fit: %v\n", label == labels[0])
+	// Output:
+	// found at least the 3 true clusters: true, F1 >= 0.9: true
+	// assign matches fit: true
+}
+
+// ExampleFitDistributed shards data across four in-process ranks; only
+// histogram-sized payloads move between them.
+func ExampleFitDistributed() {
+	spec := synth.AutoMixture(3, 12, 6, 1, xrand.New(4))
+	data, _ := spec.Sample(4000, xrand.New(5))
+	const ranks = 4
+	ks := make([]int, ranks)
+	err := keybin2.Run(ranks, func(c *keybin2.Comm) error {
+		lo, hi := synth.Shard(data.Rows, ranks, c.Rank())
+		local := keybin2.NewMatrix(hi-lo, data.Cols)
+		copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
+		model, _, err := keybin2.FitDistributed(c, local, keybin2.Config{Seed: 6})
+		ks[c.Rank()] = model.K()
+		return err
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	agree := true
+	for _, k := range ks[1:] {
+		if k != ks[0] {
+			agree = false
+		}
+	}
+	fmt.Printf("all ranks agree on the model: %v\n", agree)
+	// Output:
+	// all ranks agree on the model: true
+}
+
+// ExampleNewStream ingests a stream with bounded memory: only histograms
+// and key sketches are retained, never points.
+func ExampleNewStream() {
+	st, err := keybin2.NewStream(keybin2.StreamConfig{
+		Config: keybin2.Config{Seed: 7},
+		Dims:   8,
+		Warmup: 200,
+		Period: 200,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	spec := synth.AutoMixture(2, 8, 6, 1, xrand.New(8))
+	src := spec.Stream(1000, xrand.New(9))
+	labeled := 0
+	for {
+		x, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		if l, _ := st.Ingest(x); l != keybin2.Noise {
+			labeled++
+		}
+	}
+	fmt.Printf("labeled most post-warmup points: %v\n", labeled > 600)
+	// Output:
+	// labeled most post-warmup points: true
+}

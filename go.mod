@@ -1,0 +1,3 @@
+module keybin2
+
+go 1.22

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"keybin2/internal/linalg"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+func TestModelEncodeDecodeRoundTrip(t *testing.T) {
+	spec := synth.AutoMixture(3, 14, 6, 1, xrand.New(80))
+	data, _ := spec.Sample(4000, xrand.New(81))
+	model, labels, err := Fit(data, Config{Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeModel(model.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.K() != model.K() || decoded.Trial != model.Trial {
+		t.Fatalf("k %d/%d trial %d/%d", decoded.K(), model.K(), decoded.Trial, model.Trial)
+	}
+	if decoded.Assessment.CH != model.Assessment.CH {
+		t.Fatalf("CH %v vs %v", decoded.Assessment.CH, model.Assessment.CH)
+	}
+	// The decoded model must label every training point identically.
+	for i := 0; i < data.Rows; i++ {
+		got, err := decoded.Assign(data.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[i] {
+			t.Fatalf("row %d: decoded %d vs original %d", i, got, labels[i])
+		}
+	}
+}
+
+func TestModelEncodeNoProjection(t *testing.T) {
+	spec := synth.AutoMixture(2, 4, 6, 1, xrand.New(83))
+	data, _ := spec.Sample(2000, xrand.New(84))
+	model, labels, err := Fit(data, Config{Seed: 85, NoProjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeModel(model.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Projection != nil {
+		t.Fatal("no-projection model must decode without projection")
+	}
+	for i := 0; i < 100; i++ {
+		got, err := decoded.Assign(data.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeModelCorrupt(t *testing.T) {
+	spec := synth.AutoMixture(2, 4, 6, 1, xrand.New(86))
+	data, _ := spec.Sample(1000, xrand.New(87))
+	model, _, err := Fit(data, Config{Seed: 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := model.Encode()
+	if _, err := DecodeModel(enc[:10]); err == nil {
+		t.Fatal("truncated payload must fail")
+	}
+	if _, err := DecodeModel([]byte("nope")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	if _, err := DecodeModel(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 99 // version
+	if _, err := DecodeModel(bad); err == nil {
+		t.Fatal("bad version must fail")
+	}
+}
+
+func TestAssignBatchMatchesFit(t *testing.T) {
+	spec := synth.AutoMixture(3, 10, 6, 1, xrand.New(89))
+	data, _ := spec.Sample(3000, xrand.New(90))
+	model, labels, err := Fit(data, Config{Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := model.AssignBatch(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if batch[i] != labels[i] {
+			t.Fatalf("row %d: batch %d vs fit %d", i, batch[i], labels[i])
+		}
+	}
+	// shape mismatch errors
+	if _, err := model.AssignBatch(linalg.NewMatrix(5, 3), 1); err == nil {
+		t.Fatal("wrong width must fail")
+	}
+}
+
+func TestModelDescribe(t *testing.T) {
+	spec := synth.AutoMixture(2, 6, 6, 1, xrand.New(92))
+	data, _ := spec.Sample(2000, xrand.New(93))
+	model, _, err := Fit(data, Config{Seed: 94})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := model.Describe()
+	if !strings.Contains(desc, "KeyBin2 model") ||
+		!strings.Contains(desc, "cluster  0") ||
+		!strings.Contains(desc, "dim  0") {
+		t.Fatalf("describe:\n%s", desc)
+	}
+	// Every non-collapsed dimension appears.
+	for j := range model.Set.Dims {
+		if !strings.Contains(desc, fmt.Sprintf("dim %2d", j)) {
+			t.Fatalf("dim %d missing from description", j)
+		}
+	}
+}

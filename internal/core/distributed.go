@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"keybin2/internal/histogram"
+	"keybin2/internal/keys"
+	"keybin2/internal/linalg"
+	"keybin2/internal/mpi"
+	"keybin2/internal/partition"
+	"keybin2/internal/quality"
+)
+
+// FitDistributed clusters data sharded across the ranks of comm. Each rank
+// passes its local rows; the returned labels cover the local rows and are
+// globally consistent (label i means the same cluster on every rank).
+//
+// Communication follows §3 exactly: ranks exchange only per-dimension
+// binning histograms (plus the aggregated key-tuple counts that define the
+// final clusters); no point ever leaves its rank. The projection matrices
+// are derived from cfg.Seed on every rank rather than shipped. With
+// cfg.Ring the histogram consolidation runs around a ring instead of the
+// binomial reduce+broadcast tree.
+//
+// Every rank must call FitDistributed with the same cfg. The total point
+// count must be positive; a rank may hold zero rows.
+func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := local.Cols
+
+	// Agree on the global point count (cfg defaults depend on it).
+	totRaw, err := comm.Allreduce(mpi.EncodeUint64s([]uint64{uint64(local.Rows)}), mpi.SumUint64s)
+	if err != nil {
+		return nil, nil, err
+	}
+	tot, err := mpi.DecodeUint64s(totRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+	globalM := int(tot[0])
+	if globalM == 0 {
+		return nil, nil, fmt.Errorf("core: no data on any rank")
+	}
+	cfg = cfg.withDefaults(globalM, n)
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = keys.DefaultDepth(globalM)
+	}
+
+	proj, batch, err := projectAll(local, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Agree on global per-dimension ranges for all trials at once:
+	// interleaved (min, max) pairs over Trials·TargetDims dimensions.
+	totalDims := cfg.Trials * cfg.TargetDims
+	mm := make([]float64, 2*totalDims)
+	for d := 0; d < totalDims; d++ {
+		if proj.Rows == 0 {
+			mm[2*d], mm[2*d+1] = 0, 0
+			continue
+		}
+		lo, hi := proj.At(0, d), proj.At(0, d)
+		for i := 1; i < proj.Rows; i++ {
+			v := proj.At(i, d)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mm[2*d], mm[2*d+1] = lo, hi
+	}
+	mmRaw, err := consolidate(comm, cfg, mpi.EncodeFloat64s(mm), mpi.MinMaxFloat64s)
+	if err != nil {
+		return nil, nil, err
+	}
+	gmm, err := mpi.DecodeFloat64s(mmRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Bin local points per trial and consolidate histograms. All trials'
+	// sets travel in one payload (length-prefixed frames).
+	sets := make([]*histogram.Set, cfg.Trials)
+	var packed []byte
+	for t := 0; t < cfg.Trials; t++ {
+		mins := make([]float64, cfg.TargetDims)
+		maxs := make([]float64, cfg.TargetDims)
+		for j := 0; j < cfg.TargetDims; j++ {
+			d := t*cfg.TargetDims + j
+			mins[j], maxs[j] = gmm[2*d], gmm[2*d+1]
+		}
+		set, err := buildSet(proj, t*cfg.TargetDims, mins, maxs, depth, cfg.Workers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+		if cfg.SuppressBelow >= 2 {
+			set.Suppress(uint64(cfg.SuppressBelow))
+		}
+		sets[t] = set
+		packed = mpi.AppendBytesFrame(packed, set.Encode())
+	}
+	globalRaw, err := consolidate(comm, cfg, packed, combineFramedSets)
+	if err != nil {
+		return nil, nil, err
+	}
+	frames, err := mpi.SplitBytesFrames(globalRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(frames) != cfg.Trials {
+		return nil, nil, fmt.Errorf("core: %d histogram frames for %d trials", len(frames), cfg.Trials)
+	}
+	globalSets := make([]*histogram.Set, cfg.Trials)
+	for t, f := range frames {
+		if globalSets[t], err = histogram.DecodeSet(f); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Every rank partitions the identical global histograms — the
+	// partition step is deterministic, so computing it redundantly
+	// everywhere is equivalent to (and cheaper than) a root partition +
+	// cut broadcast. The same holds for label construction below, since
+	// buildLabels orders tuples deterministically.
+	models := make([]*Model, cfg.Trials)
+	assessments := make([]quality.Assessment, cfg.Trials)
+	var tuplePacked []byte
+	partResults := make([]trialPartitions, cfg.Trials)
+	for t := 0; t < cfg.Trials; t++ {
+		parts, collapsed := partitionSet(globalSets[t], cfg)
+		partResults[t] = trialPartitions{parts: parts, collapsed: collapsed}
+		local := countTuples(proj, t*cfg.TargetDims, globalSets[t], parts, collapsed, cfg.Workers)
+		if cfg.SuppressBelow >= 2 {
+			for k, n := range local {
+				if n < uint64(cfg.SuppressBelow) {
+					delete(local, k)
+				}
+			}
+		}
+		tuplePacked = mpi.AppendBytesFrame(tuplePacked, encodeTuples(local))
+	}
+	globalTuplesRaw, err := consolidate(comm, cfg, tuplePacked, combineFramedTuples)
+	if err != nil {
+		return nil, nil, err
+	}
+	tupleFrames, err := mpi.SplitBytesFrames(globalTuplesRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(tupleFrames) != cfg.Trials {
+		return nil, nil, fmt.Errorf("core: %d tuple frames for %d trials", len(tupleFrames), cfg.Trials)
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		tuples, err := decodeTuples(tupleFrames[t])
+		if err != nil {
+			return nil, nil, err
+		}
+		model, err := assembleModel(globalSets[t], partResults[t].parts, partResults[t].collapsed, tuples, cfg, t, batch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+		models[t] = model
+		assessments[t] = model.Assessment
+	}
+
+	best := quality.SelectBest(assessments)
+	model := models[best]
+	model.TrialAssessments = assessments
+	labels := assignAll(proj, best*cfg.TargetDims, model, cfg.Workers)
+	return model, labels, nil
+}
+
+type trialPartitions struct {
+	parts     []partition.Result
+	collapsed []bool
+}
+
+// consolidate runs the configured histogram-consolidation collective.
+func consolidate(comm *mpi.Comm, cfg Config, payload []byte, op mpi.Combine) ([]byte, error) {
+	if cfg.Ring {
+		return comm.RingAllreduce(payload, op)
+	}
+	return comm.Allreduce(payload, op)
+}
+
+// combineFramedSets merges two frame sequences of encoded histogram sets
+// element-wise.
+func combineFramedSets(acc, in []byte) ([]byte, error) {
+	a, err := mpi.SplitBytesFrames(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mpi.SplitBytesFrames(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("core: frame count mismatch %d vs %d", len(a), len(b))
+	}
+	var out []byte
+	for i := range a {
+		merged, err := histogram.CombineEncoded(a[i], b[i])
+		if err != nil {
+			return nil, err
+		}
+		out = mpi.AppendBytesFrame(out, merged)
+	}
+	return out, nil
+}
+
+// combineFramedTuples merges two frame sequences of encoded tuple-count
+// maps element-wise.
+func combineFramedTuples(acc, in []byte) ([]byte, error) {
+	a, err := mpi.SplitBytesFrames(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mpi.SplitBytesFrames(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("core: tuple frame count mismatch %d vs %d", len(a), len(b))
+	}
+	var out []byte
+	for i := range a {
+		ma, err := decodeTuples(a[i])
+		if err != nil {
+			return nil, err
+		}
+		mb, err := decodeTuples(b[i])
+		if err != nil {
+			return nil, err
+		}
+		for k, n := range mb {
+			ma[k] += n
+		}
+		out = mpi.AppendBytesFrame(out, encodeTuples(ma))
+	}
+	return out, nil
+}
+
+// Tuple map wire format: [nentries:u32] then per entry
+// [keylen:u32][key bytes][mass:u64]. Entries are written in sorted key
+// order so equal maps encode identically.
+func encodeTuples(m map[string]uint64) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	size := 4
+	for _, k := range keys {
+		size += 4 + len(k) + 8
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(keys)))
+	off := 4
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(k)))
+		off += 4
+		copy(buf[off:], k)
+		off += len(k)
+		binary.LittleEndian.PutUint64(buf[off:], m[k])
+		off += 8
+	}
+	return buf
+}
+
+func decodeTuples(b []byte) (map[string]uint64, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: truncated tuple map")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	out := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("core: truncated tuple entry header")
+		}
+		kl := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < kl+8 {
+			return nil, fmt.Errorf("core: truncated tuple entry")
+		}
+		key := string(b[:kl])
+		b = b[kl:]
+		out[key] = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in tuple map", len(b))
+	}
+	return out, nil
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

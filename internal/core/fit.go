@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"keybin2/internal/cluster"
+	"keybin2/internal/histogram"
+	"keybin2/internal/keys"
+	"keybin2/internal/linalg"
+	"keybin2/internal/partition"
+	"keybin2/internal/projection"
+	"keybin2/internal/quality"
+	"keybin2/internal/xrand"
+)
+
+// Fit clusters the rows of data with KeyBin2 on a single process and
+// returns the fitted model and the per-row labels. Rows of data are points;
+// columns are features.
+func Fit(data *linalg.Matrix, cfg Config) (*Model, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m, n := data.Rows, data.Cols
+	if m == 0 || n == 0 {
+		return nil, nil, fmt.Errorf("core: empty data %dx%d", m, n)
+	}
+	cfg = cfg.withDefaults(m, n)
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = keys.DefaultDepth(m)
+	}
+
+	proj, batch, err := projectAll(data, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fit every bootstrap trial on the projected data and keep the best.
+	trials := make([]*Model, cfg.Trials)
+	assessments := make([]quality.Assessment, cfg.Trials)
+	for t := 0; t < cfg.Trials; t++ {
+		loCol := t * cfg.TargetDims
+		mins, maxs := columnRanges(proj, loCol, cfg.TargetDims)
+		set, err := buildSet(proj, loCol, mins, maxs, depth, cfg.Workers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+		model, err := finishTrial(set, proj, loCol, cfg, t, batch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
+		}
+		trials[t] = model
+		assessments[t] = model.Assessment
+	}
+	best := quality.SelectBest(assessments)
+	model := trials[best]
+	model.TrialAssessments = assessments
+
+	labels := assignAll(proj, best*cfg.TargetDims, model, cfg.Workers)
+	return model, labels, nil
+}
+
+// projectAll applies the batched multi-trial projection (§3.4's
+// optimization: one pass over the data covers all t trials). For
+// NoProjection the data itself is the "projected" matrix.
+func projectAll(data *linalg.Matrix, cfg Config) (*linalg.Matrix, *projection.Batch, error) {
+	if cfg.NoProjection {
+		return data, nil, nil
+	}
+	rng := xrand.New(cfg.Seed)
+	batch, err := projection.NewBatch(cfg.ProjectionKind, data.Cols, cfg.TargetDims, cfg.Trials, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj, err := batch.Apply(data, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return proj, batch, nil
+}
+
+// columnRanges returns per-dimension min/max over columns
+// [loCol, loCol+nrp) of the projected matrix.
+func columnRanges(proj *linalg.Matrix, loCol, nrp int) (mins, maxs []float64) {
+	mins = make([]float64, nrp)
+	maxs = make([]float64, nrp)
+	for j := 0; j < nrp; j++ {
+		mins[j], maxs[j] = proj.At(0, loCol+j), proj.At(0, loCol+j)
+	}
+	for i := 1; i < proj.Rows; i++ {
+		row := proj.Row(i)
+		for j := 0; j < nrp; j++ {
+			v := row[loCol+j]
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// buildSet bins all rows of the trial's columns into a fresh histogram set,
+// fanning row blocks across workers with per-worker local sets merged at
+// the end — the same per-point/per-dimension parallel decomposition the
+// paper offloads to the GPU.
+func buildSet(proj *linalg.Matrix, loCol int, mins, maxs []float64, depth, workers int) (*histogram.Set, error) {
+	nrp := len(mins)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > proj.Rows {
+		workers = 1
+	}
+	locals := make([]*histogram.Set, workers)
+	var wg sync.WaitGroup
+	chunk := (proj.Rows + workers - 1) / workers
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > proj.Rows {
+			hi = proj.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			set, err := histogram.NewSet(mins, maxs, depth)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for i := lo; i < hi; i++ {
+				row := proj.Row(i)
+				set.AddPoint(row[loCol : loCol+nrp])
+			}
+			locals[w] = set
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var global *histogram.Set
+	for _, s := range locals {
+		if s == nil {
+			continue
+		}
+		if global == nil {
+			global = s
+			continue
+		}
+		if err := global.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	if global == nil {
+		return histogram.NewSet(mins, maxs, depth)
+	}
+	return global, nil
+}
+
+// partitionSet collapses uninformative dimensions and partitions the rest.
+func partitionSet(set *histogram.Set, cfg Config) (parts []partition.Result, collapsed []bool) {
+	parts = make([]partition.Result, len(set.Dims))
+	collapsed = make([]bool, len(set.Dims))
+	levels := cfg.Partition.MultiLevels
+	if levels == 0 {
+		levels = 3
+	}
+	for j, h := range set.Dims {
+		if cfg.CollapseRelax > 0 && partition.Collapse(h, cfg.CollapseRelax) {
+			collapsed[j] = true
+			parts[j] = partition.Result{}
+			continue
+		}
+		parts[j] = partition.PartitionMulti(h, cfg.Partition, levels)
+	}
+	// If everything collapsed (e.g. a projection where every direction
+	// looks Gaussian), fall back to partitioning all dimensions so the
+	// trial still produces an assessable model.
+	all := true
+	for _, c := range collapsed {
+		if !c {
+			all = false
+			break
+		}
+	}
+	if all && len(set.Dims) > 0 {
+		for j, h := range set.Dims {
+			collapsed[j] = false
+			parts[j] = partition.Partition(h, cfg.Partition)
+		}
+	}
+	return parts, collapsed
+}
+
+// countTuples maps every row to its primary-cluster tuple and counts
+// occupancy.
+func countTuples(proj *linalg.Matrix, loCol int, set *histogram.Set, parts []partition.Result, collapsed []bool, workers int) map[string]uint64 {
+	nrp := len(set.Dims)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > proj.Rows {
+		workers = 1
+	}
+	maps := make([]map[string]uint64, workers)
+	var wg sync.WaitGroup
+	chunk := (proj.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > proj.Rows {
+			hi = proj.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(map[string]uint64)
+			segs := make([]int, nrp)
+			for i := lo; i < hi; i++ {
+				row := proj.Row(i)
+				segmentsOfRow(row[loCol:loCol+nrp], set, parts, collapsed, segs)
+				local[packSegments(segs)]++
+			}
+			maps[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := make(map[string]uint64)
+	for _, m := range maps {
+		for k, n := range m {
+			out[k] += n
+		}
+	}
+	return out
+}
+
+func segmentsOfRow(projected []float64, set *histogram.Set, parts []partition.Result, collapsed []bool, segs []int) {
+	for j, h := range set.Dims {
+		if collapsed[j] {
+			segs[j] = 0
+			continue
+		}
+		segs[j] = parts[j].SegmentOf(h.Bin(projected[j]))
+	}
+}
+
+// finishTrial partitions, counts tuples, builds labels, and assesses one
+// trial, producing its Model.
+func finishTrial(set *histogram.Set, proj *linalg.Matrix, loCol int, cfg Config, trial int, batch *projection.Batch) (*Model, error) {
+	parts, collapsed := partitionSet(set, cfg)
+	tuples := countTuples(proj, loCol, set, parts, collapsed, cfg.Workers)
+	return assembleModel(set, parts, collapsed, tuples, cfg, trial, batch)
+}
+
+// assembleModel finalizes a trial from its global histograms, partitions,
+// and global tuple counts. It is shared by the serial and distributed
+// drivers.
+func assembleModel(set *histogram.Set, parts []partition.Result, collapsed []bool, tuples map[string]uint64, cfg Config, trial int, batch *projection.Batch) (*Model, error) {
+	clusters, labelOf := buildLabels(tuples, len(set.Dims), cfg.MinClusterSize, cfg.MaxClusters)
+	assessment, err := quality.Assess(set, parts, clusters)
+	if err != nil {
+		return nil, err
+	}
+	model := &Model{
+		Set:        set,
+		Parts:      parts,
+		Collapsed:  collapsed,
+		Clusters:   clusters,
+		Assessment: assessment,
+		Trial:      trial,
+		labelOf:    labelOf,
+	}
+	if batch != nil {
+		nrp := batch.Nrp
+		pm := linalg.NewMatrix(batch.Joined.Rows, nrp)
+		for j := 0; j < nrp; j++ {
+			pm.SetCol(j, batch.Joined.Col(trial*nrp+j))
+		}
+		model.Projection = pm
+	}
+	return model, nil
+}
+
+// assignAll labels every row of the projected matrix under the model.
+func assignAll(proj *linalg.Matrix, loCol int, model *Model, workers int) []int {
+	nrp := len(model.Set.Dims)
+	labels := make([]int, proj.Rows)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > proj.Rows {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (proj.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > proj.Rows {
+			hi = proj.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			segs := make([]int, nrp)
+			for i := lo; i < hi; i++ {
+				row := proj.Row(i)
+				segmentsOfRow(row[loCol:loCol+nrp], model.Set, model.Parts, model.Collapsed, segs)
+				if l, ok := model.labelOf[packSegments(segs)]; ok {
+					labels[i] = l
+				} else {
+					labels[i] = cluster.Noise
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return labels
+}

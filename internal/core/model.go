@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"keybin2/internal/cluster"
+	"keybin2/internal/histogram"
+	"keybin2/internal/linalg"
+	"keybin2/internal/partition"
+	"keybin2/internal/quality"
+)
+
+// Model is a fitted KeyBin2 clustering: the selected projection, the global
+// (merged) histograms of the winning trial, the per-dimension partitions,
+// and the mapping from primary-cluster tuples to global labels. A Model can
+// label points it has never seen — the in-situ use case.
+type Model struct {
+	// Projection is the winning trial's matrix (nil when NoProjection).
+	Projection *linalg.Matrix
+	// Set holds the global per-dimension histograms of the winning trial.
+	Set *histogram.Set
+	// Parts are the per-dimension partitions (cuts); collapsed dimensions
+	// have no cuts.
+	Parts []partition.Result
+	// Collapsed marks dimensions the Lilliefors test removed from the
+	// clustering decision (§3.1).
+	Collapsed []bool
+	// Clusters are the surviving global clusters, ordered by mass
+	// descending; cluster i has global label i.
+	Clusters []quality.Cluster
+	// Assessment is the winning trial's histogram-CH evaluation.
+	Assessment quality.Assessment
+	// TrialAssessments holds every bootstrap trial's evaluation (index =
+	// trial); the winner is the argmax CH. Populated by Fit and
+	// FitDistributed.
+	TrialAssessments []quality.Assessment
+	// Trial is the index of the winning bootstrap trial.
+	Trial int
+
+	labelOf map[string]int
+}
+
+// K returns the number of clusters the model found.
+func (m *Model) K() int { return len(m.Clusters) }
+
+// Describe renders a human-readable summary of what the model learned:
+// the winning trial, per-dimension partitions (or collapsed status), and
+// the clusters with their masses. Intended for CLI/diagnostic output.
+func (m *Model) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "KeyBin2 model: %d clusters, trial %d, histogram-CH %.2f\n",
+		m.K(), m.Trial, m.Assessment.CH)
+	for j, h := range m.Set.Dims {
+		if m.Collapsed[j] {
+			fmt.Fprintf(&b, "  dim %2d: collapsed (no clustering structure)\n", j)
+			continue
+		}
+		cuts := make([]string, len(m.Parts[j].Cuts))
+		for i, c := range m.Parts[j].Cuts {
+			cuts[i] = fmt.Sprintf("%.3g", h.Center(c)+h.BinWidth()/2)
+		}
+		fmt.Fprintf(&b, "  dim %2d: range [%.3g, %.3g], %d segments, cuts at [%s]\n",
+			j, h.Min, h.Max, m.Parts[j].Segments(), strings.Join(cuts, " "))
+	}
+	for i, cl := range m.Clusters {
+		fmt.Fprintf(&b, "  cluster %2d: mass %d, segments %v\n", i, cl.Mass, cl.Segments)
+	}
+	return b.String()
+}
+
+// packSegments serializes a segment tuple into a map key. Collapsed
+// dimensions contribute a constant so they do not fragment clusters.
+func packSegments(segs []int) string {
+	buf := make([]byte, 2*len(segs))
+	for j, s := range segs {
+		binary.LittleEndian.PutUint16(buf[2*j:], uint16(s))
+	}
+	return string(buf)
+}
+
+func unpackSegments(s string) []int {
+	out := make([]int, len(s)/2)
+	b := []byte(s)
+	for j := range out {
+		out[j] = int(binary.LittleEndian.Uint16(b[2*j:]))
+	}
+	return out
+}
+
+// segmentsOf maps a projected point to its primary-cluster tuple.
+func (m *Model) segmentsOf(projected []float64, segs []int) {
+	for j, h := range m.Set.Dims {
+		if m.Collapsed[j] {
+			segs[j] = 0
+			continue
+		}
+		segs[j] = m.Parts[j].SegmentOf(h.Bin(projected[j]))
+	}
+}
+
+// AssignProjected labels a point already expressed in the projected
+// subspace. Unknown tuples return cluster.Noise.
+func (m *Model) AssignProjected(projected []float64) int {
+	segs := make([]int, len(m.Set.Dims))
+	m.segmentsOf(projected, segs)
+	if l, ok := m.labelOf[packSegments(segs)]; ok {
+		return l
+	}
+	return cluster.Noise
+}
+
+// Assign projects a raw point through the model's projection and labels
+// it. With NoProjection models the point is binned directly.
+func (m *Model) Assign(x []float64) (int, error) {
+	if m.Projection == nil {
+		return m.AssignProjected(x), nil
+	}
+	proj, err := linalg.VecMul(x, m.Projection)
+	if err != nil {
+		return cluster.Noise, fmt.Errorf("core: assign: %w", err)
+	}
+	return m.AssignProjected(proj), nil
+}
+
+// buildLabels orders the occupied tuples by mass (descending, ties by key
+// for determinism), applies the dust filter and cap, and installs the
+// tuple→label map. It returns the surviving clusters.
+func buildLabels(tuples map[string]uint64, dims int, minSize, maxClusters int) ([]quality.Cluster, map[string]int) {
+	type entry struct {
+		key  string
+		mass uint64
+	}
+	entries := make([]entry, 0, len(tuples))
+	for k, n := range tuples {
+		if int(n) >= minSize {
+			entries = append(entries, entry{key: k, mass: n})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mass != entries[j].mass {
+			return entries[i].mass > entries[j].mass
+		}
+		return entries[i].key < entries[j].key
+	})
+	if len(entries) > maxClusters {
+		entries = entries[:maxClusters]
+	}
+	clusters := make([]quality.Cluster, len(entries))
+	labelOf := make(map[string]int, len(entries))
+	for i, e := range entries {
+		clusters[i] = quality.Cluster{Segments: unpackSegments(e.key), Mass: e.mass}
+		labelOf[e.key] = i
+	}
+	return clusters, labelOf
+}

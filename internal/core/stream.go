@@ -1,0 +1,644 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"keybin2/internal/cluster"
+	"keybin2/internal/histogram"
+	"keybin2/internal/keys"
+	"keybin2/internal/linalg"
+	"keybin2/internal/mpi"
+	"keybin2/internal/partition"
+	"keybin2/internal/projection"
+	"keybin2/internal/quality"
+	"keybin2/internal/xrand"
+)
+
+// StreamConfig tunes the in-situ streaming mode (§3: the M = 1 case, with
+// histograms "communicated periodically — after a number of updates or a
+// specific period of time").
+type StreamConfig struct {
+	Config
+	// Dims is the raw input dimensionality.
+	Dims int
+	// RawRanges optionally bounds each raw dimension ([lo, hi] per dim).
+	// When provided, projected ranges are derived by interval arithmetic
+	// and ingestion needs no warmup buffer — the paper's "predetermined
+	// space range". When nil, the first Warmup points are buffered to
+	// establish ranges.
+	RawRanges [][2]float64
+	// Warmup is the number of points buffered to establish ranges when
+	// RawRanges is nil (default 500).
+	Warmup int
+	// Period triggers a refit (partition + assess + relabel) every Period
+	// ingested points after warmup (default 1000).
+	Period int
+	// DecayFactor, when in (0,1), scales histogram and key-sketch mass by
+	// this factor at every refit — exponential forgetting, so clusters
+	// from drifted-away regimes fade instead of accumulating forever.
+	// 0 (or ≥1) disables forgetting.
+	DecayFactor float64
+}
+
+func (c StreamConfig) withStreamDefaults() StreamConfig {
+	if c.Warmup <= 0 {
+		c.Warmup = 500
+	}
+	if c.Period <= 0 {
+		c.Period = 1000
+	}
+	return c
+}
+
+// Stream ingests points one at a time, maintaining per-trial hierarchical
+// histograms and key counters. Points are binned and discarded — memory is
+// bounded by the histogram and key-sketch sizes, never by the stream
+// length. The current Model labels points on the fly; every Period points
+// the partitions are recomputed and the best projection reselected.
+//
+// The joint key sketch is kept at a coarser depth than the marginal
+// histograms (sketchShift levels up): refits only need joint mass at
+// segment granularity, and full-resolution tuples over N_rp dimensions
+// would make the sketch grow with the stream instead of with the occupied
+// cell count. Per-point labeling always bins at full resolution.
+type Stream struct {
+	cfg         StreamConfig
+	depth       int
+	sketchShift uint
+	batch       *projection.Batch
+	sets        []*histogram.Set
+	counter     []*keys.Counter
+	model       *Model
+	buffer      *linalg.Matrix // warmup rows (nil once live)
+	bufUsed     int
+	seen        int
+	nextID      int // next fresh stable cluster id
+
+	// State snapshot at the last SyncDistributed, so subsequent syncs ship
+	// only the delta (nil before the first sync).
+	syncedSets []*histogram.Set
+	syncedCtr  []map[string]float64
+}
+
+// NewStream creates a streaming clusterer. cfg.Dims must be set; all other
+// fields default sensibly.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.Dims <= 0 {
+		return nil, fmt.Errorf("core: stream needs Dims > 0")
+	}
+	if err := cfg.Config.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withStreamDefaults()
+	// Defaults sized by the warmup: the binning depth must be fixed before
+	// the stream length is known.
+	sized := cfg.Config.withDefaults(maxInt(cfg.Warmup, 1024), cfg.Dims)
+	cfg.Config = sized
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = keys.DefaultDepth(100000) // stream-scale default: log₂²(100k) ≈ 283 bins
+	}
+
+	s := &Stream{cfg: cfg, depth: depth}
+	// Sketch cells at ≤ 32 per dimension: coarse enough that the occupied
+	// cell count tracks the cluster structure, fine enough to re-segment
+	// under moving cuts.
+	const maxSketchDepth = 5
+	if depth > maxSketchDepth {
+		s.sketchShift = uint(depth - maxSketchDepth)
+	}
+	if !cfg.NoProjection {
+		batch, err := projection.NewBatch(cfg.ProjectionKind, cfg.Dims, cfg.TargetDims, cfg.Trials, xrand.New(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		s.batch = batch
+	}
+	if cfg.RawRanges != nil {
+		if len(cfg.RawRanges) != cfg.Dims {
+			return nil, fmt.Errorf("core: %d raw ranges for %d dims", len(cfg.RawRanges), cfg.Dims)
+		}
+		if err := s.initSetsFromRawRanges(); err != nil {
+			return nil, err
+		}
+	} else {
+		s.buffer = linalg.NewMatrix(cfg.Warmup, cfg.Dims)
+	}
+	return s, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// initSetsFromRawRanges derives projected ranges per trial dimension from
+// the raw per-dimension boxes. A worst-case interval bound (Σ|aᵢ|·Bᵢ) is
+// far too loose in high dimension — the data would occupy a small middle
+// slice of every histogram and the partitioner would over-smooth — so the
+// range is the projected box center ± 4 standard deviations of a uniform
+// distribution over the box. Points outside clamp into the edge bins,
+// which the binning tolerates by design.
+func (s *Stream) initSetsFromRawRanges() error {
+	trials := s.cfg.Trials
+	nrp := s.cfg.TargetDims
+	s.sets = make([]*histogram.Set, trials)
+	s.counter = make([]*keys.Counter, trials)
+	for t := 0; t < trials; t++ {
+		mins := make([]float64, nrp)
+		maxs := make([]float64, nrp)
+		for j := 0; j < nrp; j++ {
+			var lo, hi float64
+			if s.batch == nil {
+				lo, hi = s.cfg.RawRanges[j][0], s.cfg.RawRanges[j][1]
+			} else {
+				col := t*nrp + j
+				var center, variance float64
+				for i := 0; i < s.cfg.Dims; i++ {
+					a := s.batch.Joined.At(i, col)
+					rlo, rhi := s.cfg.RawRanges[i][0], s.cfg.RawRanges[i][1]
+					center += a * (rlo + rhi) / 2
+					width := a * (rhi - rlo)
+					variance += width * width / 12
+				}
+				spread := 4 * math.Sqrt(variance)
+				lo, hi = center-spread, center+spread
+			}
+			mins[j], maxs[j] = lo, hi
+		}
+		set, err := histogram.NewSet(mins, maxs, s.depth)
+		if err != nil {
+			return err
+		}
+		s.sets[t] = set
+		s.counter[t] = keys.NewCounter(nrp)
+	}
+	return nil
+}
+
+// initSetsFromBuffer establishes ranges from the warmup buffer and replays
+// the buffered points into the histograms.
+func (s *Stream) initSetsFromBuffer() error {
+	data := &linalg.Matrix{Rows: s.bufUsed, Cols: s.cfg.Dims, Data: s.buffer.Data[:s.bufUsed*s.cfg.Dims]}
+	proj := data
+	if s.batch != nil {
+		var err error
+		proj, err = s.batch.Apply(data, s.cfg.Workers)
+		if err != nil {
+			return err
+		}
+	}
+	trials := s.cfg.Trials
+	nrp := s.cfg.TargetDims
+	s.sets = make([]*histogram.Set, trials)
+	s.counter = make([]*keys.Counter, trials)
+	for t := 0; t < trials; t++ {
+		mins, maxs := columnRanges(proj, t*nrp, nrp)
+		// Widen by 10% per side: the warmup sample underestimates the
+		// stream's true extent, and out-of-range points clamp into edge
+		// bins.
+		for j := range mins {
+			pad := (maxs[j] - mins[j]) * 0.1
+			if pad == 0 {
+				pad = 0.5
+			}
+			mins[j] -= pad
+			maxs[j] += pad
+		}
+		set, err := histogram.NewSet(mins, maxs, s.depth)
+		if err != nil {
+			return err
+		}
+		s.sets[t] = set
+		s.counter[t] = keys.NewCounter(nrp)
+	}
+	for i := 0; i < proj.Rows; i++ {
+		s.binProjected(proj.Row(i))
+	}
+	s.buffer = nil
+	return nil
+}
+
+// binProjected adds one joined projected row to every trial's histograms
+// and (coarse) key counter.
+func (s *Stream) binProjected(row []float64) {
+	nrp := s.cfg.TargetDims
+	for t, set := range s.sets {
+		sub := row[t*nrp : (t+1)*nrp]
+		set.AddPoint(sub)
+		k := make(keys.Key, nrp)
+		keys.ComputeInto(k, sub, set)
+		for j := range k {
+			k[j] >>= s.sketchShift
+		}
+		s.counter[t].Add(k, 1)
+	}
+}
+
+// sketchBinCenter maps a coarse sketch bin back to the finest-level bin at
+// its cell center, for segment assignment during refits.
+func (s *Stream) sketchBinCenter(coarse uint32) int {
+	if s.sketchShift == 0 {
+		return int(coarse)
+	}
+	return int(coarse<<s.sketchShift) + int(uint32(1)<<(s.sketchShift-1))
+}
+
+// snapCutsToSketch aligns every cut to the end of its coarse sketch cell,
+// so no cell straddles a segment boundary. Without this, the sketch (which
+// assigns whole cells to segments) and exact per-point binning would
+// disagree about points in straddling cells, and the model's tuple→label
+// map would not match what Assign computes. The snap costs at most one
+// cell width (1/32 of the range) of cut precision.
+func (s *Stream) snapCutsToSketch(p partition.Result, nbins int) partition.Result {
+	if s.sketchShift == 0 || len(p.Cuts) == 0 {
+		return p
+	}
+	cell := 1 << s.sketchShift
+	snapped := p.Cuts[:0]
+	prev := -1
+	for _, c := range p.Cuts {
+		aligned := (c>>s.sketchShift)<<s.sketchShift + cell - 1
+		if aligned >= nbins-1 {
+			continue // cutting after the last bin separates nothing
+		}
+		if aligned != prev {
+			snapped = append(snapped, aligned)
+			prev = aligned
+		}
+	}
+	p.Cuts = snapped
+	return p
+}
+
+// projectPoint maps a raw point through the joined batch (all trials at
+// once) or returns it unchanged without projection.
+func (s *Stream) projectPoint(x []float64) ([]float64, error) {
+	if s.batch == nil {
+		return x, nil
+	}
+	return linalg.VecMul(x, s.batch.Joined)
+}
+
+// Ingest feeds one point into the stream and returns its label under the
+// current model (cluster.Noise during warmup or before the first refit).
+func (s *Stream) Ingest(x []float64) (int, error) {
+	if len(x) != s.cfg.Dims {
+		return cluster.Noise, fmt.Errorf("core: point has %d dims, stream expects %d", len(x), s.cfg.Dims)
+	}
+	s.seen++
+	if s.buffer != nil {
+		copy(s.buffer.Row(s.bufUsed), x)
+		s.bufUsed++
+		if s.bufUsed == s.cfg.Warmup {
+			if err := s.initSetsFromBuffer(); err != nil {
+				return cluster.Noise, err
+			}
+			if err := s.Refit(); err != nil {
+				return cluster.Noise, err
+			}
+		}
+		return cluster.Noise, nil
+	}
+	row, err := s.projectPoint(x)
+	if err != nil {
+		return cluster.Noise, err
+	}
+	s.binProjected(row)
+	label := cluster.Noise
+	if s.model != nil {
+		nrp := s.cfg.TargetDims
+		t := s.model.Trial
+		label = s.model.AssignProjected(row[t*nrp : (t+1)*nrp])
+	}
+	if s.seen%s.cfg.Period == 0 {
+		if err := s.Refit(); err != nil {
+			return label, err
+		}
+	}
+	return label, nil
+}
+
+// Refit recomputes partitions for every trial from the accumulated
+// histograms, rebuilds the cluster models from the key sketches, and
+// selects the best projection. It is called automatically every Period
+// points; callers may also invoke it manually (e.g. at simulation phase
+// boundaries).
+func (s *Stream) Refit() error {
+	if s.sets == nil {
+		return nil // still warming up
+	}
+	if f := s.cfg.DecayFactor; f > 0 && f < 1 {
+		for t := range s.sets {
+			s.sets[t].Decay(f)
+			s.counter[t].Decay(f)
+		}
+	}
+	models := make([]*Model, len(s.sets))
+	assessments := make([]quality.Assessment, len(s.sets))
+	cfg := s.cfg.Config
+	cfg.MinClusterSize = s.minClusterSize()
+	for t, set := range s.sets {
+		parts, collapsed := partitionSet(set, cfg)
+		for j := range parts {
+			parts[j] = s.snapCutsToSketch(parts[j], set.Dims[j].Bins())
+		}
+		// Accumulate tuple mass in float and round once per tuple: after
+		// decay the individual key masses are fractional, and rounding
+		// them before summing would zero the sketch.
+		fmass := make(map[string]float64)
+		segs := make([]int, len(set.Dims))
+		s.counter[t].Each(func(k keys.Key, n float64) {
+			for j := range segs {
+				if collapsed[j] {
+					segs[j] = 0
+				} else {
+					segs[j] = parts[j].SegmentOf(s.sketchBinCenter(k[j]))
+				}
+			}
+			fmass[packSegments(segs)] += n
+		})
+		tuples := make(map[string]uint64, len(fmass))
+		for k, n := range fmass {
+			if r := uint64(math.Round(n)); r > 0 {
+				tuples[k] = r
+			}
+		}
+		model, err := assembleModel(set, parts, collapsed, tuples, cfg, t, s.batch)
+		if err != nil {
+			return err
+		}
+		models[t] = model
+		assessments[t] = model.Assessment
+	}
+	best := quality.SelectBest(assessments)
+	// Hysteresis: once live, stay on the current projection unless a
+	// challenger clearly dominates — switching trials discards label
+	// continuity, so it must buy a real separability improvement.
+	if s.model != nil && best != s.model.Trial {
+		cur := assessments[s.model.Trial]
+		if assessments[best].CH < 1.2*cur.CH {
+			best = s.model.Trial
+		}
+	}
+	next := models[best]
+	s.stabilizeLabels(next)
+	s.model = next
+	return nil
+}
+
+// stabilizeLabels renames next's cluster labels so clusters persist across
+// refits: each new cluster's centroid (per-dimension mode-bin centers) is
+// assigned under the previous model; when that yields a live label it is
+// reused, otherwise a fresh id is allocated. Without this step every refit
+// would renumber clusters by mass and streamed labels would lose global
+// consistency.
+func (s *Stream) stabilizeLabels(next *Model) {
+	if s.model == nil || s.model.Trial != next.Trial {
+		// First model, or a projection switch: labels start (over) fresh
+		// beyond any previously issued id so stale and new ids never mix.
+		if s.model != nil {
+			remap := make(map[string]int, len(next.labelOf))
+			for k, l := range next.labelOf {
+				remap[k] = s.nextID + l
+			}
+			next.labelOf = remap
+			s.nextID += len(next.Clusters)
+		} else {
+			s.nextID = len(next.Clusters)
+		}
+		return
+	}
+	used := make(map[int]bool)
+	remap := make(map[string]int, len(next.labelOf))
+	// Walk clusters in mass order so the heaviest clusters win contended
+	// old labels.
+	for i, cl := range next.Clusters {
+		centroid := clusterCentroid(next, i)
+		old := s.model.AssignProjected(centroid)
+		key := packSegments(cl.Segments)
+		if old != cluster.Noise && !used[old] {
+			remap[key] = old
+			used[old] = true
+			if old >= s.nextID {
+				s.nextID = old + 1
+			}
+			continue
+		}
+		remap[key] = s.nextID
+		used[s.nextID] = true
+		s.nextID++
+	}
+	next.labelOf = remap
+}
+
+// clusterCentroid returns cluster q's representative point in the model's
+// projected subspace: per dimension, the center of the mode bin within the
+// cluster's bin range (collapsed dimensions use the global mode).
+func clusterCentroid(m *Model, q int) []float64 {
+	cl := m.Clusters[q]
+	out := make([]float64, len(m.Set.Dims))
+	for j, h := range m.Set.Dims {
+		if m.Collapsed[j] {
+			out[j] = h.Center(h.Mode())
+			continue
+		}
+		rng := m.Parts[j].Ranges(h.Bins())[cl.Segments[j]]
+		lo, hi := rng[0], rng[1]
+		mode, modeCount := lo, uint64(0)
+		for b := lo; b <= hi; b++ {
+			if h.Counts[b] > modeCount {
+				mode, modeCount = b, h.Counts[b]
+			}
+		}
+		out[j] = h.Center(mode)
+	}
+	return out
+}
+
+// minClusterSize scales the dust filter with the effective (post-decay)
+// histogram mass rather than the raw stream length.
+func (s *Stream) minClusterSize() int {
+	mass := s.seen
+	if len(s.sets) > 0 {
+		mass = int(s.sets[0].Total())
+	}
+	ms := mass / 1000
+	if ms < 2 {
+		ms = 2
+	}
+	return ms
+}
+
+// Model returns the current model (nil before the first refit).
+func (s *Stream) Model() *Model { return s.model }
+
+// Seen returns the number of ingested points.
+func (s *Stream) Seen() int { return s.seen }
+
+// SketchSize reports the stream's state footprint: total histogram bins
+// across trials and dimensions, and distinct keys in the sketches. Both
+// are bounded by the binning resolution — not by the stream length — which
+// is the in-situ memory guarantee.
+func (s *Stream) SketchSize() (bins, distinctKeys int) {
+	for t, set := range s.sets {
+		for _, h := range set.Dims {
+			bins += h.Bins()
+		}
+		if s.counter != nil {
+			distinctKeys += s.counter[t].Len()
+		}
+	}
+	return bins, distinctKeys
+}
+
+// SyncDistributed merges this rank's histograms and key sketches with all
+// other ranks' and refits on the consolidated state. After the call every
+// rank holds the same global model — the paper's periodic histogram
+// exchange for distributed streams. Ranks must call it collectively and at
+// the same point in their control flow.
+//
+// Only the *delta* since the previous sync is exchanged, so repeated syncs
+// neither double-count mass nor grow the payload with stream length.
+// Distributed sync is incompatible with DecayFactor: forgetting would have
+// to be coordinated across ranks, which this engine does not attempt.
+func (s *Stream) SyncDistributed(comm *mpi.Comm) error {
+	if s.sets == nil {
+		return fmt.Errorf("core: SyncDistributed before warmup completed")
+	}
+	if f := s.cfg.DecayFactor; f > 0 && f < 1 {
+		return fmt.Errorf("core: SyncDistributed is incompatible with DecayFactor")
+	}
+
+	// Package this rank's delta since the last sync.
+	var packed []byte
+	deltaCtrs := make([]map[string]float64, len(s.sets))
+	for t, set := range s.sets {
+		deltaSet := set.Clone()
+		fmass := make(map[string]float64)
+		s.counter[t].Each(func(k keys.Key, n float64) {
+			fmass[k.Pack()] += n
+		})
+		if s.syncedSets != nil {
+			for j, h := range deltaSet.Dims {
+				prev := s.syncedSets[t].Dims[j]
+				for b := range h.Counts {
+					h.Counts[b] -= prev.Counts[b]
+				}
+				h.Total -= prev.Total
+			}
+			for k, n := range s.syncedCtr[t] {
+				fmass[k] -= n
+				if fmass[k] <= 1e-9 {
+					delete(fmass, k)
+				}
+			}
+		}
+		deltaCtrs[t] = fmass
+		tuples := make(map[string]uint64, len(fmass))
+		for k, n := range fmass {
+			if r := uint64(math.Round(n)); r > 0 {
+				tuples[k] = r
+			}
+		}
+		packed = mpi.AppendBytesFrame(packed, deltaSet.Encode())
+		packed = mpi.AppendBytesFrame(packed, encodeTuples(tuples))
+	}
+
+	merged, err := comm.Allreduce(packed, combineStreamState)
+	if err != nil {
+		return err
+	}
+	frames, err := mpi.SplitBytesFrames(merged)
+	if err != nil {
+		return err
+	}
+	if len(frames) != 2*len(s.sets) {
+		return fmt.Errorf("core: %d sync frames for %d trials", len(frames), len(s.sets))
+	}
+
+	// New global state = previous global state + summed deltas. (Before
+	// the first sync the previous global state is this rank's own history
+	// minus its delta, i.e. empty — handled by starting from the synced
+	// snapshot when present, else from zero.)
+	if s.syncedSets == nil {
+		s.syncedSets = make([]*histogram.Set, len(s.sets))
+		s.syncedCtr = make([]map[string]float64, len(s.sets))
+	}
+	for t := range s.sets {
+		deltaGlobal, err := histogram.DecodeSet(frames[2*t])
+		if err != nil {
+			return err
+		}
+		tuples, err := decodeTuples(frames[2*t+1])
+		if err != nil {
+			return err
+		}
+		if s.syncedSets[t] == nil {
+			s.syncedSets[t] = deltaGlobal
+		} else if err := s.syncedSets[t].Merge(deltaGlobal); err != nil {
+			return err
+		}
+		if s.syncedCtr[t] == nil {
+			s.syncedCtr[t] = make(map[string]float64)
+		}
+		for k, n := range tuples {
+			s.syncedCtr[t][k] += float64(n)
+		}
+
+		// Adopt the new global state as the live view.
+		s.sets[t] = s.syncedSets[t].Clone()
+		ctr := keys.NewCounter(len(s.sets[t].Dims))
+		for ks, n := range s.syncedCtr[t] {
+			k, err := keys.Unpack(ks)
+			if err != nil {
+				return err
+			}
+			ctr.Add(k, n)
+		}
+		s.counter[t] = ctr
+	}
+	// Every rank now has identical state; the deterministic refit yields
+	// identical models.
+	s.seen = int(s.sets[0].Total())
+	return s.Refit()
+}
+
+// combineStreamState merges interleaved (set, tuple) frame pairs.
+func combineStreamState(acc, in []byte) ([]byte, error) {
+	a, err := mpi.SplitBytesFrames(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mpi.SplitBytesFrames(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) || len(a)%2 != 0 {
+		return nil, fmt.Errorf("core: sync frame mismatch %d vs %d", len(a), len(b))
+	}
+	var out []byte
+	for i := 0; i < len(a); i += 2 {
+		set, err := histogram.CombineEncoded(a[i], b[i])
+		if err != nil {
+			return nil, err
+		}
+		out = mpi.AppendBytesFrame(out, set)
+		ma, err := decodeTuples(a[i+1])
+		if err != nil {
+			return nil, err
+		}
+		mb, err := decodeTuples(b[i+1])
+		if err != nil {
+			return nil, err
+		}
+		for k, n := range mb {
+			ma[k] += n
+		}
+		out = mpi.AppendBytesFrame(out, encodeTuples(ma))
+	}
+	return out, nil
+}

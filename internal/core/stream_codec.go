@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"keybin2/internal/histogram"
+	"keybin2/internal/keys"
+)
+
+// Stream checkpoint wire format (little endian):
+//
+//	magic "KB2S" | version u32
+//	seen u64 | nextID u32 | hasModel u8 [model frame]
+//	ntrials u32, per trial:
+//	  set frame (histogram.Set.Encode, length-prefixed)
+//	  nkeys u32, per key: width u32, key u32×width, mass f64
+//
+// In-situ analyses run for days; a checkpoint restores the stream's
+// histograms, key sketches, label-continuity state, and current model so
+// ingestion resumes exactly where it stopped. The warmup buffer is NOT
+// checkpointed: checkpoint after warmup (Encode returns an error before
+// that), which is also when there is state worth saving.
+//
+// The restored stream must be created with the same StreamConfig (same
+// seed, dims, trials, projection kind); DecodeStream re-derives the
+// projections from the config rather than storing the matrices.
+
+const streamMagic = "KB2S"
+const streamVersion = 1
+
+// Encode serializes the stream state. It fails before warmup completes.
+func (s *Stream) Encode() ([]byte, error) {
+	if s.sets == nil {
+		return nil, fmt.Errorf("core: checkpoint before warmup completed")
+	}
+	if s.syncedSets != nil {
+		return nil, fmt.Errorf("core: checkpointing a distributed-synced stream is not supported")
+	}
+	w := &wireWriter{}
+	w.buf = append(w.buf, streamMagic...)
+	w.u32(streamVersion)
+	w.u64(uint64(s.seen))
+	w.u32(uint32(s.nextID))
+	if s.model != nil {
+		w.u8(1)
+		m := s.model.Encode()
+		w.u32(uint32(len(m)))
+		w.buf = append(w.buf, m...)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(s.sets)))
+	for t, set := range s.sets {
+		enc := set.Encode()
+		w.u32(uint32(len(enc)))
+		w.buf = append(w.buf, enc...)
+		ctr := s.counter[t]
+		w.u32(uint32(ctr.Len()))
+		ctr.Each(func(k keys.Key, n float64) {
+			w.u32(uint32(len(k)))
+			for _, b := range k {
+				w.u32(b)
+			}
+			w.f64(n)
+		})
+	}
+	return w.buf, nil
+}
+
+// DecodeStream restores a checkpointed stream. cfg must match the one the
+// stream was created with; the projections are re-derived from cfg.Seed.
+func DecodeStream(cfg StreamConfig, b []byte) (*Stream, error) {
+	if len(b) < 8 || string(b[:4]) != streamMagic {
+		return nil, fmt.Errorf("core: not a stream checkpoint")
+	}
+	// Rebuild the shell (projections, depth, defaults) from the config.
+	// RawRanges presence is irrelevant here: the checkpoint carries the
+	// actual histogram ranges.
+	cfgNoWarmup := cfg
+	if cfgNoWarmup.RawRanges == nil {
+		// avoid allocating a warmup buffer that will never be used
+		cfgNoWarmup.RawRanges = make([][2]float64, cfg.Dims)
+	}
+	s, err := NewStream(cfgNoWarmup)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &wireReader{buf: b, off: 4}
+	if v := r.u32(); v != streamVersion {
+		return nil, fmt.Errorf("core: stream checkpoint version %d unsupported", v)
+	}
+	s.seen = int(r.u64())
+	s.nextID = int(r.u32())
+	if r.u8() == 1 {
+		mlen := int(r.u32())
+		if !r.need(mlen) {
+			return nil, r.err
+		}
+		model, err := DecodeModel(r.buf[r.off : r.off+mlen])
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint model: %w", err)
+		}
+		r.off += mlen
+		s.model = model
+	}
+	ntrials := int(r.u32())
+	if ntrials != s.cfg.Trials {
+		return nil, fmt.Errorf("core: checkpoint has %d trials, config %d", ntrials, s.cfg.Trials)
+	}
+	s.sets = make([]*histogram.Set, ntrials)
+	s.counter = make([]*keys.Counter, ntrials)
+	for t := 0; t < ntrials; t++ {
+		slen := int(r.u32())
+		if !r.need(slen) {
+			return nil, r.err
+		}
+		set, err := histogram.DecodeSet(r.buf[r.off : r.off+slen])
+		if err != nil {
+			return nil, err
+		}
+		r.off += slen
+		s.sets[t] = set
+		nkeys := int(r.u32())
+		if nkeys < 0 || nkeys > 1<<26 {
+			return nil, fmt.Errorf("core: absurd key count %d", nkeys)
+		}
+		ctr := keys.NewCounter(len(set.Dims))
+		for i := 0; i < nkeys; i++ {
+			width := int(r.u32())
+			if width != len(set.Dims) {
+				return nil, fmt.Errorf("core: checkpoint key width %d for %d dims", width, len(set.Dims))
+			}
+			k := make(keys.Key, width)
+			for j := range k {
+				k[j] = r.u32()
+			}
+			mass := r.f64()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if math.IsNaN(mass) || mass < 0 {
+				return nil, fmt.Errorf("core: checkpoint key mass %v", mass)
+			}
+			ctr.Add(k, mass)
+		}
+		s.counter[t] = ctr
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("core: %d trailing bytes in stream checkpoint", len(b)-r.off)
+	}
+	return s, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+func runStreamPoints(t *testing.T, st *Stream, spec *synth.MixtureSpec, n int, seed int64) []int {
+	t.Helper()
+	src := spec.Stream(n, xrand.New(seed))
+	var labels []int
+	for {
+		x, _, ok := src.Next()
+		if !ok {
+			return labels
+		}
+		l, err := st.Ingest(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, l)
+	}
+}
+
+func TestStreamCheckpointResume(t *testing.T) {
+	spec := synth.AutoMixture(3, 8, 6, 1, xrand.New(110))
+	cfg := StreamConfig{Config: Config{Seed: 111, Trials: 2}, Dims: 8,
+		RawRanges: fixedRanges(8, -12, 12), Period: 400}
+
+	// Reference: one continuous stream.
+	ref, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFirst := runStreamPoints(t, ref, spec, 1200, 112)
+	refSecond := runStreamPoints(t, ref, spec, 800, 113)
+	_ = refFirst
+
+	// Checkpointed: same first half, then encode/decode, then second half.
+	live, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStreamPoints(t, live, spec, 1200, 112)
+	snapshot, err := live.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeStream(cfg, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seen() != live.Seen() {
+		t.Fatalf("seen %d vs %d", restored.Seen(), live.Seen())
+	}
+	if (restored.Model() == nil) != (live.Model() == nil) {
+		t.Fatal("model presence mismatch")
+	}
+	if restored.Model() != nil && restored.Model().K() != live.Model().K() {
+		t.Fatalf("restored k %d vs %d", restored.Model().K(), live.Model().K())
+	}
+	gotSecond := runStreamPoints(t, restored, spec, 800, 113)
+	if len(gotSecond) != len(refSecond) {
+		t.Fatal("length mismatch")
+	}
+	diff := 0
+	for i := range refSecond {
+		if gotSecond[i] != refSecond[i] {
+			diff++
+		}
+	}
+	if diff != 0 {
+		t.Fatalf("%d/%d post-restore labels differ from continuous run", diff, len(refSecond))
+	}
+}
+
+func TestStreamCheckpointErrors(t *testing.T) {
+	cfg := StreamConfig{Config: Config{Seed: 1}, Dims: 4, Warmup: 100}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Encode(); err == nil {
+		t.Fatal("checkpoint before warmup must fail")
+	}
+	if _, err := DecodeStream(cfg, []byte("bogus checkpoint")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+
+	// trials mismatch
+	good := StreamConfig{Config: Config{Seed: 1, Trials: 2}, Dims: 4,
+		RawRanges: fixedRanges(4, -1, 1)}
+	st2, err := NewStream(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Ingest([]float64{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Trials = 3
+	if _, err := DecodeStream(bad, snap); err == nil {
+		t.Fatal("trials mismatch must fail")
+	}
+	// truncation
+	if _, err := DecodeStream(good, snap[:len(snap)-3]); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+	if _, err := DecodeStream(good, append(snap, 1)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}

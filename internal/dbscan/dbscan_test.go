@@ -1,0 +1,182 @@
+package dbscan
+
+import (
+	"math"
+	"testing"
+
+	"keybin2/internal/cluster"
+	"keybin2/internal/eval"
+	"keybin2/internal/linalg"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+func TestFitTwoBlobsWithNoise(t *testing.T) {
+	spec := &synth.MixtureSpec{Dims: 2, Components: []synth.Component{
+		{Mean: []float64{0, 0}, Std: []float64{0.3, 0.3}, Weight: 1},
+		{Mean: []float64{10, 10}, Std: []float64{0.3, 0.3}, Weight: 1},
+	}}
+	data, truth := spec.Sample(2000, xrand.New(1))
+	labels, err := Fit(data, Config{Eps: 0.4, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := cluster.NumClusters(labels); k != 2 {
+		t.Fatalf("found %d clusters", k)
+	}
+	_, _, f1 := eval.PrecisionRecallF1(labels, truth)
+	if f1 < 0.95 {
+		t.Fatalf("f1 %.3f", f1)
+	}
+}
+
+func TestFitNonConvex(t *testing.T) {
+	// Two concentric rings: k-means cannot separate them; DBSCAN can.
+	rng := xrand.New(2)
+	const n = 1500
+	data := linalg.NewMatrix(2*n, 2)
+	truth := make([]int, 2*n)
+	for i := 0; i < n; i++ {
+		theta := rng.Uniform(0, 2*math.Pi)
+		data.Set(i, 0, 2*math.Cos(theta)+rng.Gaussian(0, 0.05))
+		data.Set(i, 1, 2*math.Sin(theta)+rng.Gaussian(0, 0.05))
+		truth[i] = 0
+		data.Set(n+i, 0, 6*math.Cos(theta)+rng.Gaussian(0, 0.05))
+		data.Set(n+i, 1, 6*math.Sin(theta)+rng.Gaussian(0, 0.05))
+		truth[n+i] = 1
+	}
+	labels, err := Fit(data, Config{Eps: 0.3, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1 := eval.PrecisionRecallF1(labels, truth)
+	if f1 < 0.95 {
+		t.Fatalf("rings f1 %.3f (k=%d)", f1, cluster.NumClusters(labels))
+	}
+}
+
+func TestNoisePointsLabeled(t *testing.T) {
+	data, _ := linalg.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, // dense blob
+		{50, 50}, // isolated
+	})
+	labels, err := Fit(data, Config{Eps: 0.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[4] != cluster.Noise {
+		t.Fatalf("isolated point labeled %d", labels[4])
+	}
+	for i := 0; i < 4; i++ {
+		if labels[i] == cluster.Noise {
+			t.Fatalf("blob point %d is noise", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data := linalg.NewMatrix(3, 2)
+	if _, err := Fit(data, Config{Eps: 0, MinPts: 3}); err == nil {
+		t.Fatal("eps=0 must fail")
+	}
+	if _, err := Fit(data, Config{Eps: 1, MinPts: 0}); err == nil {
+		t.Fatal("minPts=0 must fail")
+	}
+	if _, err := FitParallel(data, Config{Eps: 0, MinPts: 1}); err == nil {
+		t.Fatal("parallel eps=0 must fail")
+	}
+}
+
+func TestParallelMatchesSerialOnCorePoints(t *testing.T) {
+	spec := synth.AutoMixture(3, 2, 6, 0.4, xrand.New(3))
+	data, _ := spec.Sample(3000, xrand.New(4))
+	cfg := Config{Eps: 0.5, MinPts: 5}
+	serial, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := FitParallel(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partitions must be identical up to label renaming and DBSCAN's
+	// inherent border-point ambiguity — ARI stays near 1.
+	if ari := eval.ARI(serial, parallel); ari < 0.99 {
+		t.Fatalf("serial/parallel ARI %.4f", ari)
+	}
+	// Noise decisions must agree exactly for core points; compare counts.
+	sNoise, pNoise := 0, 0
+	for i := range serial {
+		if serial[i] == cluster.Noise {
+			sNoise++
+		}
+		if parallel[i] == cluster.Noise {
+			pNoise++
+		}
+	}
+	if diff := sNoise - pNoise; diff < -len(serial)/100 || diff > len(serial)/100 {
+		t.Fatalf("noise counts differ: %d vs %d", sNoise, pNoise)
+	}
+}
+
+func TestParallelWorkerCounts(t *testing.T) {
+	spec := synth.AutoMixture(2, 2, 6, 0.4, xrand.New(5))
+	data, _ := spec.Sample(1000, xrand.New(6))
+	cfg := Config{Eps: 0.5, MinPts: 4}
+	base, err := FitParallel(data, Config{Eps: 0.5, MinPts: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		cfg.Workers = w
+		got, err := FitParallel(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari := eval.ARI(base, got); ari < 0.999 {
+			t.Fatalf("workers=%d ARI %.4f", w, ari)
+		}
+	}
+}
+
+func TestHighDimensionalFallsBackToBruteForce(t *testing.T) {
+	// 20-dimensional data exceeds MaxGridDims: brute force must engage and
+	// still produce a correct clustering of two tight far-apart blobs.
+	spec := &synth.MixtureSpec{Dims: 20, Components: []synth.Component{
+		{Mean: constVec(20, 0), Std: constVec(20, 0.1), Weight: 1},
+		{Mean: constVec(20, 10), Std: constVec(20, 0.1), Weight: 1},
+	}}
+	data, truth := spec.Sample(400, xrand.New(7))
+	labels, err := Fit(data, Config{Eps: 2, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1 := eval.PrecisionRecallF1(labels, truth)
+	if f1 < 0.99 {
+		t.Fatalf("high-dim f1 %.3f", f1)
+	}
+}
+
+func constVec(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestGridAndBruteAgree(t *testing.T) {
+	spec := synth.AutoMixture(3, 3, 6, 0.5, xrand.New(8))
+	data, _ := spec.Sample(1200, xrand.New(9))
+	grid, err := Fit(data, Config{Eps: 0.6, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := Fit(data, Config{Eps: 0.6, MinPts: 4, MaxGridDims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := eval.ARI(grid, brute); ari < 0.9999 {
+		t.Fatalf("grid vs brute ARI %.4f", ari)
+	}
+}

@@ -1,0 +1,399 @@
+package dbscan
+
+import (
+	"fmt"
+	"math"
+
+	"keybin2/internal/cluster"
+	"keybin2/internal/linalg"
+	"keybin2/internal/mpi"
+	"keybin2/internal/unionfind"
+)
+
+// Point-to-point tags used by the distributed fit. Every exchange is
+// symmetric (each rank sends exactly one frame, possibly empty, to every
+// relevant peer), which keeps receive counts deterministic and the
+// protocol deadlock-free under eager sends.
+const (
+	tagRedistribute = 101
+	tagHaloLow      = 102
+	tagHaloHigh     = 103
+	tagEquivalence  = 104
+	tagLabelReturn  = 105
+)
+
+// FitDistributed runs PDSDBSCAN-style distributed DBSCAN over the ranks of
+// comm. Each rank passes its arbitrary local shard; the returned labels
+// cover those local rows with globally consistent ids (cluster.Noise for
+// noise).
+//
+// Following Patwary et al.'s design: points are spatially repartitioned
+// into equal-width slabs along the widest dimension, each slab owner
+// clusters its points plus an ε-halo from the adjacent slabs with the
+// disjoint-set algorithm, and clusters meeting at slab boundaries are
+// merged through cluster-id equivalences resolved with a union-find at
+// rank 0. Unlike KeyBin2, whole points cross rank boundaries (the
+// redistribution and halos), which is exactly the data-movement cost the
+// paper's comparison highlights.
+func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) ([]int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	size := comm.Size()
+	if size == 1 {
+		return FitParallel(local, cfg)
+	}
+	dims := local.Cols
+	// Dimensionality must agree across ranks; empty ranks report 0 and
+	// adopt the global value.
+	dimRaw, err := comm.Allreduce(mpi.EncodeUint64s([]uint64{uint64(dims)}), maxUint64s)
+	if err != nil {
+		return nil, err
+	}
+	dimVal, err := mpi.DecodeUint64s(dimRaw)
+	if err != nil {
+		return nil, err
+	}
+	globalDims := int(dimVal[0])
+	if globalDims == 0 {
+		return nil, fmt.Errorf("dbscan: no data on any rank")
+	}
+	if dims != 0 && dims != globalDims {
+		return nil, fmt.Errorf("dbscan: rank %d has %d dims, world has %d", comm.Rank(), dims, globalDims)
+	}
+	dims = globalDims
+
+	// 1. Agree on global per-dimension ranges; split along the widest.
+	mm := make([]float64, 2*dims)
+	for j := 0; j < dims; j++ {
+		if local.Rows == 0 {
+			mm[2*j], mm[2*j+1] = math.Inf(1), math.Inf(-1)
+			continue
+		}
+		col := local.Col(j)
+		mm[2*j], mm[2*j+1] = linalg.MinMax(col)
+	}
+	mmRaw, err := comm.Allreduce(mpi.EncodeFloat64s(mm), mpi.MinMaxFloat64s)
+	if err != nil {
+		return nil, err
+	}
+	gmm, err := mpi.DecodeFloat64s(mmRaw)
+	if err != nil {
+		return nil, err
+	}
+	split, width := 0, -1.0
+	for j := 0; j < dims; j++ {
+		if w := gmm[2*j+1] - gmm[2*j]; w > width {
+			split, width = j, w
+		}
+	}
+	lo, hi := gmm[2*split], gmm[2*split+1]
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	slab := (hi - lo) / float64(size)
+	owner := func(x float64) int {
+		o := int((x - lo) / slab)
+		if o < 0 {
+			o = 0
+		}
+		if o >= size {
+			o = size - 1
+		}
+		return o
+	}
+
+	// 2. Redistribute: ship every point to its slab owner, tagged with
+	// its origin so labels can return home at the end.
+	outbound := make([][]float64, size) // flattened [origRank, origIndex, coords...]
+	for i := 0; i < local.Rows; i++ {
+		row := local.Row(i)
+		dst := owner(row[split])
+		outbound[dst] = append(outbound[dst], float64(comm.Rank()), float64(i))
+		outbound[dst] = append(outbound[dst], row...)
+	}
+	var ownedFlat []float64
+	ownedFlat = append(ownedFlat, outbound[comm.Rank()]...)
+	for r := 0; r < size; r++ {
+		if r == comm.Rank() {
+			continue
+		}
+		if err := comm.Send(r, tagRedistribute, mpi.EncodeFloat64s(outbound[r])); err != nil {
+			return nil, err
+		}
+	}
+	for n := 0; n < size-1; n++ {
+		payload, _, err := comm.Recv(mpi.AnySource, tagRedistribute)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := mpi.DecodeFloat64s(payload)
+		if err != nil {
+			return nil, err
+		}
+		ownedFlat = append(ownedFlat, vals...)
+	}
+	stride := dims + 2
+	if len(ownedFlat)%stride != 0 {
+		return nil, fmt.Errorf("dbscan: redistribution payload misaligned")
+	}
+	nOwned := len(ownedFlat) / stride
+
+	// 3. Halo exchange with slab neighbors: copies of owned points within
+	// ε of the boundary. Every rank sends exactly one (possibly empty)
+	// frame to each existing neighbor.
+	myLo := lo + float64(comm.Rank())*slab
+	myHi := myLo + slab
+	var toLow, toHigh []float64
+	for p := 0; p < nOwned; p++ {
+		rec := ownedFlat[p*stride : (p+1)*stride]
+		x := rec[2+split]
+		if comm.Rank() > 0 && x < myLo+cfg.Eps {
+			toLow = append(toLow, rec...)
+		}
+		if comm.Rank() < size-1 && x > myHi-cfg.Eps {
+			toHigh = append(toHigh, rec...)
+		}
+	}
+	if comm.Rank() > 0 {
+		if err := comm.Send(comm.Rank()-1, tagHaloHigh, mpi.EncodeFloat64s(toLow)); err != nil {
+			return nil, err
+		}
+	}
+	if comm.Rank() < size-1 {
+		if err := comm.Send(comm.Rank()+1, tagHaloLow, mpi.EncodeFloat64s(toHigh)); err != nil {
+			return nil, err
+		}
+	}
+	var haloFlat []float64
+	haloOwners := []int{}
+	recvHalo := func(from, tag int) error {
+		payload, _, err := comm.Recv(from, tag)
+		if err != nil {
+			return err
+		}
+		vals, err := mpi.DecodeFloat64s(payload)
+		if err != nil {
+			return err
+		}
+		haloFlat = append(haloFlat, vals...)
+		for i := 0; i < len(vals)/stride; i++ {
+			haloOwners = append(haloOwners, from)
+		}
+		return nil
+	}
+	if comm.Rank() < size-1 {
+		if err := recvHalo(comm.Rank()+1, tagHaloHigh); err != nil {
+			return nil, err
+		}
+	}
+	if comm.Rank() > 0 {
+		if err := recvHalo(comm.Rank()-1, tagHaloLow); err != nil {
+			return nil, err
+		}
+	}
+	nHalo := len(haloFlat) / stride
+
+	// 4. Local disjoint-set DBSCAN over owned + halo points.
+	work := linalg.NewMatrix(nOwned+nHalo, dims)
+	for p := 0; p < nOwned; p++ {
+		copy(work.Row(p), ownedFlat[p*stride+2:(p+1)*stride])
+	}
+	for p := 0; p < nHalo; p++ {
+		copy(work.Row(nOwned+p), haloFlat[p*stride+2:(p+1)*stride])
+	}
+	var labels []int
+	if work.Rows > 0 {
+		labels, err = FitParallel(work, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cap on local label counts so global cluster ids can be flat ints.
+	localK := 0
+	for _, l := range labels {
+		if l >= localK {
+			localK = l + 1
+		}
+	}
+	kRaw, err := comm.Allreduce(mpi.EncodeUint64s([]uint64{uint64(localK)}), maxUint64s)
+	if err != nil {
+		return nil, err
+	}
+	kVal, err := mpi.DecodeUint64s(kRaw)
+	if err != nil {
+		return nil, err
+	}
+	maxK := int(kVal[0]) + 1
+	gid := func(rank, label int) int { return rank*maxK + label }
+
+	// 5. Boundary equivalences: for each halo copy I labeled, tell its
+	// owner (ownerPointIndexFlat, myRank, myLabel). The owner pairs that
+	// with its own label for the same point. Every rank sends exactly one
+	// frame per neighbor.
+	equivOut := map[int][]float64{}
+	if comm.Rank() > 0 {
+		equivOut[comm.Rank()-1] = nil
+	}
+	if comm.Rank() < size-1 {
+		equivOut[comm.Rank()+1] = nil
+	}
+	// Identify the owner's point: owners index owned points by their
+	// (origRank, origIndex) pair carried in the record.
+	for p := 0; p < nHalo; p++ {
+		l := labels[nOwned+p]
+		if l == cluster.Noise {
+			continue
+		}
+		rec := haloFlat[p*stride : (p+1)*stride]
+		ownerRank := haloOwners[p]
+		equivOut[ownerRank] = append(equivOut[ownerRank], rec[0], rec[1], float64(comm.Rank()), float64(l))
+	}
+	for r, payload := range equivOut {
+		if err := comm.Send(r, tagEquivalence, mpi.EncodeFloat64s(payload)); err != nil {
+			return nil, err
+		}
+	}
+	// Index owned points by identity for pairing.
+	identIndex := make(map[[2]int]int, nOwned)
+	for p := 0; p < nOwned; p++ {
+		rec := ownedFlat[p*stride : (p+1)*stride]
+		identIndex[[2]int{int(rec[0]), int(rec[1])}] = p
+	}
+	var pairs []float64 // flattened (gidA, gidB)
+	for range equivOut {
+		payload, _, err := comm.Recv(mpi.AnySource, tagEquivalence)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := mpi.DecodeFloat64s(payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i+3 < len(vals); i += 4 {
+			ident := [2]int{int(vals[i]), int(vals[i+1])}
+			p, ok := identIndex[ident]
+			if !ok {
+				return nil, fmt.Errorf("dbscan: equivalence for unknown point %v", ident)
+			}
+			myLabel := labels[p]
+			if myLabel == cluster.Noise {
+				continue
+			}
+			pairs = append(pairs, float64(gid(comm.Rank(), myLabel)), float64(gid(int(vals[i+2]), int(vals[i+3]))))
+		}
+	}
+
+	// 6. Root resolves the equivalences and broadcasts a dense mapping.
+	gathered, err := comm.Gather(0, mpi.EncodeFloat64s(pairs))
+	if err != nil {
+		return nil, err
+	}
+	var mappingPayload []byte
+	if comm.Rank() == 0 {
+		dsu := unionfind.New(size * maxK)
+		for _, frame := range gathered {
+			vals, err := mpi.DecodeFloat64s(frame)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i+1 < len(vals); i += 2 {
+				dsu.Union(int(vals[i]), int(vals[i+1]))
+			}
+		}
+		// Dense ids assigned in representative order of first use.
+		mapping := make([]float64, size*maxK)
+		denseOf := map[int]int{}
+		next := 0
+		for g := range mapping {
+			r := dsu.Find(g)
+			d, ok := denseOf[r]
+			if !ok {
+				d = next
+				denseOf[r] = d
+				next++
+			}
+			mapping[g] = float64(d)
+		}
+		mappingPayload = mpi.EncodeFloat64s(mapping)
+	}
+	mappingPayload, err = comm.Bcast(0, mappingPayload)
+	if err != nil {
+		return nil, err
+	}
+	mapping, err := mpi.DecodeFloat64s(mappingPayload)
+	if err != nil {
+		return nil, err
+	}
+
+	// 7. Return labels to the original data owners.
+	returnOut := make([][]float64, size) // (origIndex, denseLabel) pairs
+	for p := 0; p < nOwned; p++ {
+		rec := ownedFlat[p*stride : (p+1)*stride]
+		origRank, origIndex := int(rec[0]), int(rec[1])
+		dense := float64(cluster.Noise)
+		if labels[p] != cluster.Noise {
+			dense = mapping[gid(comm.Rank(), labels[p])]
+		}
+		returnOut[origRank] = append(returnOut[origRank], float64(origIndex), dense)
+	}
+	final := make([]int, local.Rows)
+	apply := func(vals []float64) error {
+		for i := 0; i+1 < len(vals); i += 2 {
+			idx := int(vals[i])
+			if idx < 0 || idx >= len(final) {
+				return fmt.Errorf("dbscan: returned label for invalid row %d", idx)
+			}
+			final[idx] = int(vals[i+1])
+		}
+		return nil
+	}
+	if err := apply(returnOut[comm.Rank()]); err != nil {
+		return nil, err
+	}
+	for r := 0; r < size; r++ {
+		if r == comm.Rank() {
+			continue
+		}
+		if err := comm.Send(r, tagLabelReturn, mpi.EncodeFloat64s(returnOut[r])); err != nil {
+			return nil, err
+		}
+	}
+	for n := 0; n < size-1; n++ {
+		payload, _, err := comm.Recv(mpi.AnySource, tagLabelReturn)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := mpi.DecodeFloat64s(payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := apply(vals); err != nil {
+			return nil, err
+		}
+	}
+	return final, nil
+}
+
+// maxUint64s is an mpi.Combine taking the elementwise maximum (used to
+// agree on dimensionality and on the per-rank label-count cap).
+func maxUint64s(acc, in []byte) ([]byte, error) {
+	a, err := mpi.DecodeUint64s(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mpi.DecodeUint64s(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("dbscan: reduce length mismatch")
+	}
+	for i := range a {
+		if b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+	return mpi.EncodeUint64s(a), nil
+}

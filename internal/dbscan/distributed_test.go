@@ -1,0 +1,180 @@
+package dbscan
+
+import (
+	"testing"
+
+	"keybin2/internal/cluster"
+	"keybin2/internal/eval"
+	"keybin2/internal/linalg"
+	"keybin2/internal/mpi"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// runDistributed shards data round-robin across ranks and returns the
+// stitched labels.
+func runDistributed(t *testing.T, data *linalg.Matrix, ranks int, cfg Config) []int {
+	t.Helper()
+	results, err := mpi.RunCollect(ranks, func(c *mpi.Comm) ([]int, error) {
+		var rows []int
+		for i := c.Rank(); i < data.Rows; i += ranks {
+			rows = append(rows, i)
+		}
+		local := linalg.NewMatrix(len(rows), data.Cols)
+		for k, i := range rows {
+			copy(local.Row(k), data.Row(i))
+		}
+		return FitDistributed(c, local, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, data.Rows)
+	for r := 0; r < ranks; r++ {
+		k := 0
+		for i := r; i < data.Rows; i += ranks {
+			out[i] = results[r][k]
+			k++
+		}
+	}
+	return out
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	spec := synth.AutoMixture(4, 3, 6, 0.4, xrand.New(1))
+	data, _ := spec.Sample(3000, xrand.New(2))
+	cfg := Config{Eps: 0.5, MinPts: 5}
+	serial, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{2, 3, 5} {
+		got := runDistributed(t, data, ranks, cfg)
+		if ari := eval.ARI(serial, got); ari < 0.99 {
+			t.Fatalf("ranks=%d ARI %.4f vs serial", ranks, ari)
+		}
+	}
+}
+
+func TestDistributedClusterSpanningSlabs(t *testing.T) {
+	// One long thin cluster along the split dimension spans every slab:
+	// the boundary merge must reunite it into a single global cluster.
+	rng := xrand.New(3)
+	const n = 3000
+	data := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		data.Set(i, 0, rng.Uniform(-20, 20)) // long axis → split dim
+		data.Set(i, 1, rng.Gaussian(0, 0.2))
+	}
+	labels := runDistributed(t, data, 4, Config{Eps: 0.8, MinPts: 4})
+	counts := cluster.Sizes(labels)
+	if len(counts) != 1 {
+		t.Fatalf("spanning cluster split into %d: %v", len(counts), counts)
+	}
+	noise := 0
+	for _, l := range labels {
+		if l == cluster.Noise {
+			noise++
+		}
+	}
+	if noise > n/100 {
+		t.Fatalf("%d noise points in a dense ribbon", noise)
+	}
+}
+
+func TestDistributedNoiseStaysNoise(t *testing.T) {
+	spec := &synth.MixtureSpec{Dims: 2, Components: []synth.Component{
+		{Mean: []float64{-8, 0}, Std: []float64{0.3, 0.3}, Weight: 1},
+		{Mean: []float64{8, 0}, Std: []float64{0.3, 0.3}, Weight: 1},
+	}}
+	data, truth := spec.Sample(2000, xrand.New(4))
+	data, truth = synth.WithNoise(data, truth, 60, 4, xrand.New(5))
+	labels := runDistributed(t, data, 3, Config{Eps: 0.4, MinPts: 5})
+	_, _, f1 := eval.PrecisionRecallF1(labels, truth)
+	if f1 < 0.9 {
+		t.Fatalf("f1 %.3f", f1)
+	}
+	// most injected noise must stay noise
+	noiseKept := 0
+	for i := 2000; i < len(labels); i++ {
+		if labels[i] == cluster.Noise {
+			noiseKept++
+		}
+	}
+	if noiseKept < 40 {
+		t.Fatalf("only %d/60 noise points kept as noise", noiseKept)
+	}
+}
+
+func TestDistributedSingleRankDelegates(t *testing.T) {
+	spec := synth.AutoMixture(2, 2, 6, 0.4, xrand.New(6))
+	data, _ := spec.Sample(800, xrand.New(7))
+	cfg := Config{Eps: 0.5, MinPts: 4}
+	parallel, err := FitParallel(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		got, err := FitDistributed(c, data, cfg)
+		if err != nil {
+			return err
+		}
+		if ari := eval.ARI(parallel, got); ari < 0.9999 {
+			t.Errorf("single-rank ARI %.4f", ari)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedEmptyRank(t *testing.T) {
+	spec := synth.AutoMixture(2, 2, 6, 0.4, xrand.New(8))
+	data, _ := spec.Sample(600, xrand.New(9))
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		var local *linalg.Matrix
+		if c.Rank() == 2 {
+			local = linalg.NewMatrix(0, data.Cols)
+		} else {
+			half := data.Rows / 2
+			lo := c.Rank() * half
+			local = linalg.NewMatrix(half, data.Cols)
+			copy(local.Data, data.Data[lo*data.Cols:(lo+half)*data.Cols])
+		}
+		labels, err := FitDistributed(c, local, Config{Eps: 0.5, MinPts: 4})
+		if err != nil {
+			return err
+		}
+		if len(labels) != local.Rows {
+			t.Errorf("rank %d: %d labels for %d rows", c.Rank(), len(labels), local.Rows)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := FitDistributed(c, linalg.NewMatrix(1, 2), Config{Eps: 0, MinPts: 1}); err == nil {
+			t.Error("eps=0 must fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks empty must error, not hang.
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := FitDistributed(c, linalg.NewMatrix(0, 0), Config{Eps: 1, MinPts: 2})
+		if err == nil {
+			t.Error("all-empty must fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"keybin2/internal/cluster"
+)
+
+// ClusterReport describes one predicted cluster's composition against the
+// ground truth.
+type ClusterReport struct {
+	// Label is the predicted cluster id.
+	Label int
+	// Size is the cluster's point count.
+	Size int
+	// DominantTruth is the most common true label inside the cluster
+	// (cluster.Noise when the cluster is mostly noise).
+	DominantTruth int
+	// Purity is the dominant label's share of the cluster.
+	Purity float64
+}
+
+// Report breaks down every predicted cluster against the true labeling,
+// ordered by size descending. It is the diagnostic view the CLI prints
+// with -truth: which clusters are pure, which merged, which are dust.
+func Report(pred, truth []int) []ClusterReport {
+	members := map[int]map[int]int{}
+	sizes := map[int]int{}
+	for i, p := range pred {
+		if p == cluster.Noise {
+			continue
+		}
+		sizes[p]++
+		row, ok := members[p]
+		if !ok {
+			row = map[int]int{}
+			members[p] = row
+		}
+		row[truth[i]]++
+	}
+	out := make([]ClusterReport, 0, len(sizes))
+	for label, size := range sizes {
+		dom, domN := cluster.Noise, 0
+		for tl, n := range members[label] {
+			if n > domN || (n == domN && tl < dom) {
+				dom, domN = tl, n
+			}
+		}
+		out = append(out, ClusterReport{
+			Label: label, Size: size, DominantTruth: dom,
+			Purity: float64(domN) / float64(size),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// RenderReport formats a cluster report for terminal output; maxRows caps
+// the listing (0 = all).
+func RenderReport(reports []ClusterReport, maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-9s %-13s %-7s\n", "cluster", "size", "true label", "purity")
+	shown := 0
+	for _, r := range reports {
+		if maxRows > 0 && shown >= maxRows {
+			fmt.Fprintf(&b, "... %d more clusters\n", len(reports)-shown)
+			break
+		}
+		truthName := fmt.Sprintf("%d", r.DominantTruth)
+		if r.DominantTruth == cluster.Noise {
+			truthName = "noise"
+		}
+		fmt.Fprintf(&b, "%-9d %-9d %-13s %-7.3f\n", r.Label, r.Size, truthName, r.Purity)
+		shown++
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"keybin2/internal/core"
+	"keybin2/internal/eval"
+	"keybin2/internal/mpi"
+)
+
+// AblationDRow reports the privacy/utility trade-off of k-anonymous
+// histogram suppression at one threshold.
+type AblationDRow struct {
+	// SuppressBelow is the k-anonymity threshold (0 = off).
+	SuppressBelow int
+	F1            float64
+	F1CI          float64
+	Clusters      float64
+	// BytesPerRank is the communication volume (suppression also trims
+	// tuple payloads).
+	BytesPerRank float64
+}
+
+// AblationD sweeps Config.SuppressBelow on the standard distributed
+// workload: every value a rank communicates must aggregate at least k of
+// its points. The sweep quantifies how much accuracy that guarantee costs
+// (KeyBin's privacy argument, strengthened — DESIGN.md "Extensions").
+func AblationD(s Scale) []AblationDRow {
+	dims := 40
+	ranks := s.Procs
+	if ranks < 2 {
+		ranks = 2
+	}
+	m := s.PointsPerProc * ranks
+	var rows []AblationDRow
+	for _, k := range []int{0, 2, 5, 10, 25, 100} {
+		results := make([]eval.RunResult, s.Repeats)
+		var bytesPerRank float64
+		for rep := 0; rep < s.Repeats; rep++ {
+			seed := s.Seed + int64(700*rep)
+			spec := mixtureFor(dims, seed)
+			shards, truth := sampleShards(spec, m, ranks, seed+1)
+			type out struct {
+				labels []int
+				bytes  int64
+			}
+			rr, err := mpi.RunCollect(ranks, func(c *mpi.Comm) (out, error) {
+				_, labels, err := core.FitDistributed(c, shards[c.Rank()], core.Config{
+					Seed: seed + 2, Workers: s.Workers, SuppressBelow: k,
+				})
+				return out{labels: labels, bytes: c.Stats().Bytes()}, err
+			})
+			if err != nil {
+				continue
+			}
+			var pred []int
+			for _, r := range rr {
+				pred = append(pred, r.labels...)
+				bytesPerRank += float64(r.bytes) / float64(ranks*s.Repeats)
+			}
+			results[rep] = eval.Evaluate(pred, truth, 0)
+		}
+		agg := eval.AggregateRuns(results)
+		rows = append(rows, AblationDRow{
+			SuppressBelow: k, F1: agg.F1, F1CI: agg.F1CI,
+			Clusters: agg.Clusters, BytesPerRank: bytesPerRank,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,69 @@
+package histogram
+
+import "testing"
+
+func TestDecay(t *testing.T) {
+	h := New(0, 10, 3)
+	h.AddCount(1, 100)
+	h.AddCount(9, 3)
+	total := h.Decay(0.5)
+	if total != 51 || h.Total != 51 {
+		t.Fatalf("total %d", total)
+	}
+	if h.Counts[h.Bin(1)] != 50 || h.Counts[h.Bin(9)] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	// factor >= 1 is a no-op
+	if h.Decay(1.5) != 51 {
+		t.Fatal("factor>=1 must not change mass")
+	}
+	// factor <= 0 clears
+	h.Decay(-1)
+	if h.Total != 0 {
+		t.Fatalf("negative factor total %d", h.Total)
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	h := New(0, 10, 3)
+	h.AddCount(1, 100)
+	h.AddCount(5, 4)
+	h.AddCount(9, 1)
+	suppressed := h.Suppress(5)
+	if suppressed != 5 {
+		t.Fatalf("suppressed %d", suppressed)
+	}
+	if h.Counts[h.Bin(5)] != 0 || h.Counts[h.Bin(9)] != 0 {
+		t.Fatal("small bins must be zeroed")
+	}
+	if h.Counts[h.Bin(1)] != 100 || h.Total != 100 {
+		t.Fatalf("large bin kept: %v total %d", h.Counts, h.Total)
+	}
+	// k < 2 is a no-op
+	h2 := New(0, 10, 3)
+	h2.AddCount(1, 1)
+	if h2.Suppress(1) != 0 || h2.Total != 1 {
+		t.Fatal("k<2 must be a no-op")
+	}
+	// Invariant: after Suppress(k), every nonzero bin has >= k mass.
+	for _, c := range h.Counts {
+		if c != 0 && c < 5 {
+			t.Fatalf("bin with %d < k survived", c)
+		}
+	}
+}
+
+func TestSetDecaySuppress(t *testing.T) {
+	s, _ := NewSet([]float64{0, 0}, []float64{10, 10}, 3)
+	for i := 0; i < 10; i++ {
+		s.AddPoint([]float64{1, 9})
+	}
+	s.AddPoint([]float64{5, 5})
+	if sup := s.Suppress(3); sup != 2 { // the lone point, in both dims
+		t.Fatalf("suppressed %d", sup)
+	}
+	s.Decay(0.5)
+	if s.Dims[0].Counts[s.Dims[0].Bin(1)] != 5 {
+		t.Fatalf("decayed counts %v", s.Dims[0].Counts)
+	}
+}

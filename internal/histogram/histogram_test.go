@@ -1,0 +1,266 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClampsAndWidens(t *testing.T) {
+	h := New(0, 1, 0)
+	if h.Depth != 1 || h.Bins() != 2 {
+		t.Fatalf("depth clamp: %d bins %d", h.Depth, h.Bins())
+	}
+	h = New(0, 1, 99)
+	if h.Depth != MaxDepth {
+		t.Fatalf("max depth clamp: %d", h.Depth)
+	}
+	// degenerate range widens
+	h = New(5, 5, 3)
+	if !(h.Max > h.Min) {
+		t.Fatal("degenerate range must widen")
+	}
+	if b := h.Bin(5); b < 0 || b >= h.Bins() {
+		t.Fatalf("bin of midpoint: %d", b)
+	}
+}
+
+func TestBinEdgesAndClamping(t *testing.T) {
+	h := New(0, 8, 3) // 8 bins of width 1
+	if h.Bin(0) != 0 || h.Bin(0.5) != 0 || h.Bin(1) != 1 || h.Bin(7.9) != 7 {
+		t.Fatal("bin placement")
+	}
+	if h.Bin(-3) != 0 {
+		t.Fatal("below-range clamp")
+	}
+	if h.Bin(100) != 7 {
+		t.Fatal("above-range clamp")
+	}
+	if h.Bin(math.NaN()) != 0 {
+		t.Fatal("NaN goes to bin 0")
+	}
+}
+
+func TestAddAndTotals(t *testing.T) {
+	h := New(0, 10, 2)
+	h.Add(1)
+	h.Add(2)
+	h.AddCount(9, 5)
+	if h.Total != 7 {
+		t.Fatalf("Total=%d", h.Total)
+	}
+	if h.Counts[0] != 2 || h.Counts[3] != 5 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+}
+
+func TestHierarchyPrefixProperty(t *testing.T) {
+	// The bin at depth d must be the depth-dmax bin shifted right — the
+	// hierarchical key prefix invariant.
+	h := New(-3, 7, 6)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		b := h.Bin(x)
+		for d := 1; d <= h.Depth; d++ {
+			if h.BinAtDepth(b, d) != b>>uint(h.Depth-d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelCountsAggregation(t *testing.T) {
+	h := New(0, 16, 4) // 16 bins
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Float64() * 16)
+	}
+	for d := 1; d <= 4; d++ {
+		lv := h.LevelCounts(d)
+		if len(lv) != 1<<d {
+			t.Fatalf("depth %d has %d bins", d, len(lv))
+		}
+		var sum uint64
+		for _, c := range lv {
+			sum += c
+		}
+		if sum != h.Total {
+			t.Fatalf("depth %d mass %d != %d", d, sum, h.Total)
+		}
+	}
+	// Aggregation consistency: level d is pairwise sums of level d+1.
+	l3, l4 := h.LevelCounts(3), h.LevelCounts(4)
+	for b := range l3 {
+		if l3[b] != l4[2*b]+l4[2*b+1] {
+			t.Fatalf("bin %d: %d != %d+%d", b, l3[b], l4[2*b], l4[2*b+1])
+		}
+	}
+	// clamping of d
+	if len(h.LevelCounts(0)) != 2 {
+		t.Fatal("LevelCounts(0) should clamp to depth 1")
+	}
+	if len(h.LevelCounts(99)) != 16 {
+		t.Fatal("LevelCounts above depth returns finest")
+	}
+}
+
+func TestCentersAndWidth(t *testing.T) {
+	h := New(0, 8, 2) // 4 bins of width 2
+	if h.BinWidth() != 2 {
+		t.Fatalf("width %v", h.BinWidth())
+	}
+	c := h.Centers()
+	want := []float64{1, 3, 5, 7}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("centers %v", c)
+		}
+	}
+	c2 := h.CentersAt(1)
+	if len(c2) != 2 || c2[0] != 2 || c2[1] != 6 {
+		t.Fatalf("CentersAt(1) = %v", c2)
+	}
+}
+
+func TestDensities(t *testing.T) {
+	h := New(0, 4, 2)
+	h.AddCount(0.5, 1)
+	h.AddCount(1.5, 3)
+	d := h.Densities()
+	if d[0] != 0.25 || d[1] != 0.75 {
+		t.Fatalf("densities %v", d)
+	}
+	var sum float64
+	for _, x := range d {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("densities sum %v", sum)
+	}
+	empty := New(0, 4, 2)
+	for _, x := range empty.Densities() {
+		if x != 0 {
+			t.Fatal("empty histogram density")
+		}
+	}
+}
+
+func TestMergeCongruent(t *testing.T) {
+	a, b := New(0, 10, 3), New(0, 10, 3)
+	a.Add(1)
+	b.Add(1)
+	b.Add(9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 3 || a.Counts[0] != 2 {
+		t.Fatalf("merged %v total %d", a.Counts, a.Total)
+	}
+}
+
+func TestMergeIncongruent(t *testing.T) {
+	a := New(0, 10, 3)
+	if err := a.Merge(New(0, 10, 4)); err == nil {
+		t.Fatal("depth mismatch must fail")
+	}
+	if err := a.Merge(New(0, 11, 3)); err == nil {
+		t.Fatal("range mismatch must fail")
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	h := New(0, 10, 3)
+	h.Add(5)
+	c := h.Clone()
+	c.Add(5)
+	if h.Total != 1 || c.Total != 2 {
+		t.Fatal("clone shares state")
+	}
+	h.Reset()
+	if h.Total != 0 || h.Counts[h.Bin(5)] != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestModeAndPercentileBin(t *testing.T) {
+	h := New(0, 10, 3)
+	h.AddCount(1, 5)
+	h.AddCount(6, 20)
+	h.AddCount(9, 2)
+	if m := h.Mode(); m != h.Bin(6) {
+		t.Fatalf("mode %d", m)
+	}
+	// Median mass is in the bin at 6 (cumulative 5,25,...).
+	if p := h.PercentileBin(50); p != h.Bin(6) {
+		t.Fatalf("median bin %d", p)
+	}
+	if p := h.PercentileBin(1); p != h.Bin(1) {
+		t.Fatalf("P1 bin %d", p)
+	}
+	if p := h.PercentileBin(100); p != h.Bin(9) {
+		t.Fatalf("P100 bin %d", p)
+	}
+	empty := New(0, 10, 3)
+	if p := empty.PercentileBin(50); p != empty.Bins()/2 {
+		t.Fatalf("empty percentile bin %d", p)
+	}
+}
+
+// Property: total mass equals number of Adds regardless of values.
+func TestMassConservation(t *testing.T) {
+	f := func(values []float64) bool {
+		h := New(-5, 5, 5)
+		n := 0
+		for _, v := range values {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == uint64(n) && h.Total == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMatrixRange(t *testing.T) {
+	s, err := NewSet([]float64{0}, []float64{10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []float64{1, 2, 3, 4, 5}
+	s.AddMatrix(data, 2, 4) // rows 2 and 3 only (width 1)
+	if s.Total() != 2 {
+		t.Fatalf("total %d", s.Total())
+	}
+	if s.Dims[0].Counts[s.Dims[0].Bin(3)] != 1 || s.Dims[0].Counts[s.Dims[0].Bin(4)] != 1 {
+		t.Fatalf("counts %v", s.Dims[0].Counts)
+	}
+	// empty range is a no-op
+	s.AddMatrix(data, 3, 3)
+	if s.Total() != 2 {
+		t.Fatal("empty range changed state")
+	}
+}
+
+func TestCenterRoundTripsBin(t *testing.T) {
+	h := New(-7, 13, 6)
+	for b := 0; b < h.Bins(); b++ {
+		if got := h.Bin(h.Center(b)); got != b {
+			t.Fatalf("Bin(Center(%d)) = %d", b, got)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package histogram
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomHist builds a histogram with random contents over a fixed grid.
+func randomHist(rng *rand.Rand) *Hist {
+	h := New(-10, 10, 5)
+	n := rng.Intn(200)
+	for i := 0; i < n; i++ {
+		h.Add(rng.NormFloat64() * 5)
+	}
+	return h
+}
+
+// Property: merge is commutative — a∪b has the same counts as b∪a.
+func TestMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomHist(rng), randomHist(rng)
+		ab := a.Clone()
+		if ab.Merge(b) != nil {
+			return false
+		}
+		ba := b.Clone()
+		if ba.Merge(a) != nil {
+			return false
+		}
+		return reflect.DeepEqual(ab.Counts, ba.Counts) && ab.Total == ba.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is associative — (a∪b)∪c == a∪(b∪c).
+func TestMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomHist(rng), randomHist(rng), randomHist(rng)
+		left := a.Clone()
+		if left.Merge(b) != nil || left.Merge(c) != nil {
+			return false
+		}
+		bc := b.Clone()
+		if bc.Merge(c) != nil {
+			return false
+		}
+		right := a.Clone()
+		if right.Merge(bc) != nil {
+			return false
+		}
+		return reflect.DeepEqual(left.Counts, right.Counts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary sets.
+func TestSetCodecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(5)
+		mins := make([]float64, dims)
+		maxs := make([]float64, dims)
+		for j := range mins {
+			mins[j] = rng.NormFloat64()
+			maxs[j] = mins[j] + 1 + rng.Float64()
+		}
+		s, err := NewSet(mins, maxs, 1+rng.Intn(6))
+		if err != nil {
+			return false
+		}
+		p := make([]float64, dims)
+		for i := 0; i < rng.Intn(100); i++ {
+			for j := range p {
+				p[j] = mins[j] + rng.Float64()*(maxs[j]-mins[j])
+			}
+			s.AddPoint(p)
+		}
+		got, err := DecodeSet(s.Encode())
+		if err != nil || len(got.Dims) != dims {
+			return false
+		}
+		for j := range s.Dims {
+			if !reflect.DeepEqual(s.Dims[j].Counts, got.Dims[j].Counts) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the percentile bin is monotone in p.
+func TestPercentileBinMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHist(rng)
+		prev := 0
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99} {
+			b := h.PercentileBin(p)
+			if b < prev && h.Total > 0 {
+				return false
+			}
+			if h.Total > 0 {
+				prev = b
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"keybin2/internal/eval"
+	"keybin2/internal/linalg"
+	"keybin2/internal/mpi"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+func TestFitSeparatedMixture(t *testing.T) {
+	spec := synth.AutoMixture(4, 10, 6, 1, xrand.New(1))
+	data, truth := spec.Sample(8000, xrand.New(2))
+	res, err := Fit(data, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1 := eval.PrecisionRecallF1(res.Labels, truth)
+	t.Logf("kmeans: f1=%.3f iters=%d inertia=%.1f", f1, res.Iters, res.Inertia)
+	if f1 < 0.9 {
+		t.Fatalf("f1 %.3f on well-separated data", f1)
+	}
+	if res.Iters < 1 || res.Iters > 100 {
+		t.Fatalf("iters %d", res.Iters)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	data := linalg.NewMatrix(5, 2)
+	if _, err := Fit(data, Config{K: 0}); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := Fit(data, Config{K: 10}); err == nil {
+		t.Fatal("k>m must fail")
+	}
+}
+
+func TestFitExactClusters(t *testing.T) {
+	// Three tight, far-apart blobs: labels must agree exactly with truth.
+	data, _ := linalg.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{100, 100}, {100.1, 100}, {100, 100.1},
+		{-100, 50}, {-100.1, 50}, {-100, 50.1},
+	})
+	truth := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	res, err := Fit(data, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1 := eval.PrecisionRecallF1(res.Labels, truth)
+	if f1 != 1 {
+		t.Fatalf("tight blobs f1 %.3f labels %v", f1, res.Labels)
+	}
+	if res.Inertia > 1 {
+		t.Fatalf("inertia %v", res.Inertia)
+	}
+}
+
+func TestSeedPlusPlusSpreads(t *testing.T) {
+	// k-means++ must pick centroids from distinct far-apart blobs nearly
+	// always; a uniform pick would frequently double up.
+	data, _ := linalg.FromRows([][]float64{
+		{0, 0}, {0, 0}, {0, 0}, {0, 0},
+		{50, 0}, {50, 0}, {50, 0}, {50, 0},
+		{0, 50}, {0, 50}, {0, 50}, {0, 50},
+	})
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		c := seedPlusPlus(data, 3, xrand.New(int64(trial)))
+		distinct := map[[2]float64]bool{}
+		for i := 0; i < 3; i++ {
+			distinct[[2]float64{c.At(i, 0), c.At(i, 1)}] = true
+		}
+		if len(distinct) == 3 {
+			hits++
+		}
+	}
+	if hits < 18 {
+		t.Fatalf("k-means++ spread %d/20", hits)
+	}
+}
+
+func TestSeedPlusPlusDegenerate(t *testing.T) {
+	// All points identical: seeding must not loop or divide by zero.
+	data := linalg.NewMatrix(5, 2)
+	c := seedPlusPlus(data, 3, xrand.New(1))
+	if c.Rows != 3 {
+		t.Fatal("centroid count")
+	}
+}
+
+func TestEmptyClusterReseed(t *testing.T) {
+	// Force K larger than the number of distinct locations: some clusters
+	// will empty out and be reseeded without crashing.
+	data, _ := linalg.FromRows([][]float64{
+		{0, 0}, {0, 0}, {10, 10}, {10, 10},
+	})
+	res, err := Fit(data, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 4 {
+		t.Fatal("labels")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	spec := synth.AutoMixture(3, 6, 6, 1, xrand.New(8))
+	data, _ := spec.Sample(2000, xrand.New(9))
+	a, err := Fit(data, Config{K: 3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(data, Config{K: 3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("nondeterministic labels")
+		}
+	}
+}
+
+func TestDistributedMatchesQuality(t *testing.T) {
+	spec := synth.AutoMixture(4, 12, 6, 1, xrand.New(11))
+	data, truth := spec.Sample(8000, xrand.New(12))
+	const ranks = 4
+	results, err := mpi.RunCollect(ranks, func(c *mpi.Comm) ([]int, error) {
+		lo, hi := synth.Shard(data.Rows, ranks, c.Rank())
+		local := linalg.NewMatrix(hi-lo, data.Cols)
+		copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
+		res, err := FitDistributed(c, local, Config{K: 4, Seed: 13})
+		if err != nil {
+			return nil, err
+		}
+		return res.Labels, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred []int
+	for _, r := range results {
+		pred = append(pred, r...)
+	}
+	_, _, f1 := eval.PrecisionRecallF1(pred, truth)
+	t.Logf("parallel-kmeans: f1=%.3f", f1)
+	if f1 < 0.9 {
+		t.Fatalf("distributed f1 %.3f", f1)
+	}
+}
+
+func TestDistributedSingleRankMatchesSerial(t *testing.T) {
+	spec := synth.AutoMixture(3, 8, 6, 1, xrand.New(14))
+	data, _ := spec.Sample(3000, xrand.New(15))
+	serial, err := Fit(data, Config{K: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		dist, err := FitDistributed(c, data, Config{K: 3, Seed: 16})
+		if err != nil {
+			return err
+		}
+		// Same seeding and same data: inertia must agree closely (the
+		// empty-cluster handling differs, but none occur here).
+		if math.Abs(dist.Inertia-serial.Inertia) > 1e-6*serial.Inertia {
+			t.Errorf("inertia %v vs %v", dist.Inertia, serial.Inertia)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := FitDistributed(c, linalg.NewMatrix(1, 2), Config{K: 0})
+		if err == nil {
+			t.Error("k=0 must fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// GramSchmidt orthonormalizes the columns of m in place using the modified
+// Gram–Schmidt procedure, which is numerically stabler than the classical
+// variant. Columns that become (numerically) zero after subtracting earlier
+// components are reported through the returned error; callers that generate
+// random columns should redraw and retry.
+func GramSchmidt(m *Matrix) error {
+	const eps = 1e-12
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for k := 0; k < j; k++ {
+			prev := m.Col(k)
+			proj := Dot(col, prev)
+			AxpyInPlace(col, -proj, prev)
+		}
+		if Normalize(col) < eps {
+			return fmt.Errorf("linalg: column %d is linearly dependent", j)
+		}
+		m.SetCol(j, col)
+	}
+	return nil
+}
+
+// MaxColumnCoherence returns the largest absolute cosine between any pair of
+// distinct columns of m. Orthonormal matrices score ~0; it is used by tests
+// and by the projection package to validate near-orthogonality of random
+// matrices.
+func MaxColumnCoherence(m *Matrix) float64 {
+	cols := make([][]float64, m.Cols)
+	for j := range cols {
+		cols[j] = m.Col(j)
+	}
+	var worst float64
+	for a := 0; a < len(cols); a++ {
+		for b := a + 1; b < len(cols); b++ {
+			c := math.Abs(CosAngle(cols[a], cols[b]))
+			if c > worst {
+				worst = c
+			}
+		}
+	}
+	return worst
+}
+
+// NormalizeColumns rescales every column of m to unit length in place.
+// Zero columns are left untouched.
+func NormalizeColumns(m *Matrix) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		if Normalize(col) > 0 {
+			m.SetCol(j, col)
+		}
+	}
+}

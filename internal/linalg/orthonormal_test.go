@@ -1,0 +1,85 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(r, c int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestGramSchmidtOrthonormal(t *testing.T) {
+	m := randomMatrix(30, 8, 42)
+	if err := GramSchmidt(m); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.Cols; j++ {
+		if n := Norm(m.Col(j)); math.Abs(n-1) > 1e-10 {
+			t.Fatalf("col %d norm %v", j, n)
+		}
+	}
+	if c := MaxColumnCoherence(m); c > 1e-10 {
+		t.Fatalf("coherence %v after Gram-Schmidt", c)
+	}
+}
+
+func TestGramSchmidtDetectsDependence(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}) // col2 = 2*col1
+	if err := GramSchmidt(m); err == nil {
+		t.Fatal("dependent columns must error")
+	}
+}
+
+func TestMaxColumnCoherenceBounds(t *testing.T) {
+	id := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		id.Set(i, i, 1)
+	}
+	if c := MaxColumnCoherence(id); c > 1e-12 {
+		t.Fatalf("identity coherence %v", c)
+	}
+	par, _ := FromRows([][]float64{{1, 2}, {1, 2}})
+	if c := MaxColumnCoherence(par); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("parallel coherence %v want 1", c)
+	}
+}
+
+func TestNormalizeColumns(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 0}, {4, 0}})
+	NormalizeColumns(m)
+	if n := Norm(m.Col(0)); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("col0 norm %v", n)
+	}
+	// zero column untouched
+	if m.At(0, 1) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero column modified")
+	}
+}
+
+// Gram–Schmidt preserves the span: projecting the original columns onto the
+// orthonormal basis and back reconstructs them.
+func TestGramSchmidtPreservesSpan(t *testing.T) {
+	orig := randomMatrix(10, 4, 3)
+	q := orig.Clone()
+	if err := GramSchmidt(q); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < orig.Cols; j++ {
+		col := orig.Col(j)
+		recon := make([]float64, len(col))
+		for k := 0; k < q.Cols; k++ {
+			qk := q.Col(k)
+			AxpyInPlace(recon, Dot(col, qk), qk)
+		}
+		if d := Dist(col, recon); d > 1e-8 {
+			t.Fatalf("col %d reconstruction error %v", j, d)
+		}
+	}
+}

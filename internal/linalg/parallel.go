@@ -1,0 +1,43 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelMul computes a×b using up to workers goroutines, splitting the
+// output rows into contiguous blocks. workers <= 0 selects runtime.NumCPU().
+// This is the kernel used to project large point blocks through a
+// projection matrix; the row split mirrors the per-point data parallelism
+// that the paper offloads to the GPU.
+func ParallelMul(dst, a, b *Matrix, workers int) (*Matrix, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if a.Rows < 2*workers || workers == 1 {
+		return Mul(dst, a, b)
+	}
+	if a.Cols != b.Rows {
+		return nil, ErrShape
+	}
+	if dst == nil {
+		dst = NewMatrix(a.Rows, b.Cols)
+	} else if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return nil, ErrShape
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst, nil
+}

@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotNormDist(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot=%v want 32", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm=%v want 5", got)
+	}
+	if got := SqDist(a, b); got != 27 {
+		t.Fatalf("SqDist=%v want 27", got)
+	}
+	if got := Dist(a, b); !almost(got, math.Sqrt(27), 1e-12) {
+		t.Fatalf("Dist=%v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if n != 5 || !almost(Norm(v), 1, 1e-12) {
+		t.Fatalf("Normalize: n=%v v=%v", n, v)
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 || z[0] != 0 {
+		t.Fatal("zero vector must be untouched")
+	}
+}
+
+func TestAddSubAxpy(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{10, 20}
+	if s := Add(a, b); s[0] != 11 || s[1] != 22 {
+		t.Fatalf("Add=%v", s)
+	}
+	if d := Sub(b, a); d[0] != 9 || d[1] != 18 {
+		t.Fatalf("Sub=%v", d)
+	}
+	y := []float64{1, 1}
+	AxpyInPlace(y, 2, []float64{3, 4})
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy=%v", y)
+	}
+}
+
+func TestCosAngle(t *testing.T) {
+	if c := CosAngle([]float64{1, 0}, []float64{0, 1}); !almost(c, 0, 1e-12) {
+		t.Fatalf("orthogonal cos=%v", c)
+	}
+	if c := CosAngle([]float64{2, 0}, []float64{5, 0}); !almost(c, 1, 1e-12) {
+		t.Fatalf("parallel cos=%v", c)
+	}
+	if c := CosAngle([]float64{0, 0}, []float64{1, 0}); c != 0 {
+		t.Fatalf("zero-vector cos=%v", c)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax=(%v,%v)", min, max)
+	}
+	min, max = MinMax([]float64{5})
+	if min != 5 || max != 5 {
+		t.Fatalf("single elem MinMax=(%v,%v)", min, max)
+	}
+}
+
+// Property: Cauchy–Schwarz |a·b| <= |a||b|.
+func TestCauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		return math.Abs(Dot(a, b)) <= Norm(a)*Norm(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality Dist(a,c) <= Dist(a,b)+Dist(b,c).
+func TestTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a, b, c := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i], b[i], c[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

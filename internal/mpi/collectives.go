@@ -1,0 +1,280 @@
+package mpi
+
+import "fmt"
+
+// Combine merges an incoming payload into an accumulator and returns the new
+// accumulator. Reductions assume Combine is associative and commutative.
+type Combine func(acc, in []byte) ([]byte, error)
+
+// SumFloat64s is a Combine that adds float64 vectors elementwise.
+func SumFloat64s(acc, in []byte) ([]byte, error) {
+	a, err := DecodeFloat64s(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := DecodeFloat64s(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+	return EncodeFloat64s(a), nil
+}
+
+// SumUint64s is a Combine that adds uint64 vectors elementwise (histogram
+// counts).
+func SumUint64s(acc, in []byte) ([]byte, error) {
+	a, err := DecodeUint64s(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := DecodeUint64s(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+	return EncodeUint64s(a), nil
+}
+
+// MinMaxFloat64s is a Combine over interleaved (min, max) pairs: even
+// indices are reduced with min, odd with max. Used to agree on global
+// per-dimension ranges before binning.
+func MinMaxFloat64s(acc, in []byte) ([]byte, error) {
+	a, err := DecodeFloat64s(acc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := DecodeFloat64s(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if i%2 == 0 {
+			if b[i] < a[i] {
+				a[i] = b[i]
+			}
+		} else if b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+	return EncodeFloat64s(a), nil
+}
+
+// Bcast distributes root's payload to all ranks along a binomial tree and
+// returns it. Non-root ranks pass their (ignored) data as nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.nextCollTag()
+	if c.size == 1 {
+		return data, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	// Receive phase: find the power-of-two parent.
+	if rel != 0 {
+		mask := 1
+		for mask <= rel {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := (rel - mask + root) % c.size
+		payload, _, err := c.Recv(parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		data = payload
+	}
+	// Send phase: forward to children.
+	base := 1
+	for base <= rel {
+		base <<= 1
+	}
+	for mask := base; rel+mask < c.size; mask <<= 1 {
+		child := (rel + mask + root) % c.size
+		if err := c.sendRaw(child, tag, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines every rank's payload with op; the fully reduced value is
+// returned at root (nil elsewhere). The reduction runs along a binomial
+// tree, so each rank sends at most one message of the payload size.
+func (c *Comm) Reduce(root int, data []byte, op Combine) ([]byte, error) {
+	tag := c.nextCollTag()
+	if c.size == 1 {
+		return data, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	acc := data
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % c.size
+			if err := c.sendRaw(parent, tag, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if rel+mask < c.size {
+			child := (rel + mask + root) % c.size
+			in, _, err := c.Recv(child, tag)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = op(acc, in)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's payload and returns the result on all
+// ranks (Reduce to rank 0 followed by Bcast).
+func (c *Comm) Allreduce(data []byte, op Combine) ([]byte, error) {
+	red, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, red)
+}
+
+// RingAllreduce combines every rank's payload around a ring: the partial
+// accumulator travels rank→rank+1 for size-1 hops, then the final value
+// circulates back. This matches the paper's observation that the histogram
+// consolidation "works as well for a ring topology" — no central authority
+// is required. Message count is 2(K-1) with payload-size messages.
+func (c *Comm) RingAllreduce(data []byte, op Combine) ([]byte, error) {
+	tag := c.nextCollTag()
+	if c.size == 1 {
+		return data, nil
+	}
+	next := (c.rank + 1) % c.size
+	prev := (c.rank - 1 + c.size) % c.size
+
+	// Accumulation pass: rank 0 starts; each rank folds in its data and
+	// forwards. Rank size-1 ends holding the global value.
+	if c.rank == 0 {
+		if err := c.sendRaw(next, tag, data); err != nil {
+			return nil, err
+		}
+	} else {
+		in, _, err := c.Recv(prev, tag)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := op(data, in)
+		if err != nil {
+			return nil, err
+		}
+		if c.rank != c.size-1 {
+			if err := c.sendRaw(next, tag, acc); err != nil {
+				return nil, err
+			}
+		} else {
+			data = acc
+		}
+	}
+
+	// Distribution pass: global value circulates from the last rank.
+	tag2 := c.nextCollTag()
+	if c.rank == c.size-1 {
+		if err := c.sendRaw(next, tag2, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	global, _, err := c.Recv(prev, tag2)
+	if err != nil {
+		return nil, err
+	}
+	if next != c.size-1 {
+		if err := c.sendRaw(next, tag2, global); err != nil {
+			return nil, err
+		}
+	}
+	return global, nil
+}
+
+// Gather collects every rank's payload at root, indexed by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		if err := c.sendRaw(root, tag, data); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	for i := 0; i < c.size-1; i++ {
+		payload, from, err := c.Recv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = payload
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's payload on all ranks (Gather + Bcast of
+// the concatenated frames).
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.rank == 0 {
+		for _, p := range parts {
+			packed = AppendBytesFrame(packed, p)
+		}
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return SplitBytesFrames(packed)
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part. Only root's parts argument is consulted; it must have exactly Size
+// entries.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", c.size, len(parts))
+		}
+		for i, p := range parts {
+			if i == root {
+				continue
+			}
+			if err := c.sendRaw(i, tag, p); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	payload, _, err := c.Recv(root, tag)
+	return payload, err
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	_, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+	return err
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// world is the in-process transport: every rank is a goroutine and delivery
+// is a queue append. This mirrors running K MPI ranks on one node and is
+// what the experiment harness uses; the TCP transport provides the same
+// semantics across machines.
+type world struct {
+	boxes []*mailbox
+}
+
+func (w *world) send(to int, msg message) error { return w.boxes[to].put(msg) }
+
+// NewWorld creates size connected in-process communicators. The caller is
+// responsible for running each returned Comm on its own goroutine and for
+// calling Close when finished.
+func NewWorld(size int) ([]*Comm, func()) {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", size))
+	}
+	w := &world{boxes: make([]*mailbox, size)}
+	comms := make([]*Comm, size)
+	for i := range comms {
+		w.boxes[i] = newMailbox()
+		comms[i] = &Comm{rank: i, size: size, out: w, box: w.boxes[i], stats: &Stats{}}
+	}
+	closeAll := func() {
+		for _, b := range w.boxes {
+			b.close()
+		}
+	}
+	return comms, closeAll
+}
+
+// Run executes fn on size in-process ranks and waits for all of them. The
+// first non-nil error (by rank order) is returned. A panic in any rank is
+// re-panicked in the caller after the other ranks are released, so tests
+// fail loudly instead of deadlocking.
+func Run(size int, fn func(c *Comm) error) error {
+	comms, closeAll := NewWorld(size)
+	defer closeAll()
+
+	errs := make([]error, size)
+	panics := make([]any, size)
+	var wg sync.WaitGroup
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+					closeAll() // unblock peers stuck in Recv
+				}
+			}()
+			errs[i] = fn(c)
+			if errs[i] != nil {
+				// A failing rank tears the world down so peers blocked in
+				// collectives fail fast (with ErrClosed, suppressed below)
+				// instead of deadlocking.
+				closeAll()
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCollect executes fn on size ranks and gathers each rank's result.
+// Results are indexed by rank.
+func RunCollect[T any](size int, fn func(c *Comm) (T, error)) ([]T, error) {
+	out := make([]T, size)
+	err := Run(size, func(c *Comm) error {
+		v, err := fn(c)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		out[c.Rank()] = v
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,156 @@
+// Package mpi provides a small message-passing runtime with MPI-style
+// semantics: ranked processes, tagged point-to-point sends and receives, and
+// the collectives KeyBin2 needs (Barrier, Bcast, Reduce, Allreduce, Gather,
+// Allgather, Scatter) built on binomial trees, plus a ring all-reduce that
+// matches the paper's remark that histogram consolidation "works as well for
+// a ring topology".
+//
+// Two transports implement the same Comm: an in-process transport where each
+// rank is a goroutine (used by tests, benchmarks, and the experiment
+// harness) and a TCP transport for genuinely distributed runs. The paper's
+// implementation uses mpi4py on an Infiniband cluster; behaviourally the
+// algorithm depends only on collective semantics and on how many bytes move,
+// both of which this package reproduces and accounts for (see Stats).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Reserved internal tag space for collectives; user tags must be below this.
+const collectiveTagBase = 1 << 20
+
+// ErrClosed is returned when communicating on a torn-down world.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// message is a single tagged payload in flight.
+type message struct {
+	from, tag int
+	payload   []byte
+}
+
+// mailbox is an unbounded, match-by-(source,tag) receive queue. Sends are
+// eager (never block), which makes naive collective schedules deadlock-free.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Broadcast()
+	return nil
+}
+
+// get blocks until a message matching (from, tag) is available and removes
+// it from the queue. AnySource / AnyTag act as wildcards.
+func (m *mailbox) get(from, tag int) (message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (from == AnySource || msg.from == from) && (tag == AnyTag || msg.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg, nil
+			}
+		}
+		if m.closed {
+			return message{}, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// sender delivers a message to a destination rank; implemented per
+// transport.
+type sender interface {
+	send(to int, msg message) error
+}
+
+// Comm is one rank's endpoint into a world of size Size. A Comm is intended
+// for use by a single goroutine (MPI process semantics); the transport
+// beneath it is concurrency-safe.
+type Comm struct {
+	rank, size int
+	out        sender
+	box        *mailbox
+	stats      *Stats
+	collSeq    int // per-rank collective sequence, advances in lockstep
+}
+
+// Rank returns this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns the communication accounting for this rank.
+func (c *Comm) Stats() *Stats { return c.stats }
+
+// Send delivers payload to rank `to` with the given tag. Sends are eager and
+// never block on the receiver. The payload is not copied; callers must not
+// mutate it afterwards.
+func (c *Comm) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", to, c.size)
+	}
+	if tag >= collectiveTagBase {
+		return fmt.Errorf("mpi: user tag %d collides with reserved collective tags", tag)
+	}
+	return c.sendRaw(to, tag, payload)
+}
+
+func (c *Comm) sendRaw(to, tag int, payload []byte) error {
+	c.stats.record(len(payload))
+	return c.out.send(to, message{from: c.rank, tag: tag, payload: payload})
+}
+
+// Recv blocks until a message from `from` with tag `tag` arrives and returns
+// its payload and actual source. AnySource and AnyTag are accepted.
+func (c *Comm) Recv(from, tag int) (payload []byte, source int, err error) {
+	if from != AnySource && (from < 0 || from >= c.size) {
+		return nil, 0, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", from, c.size)
+	}
+	msg, err := c.box.get(from, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg.payload, msg.from, nil
+}
+
+// nextCollTag reserves a fresh internal tag for one collective operation.
+// Ranks must invoke collectives in the same order (the standard MPI
+// contract), which keeps the sequence aligned across the world.
+func (c *Comm) nextCollTag() int {
+	t := collectiveTagBase + c.collSeq
+	c.collSeq++
+	return t
+}

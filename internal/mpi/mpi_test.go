@@ -1,0 +1,452 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []byte("hello"))
+		}
+		payload, from, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(payload) != "hello" || from != 0 {
+			return fmt.Errorf("got %q from %d", payload, from)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagMatching(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Send out of order; receiver matches by tag.
+			if err := c.Send(1, 2, []byte("two")); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte("one"))
+		}
+		p1, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		p2, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(p1) != "one" || string(p2) != "two" {
+			return fmt.Errorf("tag matching failed: %q %q", p1, p2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySourceAnyTag(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, c.Rank(), []byte{byte(c.Rank())})
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			p, from, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if int(p[0]) != from {
+				return fmt.Errorf("payload %d from %d", p[0], from)
+			}
+			seen[from] = true
+		}
+		if !seen[1] || !seen[2] {
+			return fmt.Errorf("missing sources: %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return fmt.Errorf("send to rank 5 in size-1 world should fail")
+		}
+		if err := c.Send(0, collectiveTagBase+1, nil); err == nil {
+			return fmt.Errorf("reserved tag should be rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 8, 13, 16} {
+		size := size
+		t.Run(fmt.Sprintf("size%d", size), func(t *testing.T) {
+			err := Run(size, func(c *Comm) error {
+				var data []byte
+				if c.Rank() == 2%size {
+					data = []byte("payload")
+				}
+				got, err := c.Bcast(2%size, data)
+				if err != nil {
+					return err
+				}
+				if string(got) != "payload" {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceSumAllSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 8, 16} {
+		size := size
+		t.Run(fmt.Sprintf("size%d", size), func(t *testing.T) {
+			err := Run(size, func(c *Comm) error {
+				local := EncodeFloat64s([]float64{float64(c.Rank()), 1})
+				red, err := c.Reduce(0, local, SumFloat64s)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					vals, err := DecodeFloat64s(red)
+					if err != nil {
+						return err
+					}
+					wantSum := float64(size*(size-1)) / 2
+					if vals[0] != wantSum || vals[1] != float64(size) {
+						return fmt.Errorf("reduce got %v want [%v %v]", vals, wantSum, size)
+					}
+				} else if red != nil {
+					return fmt.Errorf("non-root rank %d got non-nil reduce", c.Rank())
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		local := EncodeUint64s([]uint64{uint64(c.Rank() + 1)})
+		red, err := c.Reduce(3, local, SumUint64s)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			vals, _ := DecodeUint64s(red)
+			if vals[0] != 15 {
+				return fmt.Errorf("got %d want 15", vals[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceAndRing(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		size := size
+		t.Run(fmt.Sprintf("size%d", size), func(t *testing.T) {
+			err := Run(size, func(c *Comm) error {
+				local := EncodeUint64s([]uint64{1, uint64(c.Rank())})
+				wantSum := uint64(size * (size - 1) / 2)
+
+				tree, err := c.Allreduce(local, SumUint64s)
+				if err != nil {
+					return err
+				}
+				tv, _ := DecodeUint64s(tree)
+				if tv[0] != uint64(size) || tv[1] != wantSum {
+					return fmt.Errorf("allreduce rank %d got %v", c.Rank(), tv)
+				}
+
+				local2 := EncodeUint64s([]uint64{1, uint64(c.Rank())})
+				ring, err := c.RingAllreduce(local2, SumUint64s)
+				if err != nil {
+					return err
+				}
+				rv, _ := DecodeUint64s(ring)
+				if rv[0] != uint64(size) || rv[1] != wantSum {
+					return fmt.Errorf("ring allreduce rank %d got %v", c.Rank(), rv)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMinMaxReduce(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		r := float64(c.Rank())
+		// interleaved (min,max) pairs
+		local := EncodeFloat64s([]float64{r, r})
+		out, err := c.Allreduce(local, MinMaxFloat64s)
+		if err != nil {
+			return err
+		}
+		v, _ := DecodeFloat64s(out)
+		if v[0] != 0 || v[1] != 3 {
+			return fmt.Errorf("minmax got %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterAllgather(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		parts, err := c.Gather(1, []byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i, p := range parts {
+				if len(p) != 1 || int(p[0]) != i*10 {
+					return fmt.Errorf("gather part %d = %v", i, p)
+				}
+			}
+		}
+
+		all, err := c.Allgather([]byte{byte(c.Rank() + 1)})
+		if err != nil {
+			return err
+		}
+		if len(all) != 4 {
+			return fmt.Errorf("allgather %d parts", len(all))
+		}
+		for i, p := range all {
+			if int(p[0]) != i+1 {
+				return fmt.Errorf("allgather part %d = %v", i, p)
+			}
+		}
+
+		var sparts [][]byte
+		if c.Rank() == 0 {
+			sparts = [][]byte{{100}, {101}, {102}, {103}}
+		}
+		mine, err := c.Scatter(0, sparts)
+		if err != nil {
+			return err
+		}
+		if int(mine[0]) != 100+c.Rank() {
+			return fmt.Errorf("scatter rank %d got %v", c.Rank(), mine)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongParts(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if _, err := c.Scatter(0, [][]byte{{1}, {2}}); err == nil {
+			return fmt.Errorf("scatter with wrong part count should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier, all pre-barrier sends must be observable.
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() != 0 {
+			if err := c.Send(0, 9, []byte{1}); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				if _, _, err := c.Recv(AnySource, 9); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveCollectivesDontCrossTalk(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			local := EncodeUint64s([]uint64{uint64(round)})
+			out, err := c.Allreduce(local, SumUint64s)
+			if err != nil {
+				return err
+			}
+			v, _ := DecodeUint64s(out)
+			if v[0] != uint64(4*round) {
+				return fmt.Errorf("round %d: got %d want %d", round, v[0], 4*round)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCollect(t *testing.T) {
+	vals, err := RunCollect(3, func(c *Comm) (int, error) {
+		return c.Rank() * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*2 {
+			t.Fatalf("vals=%v", vals)
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stats, err := RunCollect(2, func(c *Comm) (int64, error) {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 100)); err != nil {
+				return 0, err
+			}
+		} else {
+			if _, _, err := c.Recv(0, 0); err != nil {
+				return 0, err
+			}
+		}
+		return c.Stats().Bytes(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0] != 100 || stats[1] != 0 {
+		t.Fatalf("stats=%v", stats)
+	}
+}
+
+func TestRunRecoversPanicWithoutDeadlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic should propagate")
+		}
+	}()
+	_ = Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank 1 died")
+		}
+		// Rank 0 blocks forever unless the panic path closes mailboxes.
+		_, _, err := c.Recv(1, 0)
+		return err
+	})
+}
+
+func TestGatherNonRootGetsNil(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		parts, err := c.Gather(2, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 && parts != nil {
+			return fmt.Errorf("rank %d got non-nil gather", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherPreservesRankOrder(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		all, err := c.Allgather([]byte{byte(10 * c.Rank())})
+		if err != nil {
+			return err
+		}
+		for i, p := range all {
+			if int(p[0]) != 10*i {
+				return fmt.Errorf("position %d holds %d", i, p[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllreduceMatchesTree(t *testing.T) {
+	// Property: ring and tree reductions agree for random payloads.
+	err := Run(6, func(c *Comm) error {
+		payload := make([]uint64, 17)
+		for i := range payload {
+			payload[i] = uint64(c.Rank()*31 + i*7)
+		}
+		tree, err := c.Allreduce(EncodeUint64s(payload), SumUint64s)
+		if err != nil {
+			return err
+		}
+		ring, err := c.RingAllreduce(EncodeUint64s(payload), SumUint64s)
+		if err != nil {
+			return err
+		}
+		tv, _ := DecodeUint64s(tree)
+		rv, _ := DecodeUint64s(ring)
+		for i := range tv {
+			if tv[i] != rv[i] {
+				return fmt.Errorf("index %d: tree %d ring %d", i, tv[i], rv[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package mpi
+
+import "sync/atomic"
+
+// Stats accounts for traffic originated by one rank. KeyBin2's scalability
+// argument rests on the communication volume being O(2·K·N_rp·B) — a few
+// kilobytes of histograms — so the experiment harness reports these counters
+// alongside wall-clock time.
+type Stats struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func (s *Stats) record(n int) {
+	s.msgs.Add(1)
+	s.bytes.Add(int64(n))
+}
+
+// Messages returns the number of point-to-point messages sent by this rank
+// (collectives are counted by their constituent messages).
+func (s *Stats) Messages() int64 { return s.msgs.Load() }
+
+// Bytes returns the total payload bytes sent by this rank.
+func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.msgs.Store(0)
+	s.bytes.Store(0)
+}

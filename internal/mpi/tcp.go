@@ -1,0 +1,227 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: a full mesh of TCP connections between ranks. Rank i
+// accepts connections from ranks j < i and dials ranks j > i, which yields
+// exactly one connection per pair. Frames are length-prefixed:
+//
+//	[from:int32][tag:int32][len:uint32][payload]
+//
+// A reader goroutine per peer feeds the same mailbox used by the in-process
+// transport, so all collectives work unchanged.
+
+type tcpTransport struct {
+	rank  int
+	mu    sync.Mutex
+	conns []net.Conn // indexed by peer rank; nil for self
+	box   *mailbox
+}
+
+func (t *tcpTransport) send(to int, msg message) error {
+	if to == t.rank {
+		return t.box.put(msg)
+	}
+	conn := t.conns[to]
+	if conn == nil {
+		return fmt.Errorf("mpi: no connection to rank %d", to)
+	}
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(int32(msg.from)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(msg.tag)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(msg.payload)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("mpi: send header to rank %d: %w", to, err)
+	}
+	if len(msg.payload) > 0 {
+		if _, err := conn.Write(msg.payload); err != nil {
+			return fmt.Errorf("mpi: send payload to rank %d: %w", to, err)
+		}
+	}
+	return nil
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	hdr := make([]byte, 12)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // peer closed; pending Recv calls fail via mailbox close
+		}
+		from := int(int32(binary.LittleEndian.Uint32(hdr[0:])))
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
+		n := binary.LittleEndian.Uint32(hdr[8:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if t.box.put(message{from: from, tag: tag, payload: payload}) != nil {
+			return
+		}
+	}
+}
+
+// DialTCP joins a TCP world. addrs lists the listen address of every rank in
+// rank order; rank selects this process's identity. The call blocks until
+// the full mesh is established or timeout elapses. The returned cleanup
+// tears down connections and unblocks pending receives.
+func DialTCP(addrs []string, rank int, timeout time.Duration) (*Comm, func(), error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, nil, fmt.Errorf("mpi: rank %d out of range for %d addrs", rank, size)
+	}
+	t := &tcpTransport{rank: rank, conns: make([]net.Conn, size), box: newMailbox()}
+	comm := &Comm{rank: rank, size: size, out: t, box: t.box, stats: &Stats{}}
+
+	cleanup := func() {
+		t.box.close()
+		for _, c := range t.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+
+	if size == 1 {
+		return comm, cleanup, nil
+	}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+
+	deadline := time.Now().Add(timeout)
+	var wg sync.WaitGroup
+	errCh := make(chan error, size)
+
+	// Accept from lower ranks. Each peer identifies itself with a 4-byte
+	// hello frame carrying its rank.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer ln.Close()
+		for accepted := 0; accepted < rank; accepted++ {
+			if dl, ok := ln.(*net.TCPListener); ok {
+				dl.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				errCh <- fmt.Errorf("mpi: rank %d accept: %w", rank, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errCh <- fmt.Errorf("mpi: rank %d hello: %w", rank, err)
+				return
+			}
+			peer := int(int32(binary.LittleEndian.Uint32(hello[:])))
+			if peer < 0 || peer >= rank {
+				errCh <- fmt.Errorf("mpi: rank %d: invalid hello rank %d", rank, peer)
+				return
+			}
+			t.conns[peer] = conn
+		}
+	}()
+
+	// Dial higher ranks, retrying until the peer's listener is up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for peer := rank + 1; peer < size; peer++ {
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errCh <- fmt.Errorf("mpi: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(int32(rank)))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errCh <- fmt.Errorf("mpi: rank %d hello to %d: %w", rank, peer, err)
+				return
+			}
+			t.conns[peer] = conn
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		cleanup()
+		return nil, nil, err
+	default:
+	}
+	for peer, conn := range t.conns {
+		if peer != rank && conn != nil {
+			go t.readLoop(conn)
+		}
+	}
+	return comm, cleanup, nil
+}
+
+// RunTCP launches a full TCP world inside one process: every rank gets its
+// own goroutine, listener, and mesh connections. It exists so examples and
+// tests can exercise the real network path; production deployments call
+// DialTCP once per process instead.
+func RunTCP(addrs []string, timeout time.Duration, fn func(c *Comm) error) error {
+	size := len(addrs)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, cleanup, err := DialTCP(addrs, r, timeout)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer cleanup()
+			errs[r] = fn(comm)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FreeLocalAddrs reserves n distinct loopback TCP addresses by briefly
+// listening on port 0 and recording the assigned ports.
+func FreeLocalAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}

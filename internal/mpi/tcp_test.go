@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTCPWorldSendRecv(t *testing.T) {
+	addrs, err := FreeLocalAddrs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunTCP(addrs, 10*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(2, 7, []byte("over tcp")); err != nil {
+				return err
+			}
+			return nil
+		}
+		if c.Rank() == 2 {
+			p, from, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(p) != "over tcp" || from != 0 {
+				return fmt.Errorf("got %q from %d", p, from)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCollectives(t *testing.T) {
+	addrs, err := FreeLocalAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunTCP(addrs, 10*time.Second, func(c *Comm) error {
+		out, err := c.Allreduce(EncodeUint64s([]uint64{uint64(c.Rank() + 1)}), SumUint64s)
+		if err != nil {
+			return err
+		}
+		v, _ := DecodeUint64s(out)
+		if v[0] != 10 {
+			return fmt.Errorf("rank %d allreduce got %d want 10", c.Rank(), v[0])
+		}
+
+		ring, err := c.RingAllreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+		if err != nil {
+			return err
+		}
+		rv, _ := DecodeUint64s(ring)
+		if rv[0] != 4 {
+			return fmt.Errorf("rank %d ring got %d want 4", c.Rank(), rv[0])
+		}
+
+		var data []byte
+		if c.Rank() == 0 {
+			data = []byte("bcast-tcp")
+		}
+		got, err := c.Bcast(0, data)
+		if err != nil {
+			return err
+		}
+		if string(got) != "bcast-tcp" {
+			return fmt.Errorf("rank %d bcast got %q", c.Rank(), got)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSingleRank(t *testing.T) {
+	addrs, err := FreeLocalAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunTCP(addrs, 2*time.Second, func(c *Comm) error {
+		out, err := c.Allreduce(EncodeUint64s([]uint64{5}), SumUint64s)
+		if err != nil {
+			return err
+		}
+		v, _ := DecodeUint64s(out)
+		if v[0] != 5 {
+			return fmt.Errorf("got %d", v[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialTCPBadRank(t *testing.T) {
+	if _, _, err := DialTCP([]string{"127.0.0.1:0"}, 3, time.Second); err == nil {
+		t.Fatal("rank out of range should fail")
+	}
+}
+
+func TestFreeLocalAddrsDistinct(t *testing.T) {
+	addrs, err := FreeLocalAddrs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate addr %s", a)
+		}
+		seen[a] = true
+	}
+}

@@ -1,0 +1,64 @@
+package quality
+
+import (
+	"keybin2/internal/cluster"
+	"keybin2/internal/linalg"
+)
+
+// ExactCH computes the classical point-space Calinski–Harabasz index
+// (Caliński & Harabasz 1974): the between-cluster dispersion over the
+// within-cluster dispersion, scaled by (n−k)/(k−1). It touches every point
+// and is O(M·N) — exactly the cost KeyBin2's histogram-space variant
+// (Assess) avoids. Provided for validation: tests check that the
+// histogram-space index ranks projections the same way the exact one does.
+// Noise points are excluded. Returns 0 for fewer than 2 clusters.
+func ExactCH(data *linalg.Matrix, labels []int) float64 {
+	sizes := cluster.Sizes(labels)
+	k := len(sizes)
+	if k < 2 {
+		return 0
+	}
+	n := 0
+	dims := data.Cols
+	centroids := make(map[int][]float64, k)
+	for i, l := range labels {
+		if l == cluster.Noise {
+			continue
+		}
+		n++
+		c, ok := centroids[l]
+		if !ok {
+			c = make([]float64, dims)
+			centroids[l] = c
+		}
+		linalg.AxpyInPlace(c, 1, data.Row(i))
+	}
+	if n <= k {
+		return 0
+	}
+	global := make([]float64, dims)
+	for l, c := range centroids {
+		inv := 1 / float64(sizes[l])
+		for j := range c {
+			global[j] += c[j]
+			c[j] *= inv
+		}
+	}
+	for j := range global {
+		global[j] /= float64(n)
+	}
+	var within, between float64
+	for i, l := range labels {
+		if l == cluster.Noise {
+			continue
+		}
+		within += linalg.SqDist(data.Row(i), centroids[l])
+	}
+	for l, c := range centroids {
+		between += float64(sizes[l]) * linalg.SqDist(c, global)
+	}
+	if within <= 0 {
+		within = 1e-12
+	}
+	return (between / float64(k-1)) / (within / float64(n-k))
+}

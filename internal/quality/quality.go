@@ -1,0 +1,128 @@
+// Package quality implements KeyBin2's projection assessment (§3.3): a
+// Calinski–Harabasz-style index computed entirely in histogram/key space —
+// no pairwise distances over data points — so it scales independently of
+// input size. Bootstrapping evaluates each random-projection trial with
+// this index and keeps the projection producing the most compact and
+// separable clusters.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"keybin2/internal/histogram"
+	"keybin2/internal/partition"
+)
+
+// Cluster is one global cluster as the coordinator sees it: the primary
+// cluster (segment) it occupies in every projected dimension, plus its
+// total mass (aggregated key count). The per-dimension bin ranges follow
+// from the partition cuts.
+type Cluster struct {
+	Segments []int
+	Mass     uint64
+}
+
+// Assessment is the dispersion breakdown of one projection trial.
+type Assessment struct {
+	// CH is the paper's eq. (2a) value; higher is better.
+	CH float64
+	// Within and Between are W_Q (2b) and B_Q (2c).
+	Within, Between float64
+	// Clusters is |Q|.
+	Clusters int
+}
+
+// Assess computes the index for one trial from its histogram set, its
+// per-dimension partitions, and the occupied global clusters.
+//
+// Per the paper: each cluster's centroid c_q[j] is the mode bin of the
+// dimension-j histogram restricted to the cluster's bin range; the global
+// center c[j] is the 50th-percentile bin of dimension j; W_Q accumulates
+// density-weighted squared bin distances to the cluster centroid, B_Q the
+// squared centroid-to-center distances weighted by the cluster's in-range
+// mass. The (2a) scaling uses |Bins| summed over dimensions, and the
+// log₂(|Q|−1) factor is clamped to a minimum of 1 so two-cluster solutions
+// are not zeroed out (|Q| = 2 gives log₂1 = 0 verbatim, which would make
+// every bimodal model worthless; the clamp preserves the paper's intent of
+// progressively rewarding richer partitions).
+func Assess(set *histogram.Set, parts []partition.Result, clusters []Cluster) (Assessment, error) {
+	if len(parts) != len(set.Dims) {
+		return Assessment{}, fmt.Errorf("quality: %d partitions for %d dimensions", len(parts), len(set.Dims))
+	}
+	q := len(clusters)
+	a := Assessment{Clusters: q}
+	if q < 2 {
+		return a, nil
+	}
+
+	// Segment bin ranges per dimension, from the cuts.
+	ranges := make([][][2]int, len(parts))
+	for j, p := range parts {
+		ranges[j] = p.Ranges(set.Dims[j].Bins())
+	}
+
+	// Global center: 50th percentile bin per dimension (paper).
+	center := make([]int, len(set.Dims))
+	for j, h := range set.Dims {
+		center[j] = h.PercentileBin(50)
+	}
+
+	totalBins := 0
+	for _, h := range set.Dims {
+		totalBins += h.Bins()
+	}
+
+	for _, cl := range clusters {
+		if len(cl.Segments) != len(set.Dims) {
+			return Assessment{}, fmt.Errorf("quality: cluster has %d segments for %d dimensions", len(cl.Segments), len(set.Dims))
+		}
+		for j, h := range set.Dims {
+			seg := cl.Segments[j]
+			if seg < 0 || seg >= len(ranges[j]) {
+				return Assessment{}, fmt.Errorf("quality: segment %d out of range in dimension %d", seg, j)
+			}
+			lo, hi := ranges[j][seg][0], ranges[j][seg][1]
+			// Centroid: mode bin within the cluster's range.
+			mode, modeCount := lo, uint64(0)
+			var mass uint64
+			for b := lo; b <= hi; b++ {
+				c := h.Counts[b]
+				mass += c
+				if c > modeCount {
+					mode, modeCount = b, c
+				}
+			}
+			for b := lo; b <= hi; b++ {
+				d := float64(b - mode)
+				a.Within += d * d * float64(h.Counts[b])
+			}
+			dc := float64(mode - center[j])
+			a.Between += dc * dc * float64(mass)
+		}
+	}
+
+	w := a.Within
+	if w <= 0 {
+		w = 1e-12
+	}
+	logq := math.Log2(float64(q - 1))
+	if logq < 1 {
+		logq = 1
+	}
+	a.CH = (a.Between / w) * float64(totalBins-q) / float64(q-1) * logq
+	return a, nil
+}
+
+// SelectBest returns the index of the assessment with the highest CH value,
+// or -1 for empty input. Ties resolve to the earliest trial, keeping
+// bootstrap selection deterministic.
+func SelectBest(assessments []Assessment) int {
+	best := -1
+	for i, a := range assessments {
+		if best < 0 || a.CH > assessments[best].CH {
+			best = i
+		}
+	}
+	return best
+}

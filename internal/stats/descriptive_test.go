@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Fatalf("Mean=%v", m)
+	}
+	// sample variance of this classic set is 32/7
+	if got := Variance(v); !almost(got, 32.0/7, 1e-12) {
+		t.Fatalf("Variance=%v", got)
+	}
+	if got := Std(v); !almost(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("Std=%v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(v, c.p); !almost(got, c.want, 1e-12) {
+			t.Fatalf("P%v=%v want %v", c.p, got, c.want)
+		}
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Fatalf("single-element median %v", got)
+	}
+	// order must not matter
+	if got := Median([]float64{5, 1, 3, 2, 4}); got != 3 {
+		t.Fatalf("unsorted median %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Median != 2 || s.Mean != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{10, 10, 10, 10})
+	if mean != 10 || hw != 0 {
+		t.Fatalf("constant data: %v ± %v", mean, hw)
+	}
+	mean, hw = MeanCI([]float64{9, 11})
+	if mean != 10 || !almost(hw, 1.96*math.Sqrt2/math.Sqrt2, 1e-9) {
+		t.Fatalf("two-point: %v ± %v", mean, hw)
+	}
+	if _, hw := MeanCI([]float64{5}); hw != 0 {
+		t.Fatal("single sample should have zero CI")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("Φ(0)=%v", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); !almost(got, 0.975, 1e-3) {
+		t.Fatalf("Φ(1.96)=%v", got)
+	}
+	if NormalCDF(-1, 0, 0) != 0 || NormalCDF(1, 0, 0) != 1 {
+		t.Fatal("degenerate sigma")
+	}
+}
+
+// Property: CDF is monotone nondecreasing.
+func TestNormalCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return NormalCDF(a, 1, 2) <= NormalCDF(b, 1, 2)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMeanStd(t *testing.T) {
+	centers := []float64{0, 1, 2}
+	counts := []uint64{1, 2, 1}
+	mean, std, total := WeightedMeanStd(centers, counts)
+	if total != 4 || mean != 1 {
+		t.Fatalf("mean=%v total=%d", mean, total)
+	}
+	if !almost(std, math.Sqrt(0.5), 1e-12) {
+		t.Fatalf("std=%v", std)
+	}
+	_, _, total = WeightedMeanStd(centers, []uint64{0, 0, 0})
+	if total != 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+// Property: Percentile(v, 50) lies within [min, max].
+func TestPercentileBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(v)
+		for _, p := range []float64{0, 10, 50, 90, 100} {
+			q := Percentile(v, p)
+			if q < s.Min-1e-9 || q > s.Max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package stats
+
+import "math"
+
+// LogChoose returns ln C(n, k) using the log-gamma function, valid for
+// large n without overflow. Out-of-range k yields -Inf.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// Choose returns C(n, k) as a float64 (may round for very large values).
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return math.Exp(LogChoose(n, k))
+}
+
+// HypergeomPMF returns P(X = k) for a hypergeometric draw of size draws
+// from a population of size pop containing succ successes. This is the
+// distribution in the paper's equation (1): drawing N_rp projected
+// dimensions from N total of which R are informative.
+func HypergeomPMF(pop, succ, draws, k int) float64 {
+	if k < 0 || k > draws || k > succ || draws-k > pop-succ {
+		return 0
+	}
+	return math.Exp(LogChoose(succ, k) + LogChoose(pop-succ, draws-k) - LogChoose(pop, draws))
+}
+
+// HypergeomMean returns E[X] = draws·succ/pop, the expectation the paper
+// uses to argue N_rp ≥ N/R guarantees at least one informative dimension in
+// expectation.
+func HypergeomMean(pop, succ, draws int) float64 {
+	if pop == 0 {
+		return 0
+	}
+	return float64(draws) * float64(succ) / float64(pop)
+}
+
+// ProbAtLeastOneInformative returns P(X ≥ 1) for the hypergeometric draw —
+// the probability that a random projection of N_rp dimensions captures at
+// least one of the R informative directions.
+func ProbAtLeastOneInformative(pop, succ, draws int) float64 {
+	return 1 - HypergeomPMF(pop, succ, draws, 0)
+}

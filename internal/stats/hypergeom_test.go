@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); !almost(got, c.want, 1e-6) {
+			t.Fatalf("C(%d,%d)=%v want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if Choose(3, 5) != 0 || Choose(3, -1) != 0 {
+		t.Fatal("out of range")
+	}
+}
+
+func TestLogChooseLarge(t *testing.T) {
+	// C(1000, 500) overflows float64 but its log must be finite.
+	lc := LogChoose(1000, 500)
+	if math.IsInf(lc, 0) || math.IsNaN(lc) {
+		t.Fatalf("LogChoose big: %v", lc)
+	}
+	// symmetry
+	if !almost(LogChoose(100, 30), LogChoose(100, 70), 1e-9) {
+		t.Fatal("LogChoose symmetry")
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	pop, succ, draws := 50, 12, 8
+	var total float64
+	for k := 0; k <= draws; k++ {
+		p := HypergeomPMF(pop, succ, draws, k)
+		if p < 0 {
+			t.Fatalf("negative pmf at k=%d", k)
+		}
+		total += p
+	}
+	if !almost(total, 1, 1e-9) {
+		t.Fatalf("pmf sums to %v", total)
+	}
+}
+
+func TestHypergeomMeanMatchesPMF(t *testing.T) {
+	f := func(seed int64) bool {
+		s := int(uint(seed) % 1000)
+		pop := 10 + s%40
+		succ := 1 + s%pop
+		draws := 1 + (s/7)%pop
+		var mean float64
+		for k := 0; k <= draws; k++ {
+			mean += float64(k) * HypergeomPMF(pop, succ, draws, k)
+		}
+		return almost(mean, HypergeomMean(pop, succ, draws), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbAtLeastOneInformative(t *testing.T) {
+	// Drawing all dimensions always captures an informative one.
+	if p := ProbAtLeastOneInformative(10, 3, 10); !almost(p, 1, 1e-12) {
+		t.Fatalf("draw-all p=%v", p)
+	}
+	// No informative dimensions: probability 0.
+	if p := ProbAtLeastOneInformative(10, 0, 5); !almost(p, 0, 1e-12) {
+		t.Fatalf("none-informative p=%v", p)
+	}
+	// Monotone in draws.
+	p3 := ProbAtLeastOneInformative(100, 5, 3)
+	p10 := ProbAtLeastOneInformative(100, 5, 10)
+	if p10 <= p3 {
+		t.Fatalf("p should grow with draws: %v vs %v", p3, p10)
+	}
+}
+
+func TestHypergeomMeanDegenerate(t *testing.T) {
+	if HypergeomMean(0, 0, 0) != 0 {
+		t.Fatal("zero population")
+	}
+}

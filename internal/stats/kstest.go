@@ -1,0 +1,99 @@
+package stats
+
+import "math"
+
+// KSNormalBinned computes the Kolmogorov–Smirnov distance between the
+// empirical CDF of binned data (bin centers + counts) and a normal
+// distribution whose mean and standard deviation are estimated from the
+// same histogram — i.e. the Lilliefors variant of the test, which the paper
+// uses to flag "statistically anomalous dimensions" (§3.1).
+//
+// It returns the KS statistic D and the effective sample size n (total
+// count). A dimension whose histogram is indistinguishable from a single
+// Gaussian carries no clustering structure and can be collapsed.
+func KSNormalBinned(centers []float64, counts []uint64) (d float64, n uint64) {
+	mean, std, total := WeightedMeanStd(centers, counts)
+	if total == 0 {
+		return 0, 0
+	}
+	if std == 0 {
+		// Degenerate single-bin histogram: maximally non-normal.
+		return 1, total
+	}
+	// The empirical CDF of binned data is exact at bin edges (every sample
+	// at or below an edge is counted there), so evaluating the KS gap at
+	// the upper edge of each bin avoids the half-bin discretization bias
+	// that evaluating at centers would introduce.
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		var edge float64
+		if i+1 < len(centers) {
+			edge = (centers[i] + centers[i+1]) / 2
+		} else if len(centers) >= 2 {
+			edge = centers[i] + (centers[i]-centers[i-1])/2
+		} else {
+			edge = centers[i]
+		}
+		cur := float64(cum) / float64(total)
+		f := NormalCDF(edge, mean, std)
+		if diff := math.Abs(cur - f); diff > d {
+			d = diff
+		}
+	}
+	return d, total
+}
+
+// LillieforsCritical returns the approximate critical value of the
+// Lilliefors test statistic at the 5% significance level for sample size n
+// (Lilliefors 1967; asymptotic form 0.886/√n with small-sample correction
+// via the Dallal–Wilkinson adjustment denominator √n − 0.01 + 0.85/√n).
+func LillieforsCritical(n uint64) float64 {
+	if n < 4 {
+		return 0.375 // table value for the smallest testable n
+	}
+	fn := float64(n)
+	return 0.886 / (math.Sqrt(fn) - 0.01 + 0.85/math.Sqrt(fn))
+}
+
+// LooksNormal reports whether the binned sample fails to reject normality
+// at the 5% level — i.e. the dimension looks like one Gaussian blob and is
+// a candidate for collapsing. The relax factor scales the critical value:
+// relax > 1 collapses more aggressively, < 1 more conservatively.
+func LooksNormal(centers []float64, counts []uint64, relax float64) bool {
+	d, n := KSNormalBinned(centers, counts)
+	if n == 0 {
+		return true // empty dimension carries no information
+	}
+	return d <= LillieforsCritical(n)*relax
+}
+
+// KSTwoBinned returns the KS distance between two histograms defined over
+// the same bin grid. Used by tests and by streaming drift detection.
+func KSTwoBinned(countsA, countsB []uint64) float64 {
+	var totalA, totalB uint64
+	for _, c := range countsA {
+		totalA += c
+	}
+	for _, c := range countsB {
+		totalB += c
+	}
+	if totalA == 0 || totalB == 0 {
+		return 0
+	}
+	var cumA, cumB uint64
+	var d float64
+	n := len(countsA)
+	if len(countsB) < n {
+		n = len(countsB)
+	}
+	for i := 0; i < n; i++ {
+		cumA += countsA[i]
+		cumB += countsB[i]
+		diff := math.Abs(float64(cumA)/float64(totalA) - float64(cumB)/float64(totalB))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}

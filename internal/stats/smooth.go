@@ -1,0 +1,206 @@
+package stats
+
+import "math"
+
+// MovingAverage smooths v with a centered window of the given width
+// (minimum 1; even widths are rounded up to the next odd width so the
+// window stays centered). Edges use the available partial window, which
+// avoids manufacturing spurious boundary modes.
+//
+// The paper smooths binning histograms with a window w = √B where B ≈
+// log₂²(M) bins, before differentiating (§3.2).
+func MovingAverage(v []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(v))
+	for i := range v {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(v) {
+			hi = len(v) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += v[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// LocalSlopes estimates the first derivative of v at every index by fitting
+// an ordinary-least-squares line to a centered window of the given width
+// (odd; minimum 3). This is the "local regression" step of the §3.2
+// partitioner: the fitted slope is the tangent of the underlying density at
+// that bin, far more noise-tolerant than a two-point difference.
+func LocalSlopes(v []float64, width int) []float64 {
+	if width < 3 {
+		width = 3
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(v))
+	for i := range v {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(v) {
+			hi = len(v) - 1
+		}
+		n := float64(hi - lo + 1)
+		if n < 2 {
+			out[i] = 0
+			continue
+		}
+		// OLS slope over (x=j, y=v[j]) for j in [lo,hi].
+		var sx, sy, sxy, sxx float64
+		for j := lo; j <= hi; j++ {
+			x, y := float64(j), v[j]
+			sx += x
+			sy += y
+			sxy += x * y
+			sxx += x * x
+		}
+		den := n*sxx - sx*sx
+		if den == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (n*sxy - sx*sy) / den
+	}
+	return out
+}
+
+// Diff returns the first discrete difference of v: out[i] = v[i+1]-v[i],
+// with len(out) == len(v)-1 (empty for len(v) < 2).
+func Diff(v []float64) []float64 {
+	if len(v) < 2 {
+		return nil
+	}
+	out := make([]float64, len(v)-1)
+	for i := range out {
+		out[i] = v[i+1] - v[i]
+	}
+	return out
+}
+
+// SecondDerivative estimates v” via the slopes of the LocalSlopes curve:
+// differentiating the locally fitted first derivative identifies inflection
+// points (regions of sudden change) per §3.2.
+func SecondDerivative(v []float64, width int) []float64 {
+	return LocalSlopes(LocalSlopes(v, width), width)
+}
+
+// ZeroCrossings returns the indices i where v changes sign between i and
+// i+1 in the requested direction: dir > 0 finds −→+ crossings (density
+// valleys when v is a first derivative), dir < 0 finds +→− crossings
+// (density modes), dir == 0 finds both.
+func ZeroCrossings(v []float64, dir int) []int {
+	var out []int
+	for i := 0; i+1 < len(v); i++ {
+		a, b := v[i], v[i+1]
+		switch {
+		case dir >= 0 && a < 0 && b >= 0:
+			out = append(out, i)
+		case dir <= 0 && a > 0 && b <= 0:
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ArgMax returns the index of the maximum of v (first occurrence), or -1
+// for empty input.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum of v (first occurrence), or -1
+// for empty input.
+func ArgMin(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v {
+		if x < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Prominence returns, for a valley at index i of the density curve v, the
+// smaller of the two mode heights flanking it minus the valley depth,
+// normalized by the global peak. Values near 0 indicate noise wiggles;
+// values near 1 indicate a deep separation between two strong modes.
+func Prominence(v []float64, i int) float64 {
+	if len(v) == 0 || i < 0 || i >= len(v) {
+		return 0
+	}
+	peak := v[ArgMax(v)]
+	if peak <= 0 {
+		return 0
+	}
+	leftMax := v[i]
+	for j := i - 1; j >= 0; j-- {
+		if v[j] > leftMax {
+			leftMax = v[j]
+		}
+	}
+	rightMax := v[i]
+	for j := i + 1; j < len(v); j++ {
+		if v[j] > rightMax {
+			rightMax = v[j]
+		}
+	}
+	return (math.Min(leftMax, rightMax) - v[i]) / peak
+}
+
+// RelativeDip returns, for a valley at index i, how far the density dips
+// below the *smaller* flanking mode, relative to that mode: 0 for a flat
+// wiggle, →1 for a valley reaching zero. Unlike Prominence it is invariant
+// to the mass imbalance between the two flanking clusters, so a valley next
+// to a small cluster is judged on its own scale rather than against the
+// global peak.
+func RelativeDip(v []float64, i int) float64 {
+	if len(v) == 0 || i < 0 || i >= len(v) {
+		return 0
+	}
+	leftMax := v[i]
+	for j := i - 1; j >= 0; j-- {
+		if v[j] > leftMax {
+			leftMax = v[j]
+		}
+	}
+	rightMax := v[i]
+	for j := i + 1; j < len(v); j++ {
+		if v[j] > rightMax {
+			rightMax = v[j]
+		}
+	}
+	flank := math.Min(leftMax, rightMax)
+	if flank <= 0 {
+		return 0
+	}
+	return (flank - v[i]) / flank
+}

@@ -1,0 +1,297 @@
+// Package synth generates the synthetic workloads the paper evaluates on:
+// mixtures of Gaussians with diagonal covariance (Tables 1 and 2),
+// correlated overlapping 2-D clusters (Figure 1), the six-cluster 2-D
+// layout (Figure 2), box-shaped clusters (the k-means failure mode §2
+// discusses), and streaming sources for the in-situ mode.
+package synth
+
+import (
+	"fmt"
+
+	"keybin2/internal/linalg"
+	"keybin2/internal/xrand"
+)
+
+// Component is one mixture component: an axis-aligned Gaussian (diagonal
+// covariance) with a sampling weight.
+type Component struct {
+	Mean   []float64
+	Std    []float64
+	Weight float64
+}
+
+// MixtureSpec describes a Gaussian mixture over Dims dimensions.
+type MixtureSpec struct {
+	Dims       int
+	Components []Component
+}
+
+// K returns the number of mixture components (the ground-truth cluster
+// count).
+func (s *MixtureSpec) K() int { return len(s.Components) }
+
+// Validate checks internal consistency.
+func (s *MixtureSpec) Validate() error {
+	if s.Dims <= 0 {
+		return fmt.Errorf("synth: dims %d", s.Dims)
+	}
+	if len(s.Components) == 0 {
+		return fmt.Errorf("synth: mixture has no components")
+	}
+	for i, c := range s.Components {
+		if len(c.Mean) != s.Dims || len(c.Std) != s.Dims {
+			return fmt.Errorf("synth: component %d has %d/%d dims, want %d", i, len(c.Mean), len(c.Std), s.Dims)
+		}
+		if c.Weight < 0 {
+			return fmt.Errorf("synth: component %d has negative weight", i)
+		}
+	}
+	return nil
+}
+
+// AutoMixture builds a k-component mixture over dims dimensions whose
+// centers are drawn uniformly from [-spread, spread] per coordinate and
+// whose per-dimension standard deviations are drawn from [0.5, 1]·scale.
+// Per-coordinate center gaps of order `spread` survive random projection
+// (projected separation stays Θ(spread) while projected spread stays
+// Θ(scale)), which is what makes this workload meaningful for KeyBin2 at
+// any dimensionality — mirroring the paper's "4 mixed Gaussians" setup.
+func AutoMixture(k, dims int, spread, scale float64, rng *xrand.Stream) *MixtureSpec {
+	spec := &MixtureSpec{Dims: dims, Components: make([]Component, k)}
+	for c := 0; c < k; c++ {
+		crng := rng.SplitN("component", c)
+		mean := make([]float64, dims)
+		std := make([]float64, dims)
+		for j := range mean {
+			mean[j] = crng.Uniform(-spread, spread)
+			std[j] = scale * crng.Uniform(0.5, 1)
+		}
+		spec.Components[c] = Component{Mean: mean, Std: std, Weight: 1}
+	}
+	return spec
+}
+
+// Sample draws m labeled points from the mixture. The returned matrix is
+// row-major m×Dims; labels[i] is the generating component of row i.
+func (s *MixtureSpec) Sample(m int, rng *xrand.Stream) (*linalg.Matrix, []int) {
+	weights := make([]float64, len(s.Components))
+	for i, c := range s.Components {
+		weights[i] = c.Weight
+	}
+	pts := linalg.NewMatrix(m, s.Dims)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		c := rng.Categorical(weights)
+		labels[i] = c
+		comp := &s.Components[c]
+		rng.GaussianVec(pts.Row(i), comp.Mean, comp.Std)
+	}
+	return pts, labels
+}
+
+// Stream returns a labeled point source that draws from the mixture until
+// m points have been produced (m <= 0 streams forever).
+func (s *MixtureSpec) Stream(m int, rng *xrand.Stream) *MixtureStream {
+	weights := make([]float64, len(s.Components))
+	for i, c := range s.Components {
+		weights[i] = c.Weight
+	}
+	return &MixtureStream{spec: s, weights: weights, rng: rng, limit: m}
+}
+
+// MixtureStream emits mixture points one at a time, modelling in-situ data
+// acquisition (the M = 1 case of §3).
+type MixtureStream struct {
+	spec    *MixtureSpec
+	weights []float64
+	rng     *xrand.Stream
+	limit   int
+	emitted int
+}
+
+// Next returns the next labeled point, or ok == false when the stream is
+// exhausted.
+func (st *MixtureStream) Next() (x []float64, label int, ok bool) {
+	if st.limit > 0 && st.emitted >= st.limit {
+		return nil, 0, false
+	}
+	st.emitted++
+	c := st.rng.Categorical(st.weights)
+	comp := &st.spec.Components[c]
+	x = make([]float64, st.spec.Dims)
+	st.rng.GaussianVec(x, comp.Mean, comp.Std)
+	return x, c, true
+}
+
+// Emitted returns how many points the stream has produced.
+func (st *MixtureStream) Emitted() int { return st.emitted }
+
+// DriftStream emits points from a mixture whose component means drift
+// linearly from a start spec to an end spec over the course of the stream —
+// the regime-change scenario in-situ deployments face. Start and end must
+// have the same shape (components and dims).
+type DriftStream struct {
+	start, end *MixtureSpec
+	weights    []float64
+	rng        *xrand.Stream
+	limit      int
+	emitted    int
+}
+
+// Drift builds a stream of n points morphing from start to end. It panics
+// if the specs' shapes differ. n must be positive (the drift schedule needs
+// a horizon).
+func Drift(start, end *MixtureSpec, n int, rng *xrand.Stream) *DriftStream {
+	if start.Dims != end.Dims || len(start.Components) != len(end.Components) {
+		panic("synth: drift specs must have identical shape")
+	}
+	if n <= 0 {
+		panic("synth: drift stream needs a positive length")
+	}
+	weights := make([]float64, len(start.Components))
+	for i, c := range start.Components {
+		weights[i] = c.Weight
+	}
+	return &DriftStream{start: start, end: end, weights: weights, rng: rng, limit: n}
+}
+
+// Next returns the next labeled point; ok is false once n points have been
+// emitted. The interpolation parameter advances with the stream position.
+func (d *DriftStream) Next() (x []float64, label int, ok bool) {
+	if d.emitted >= d.limit {
+		return nil, 0, false
+	}
+	alpha := float64(d.emitted) / float64(d.limit-1+1)
+	d.emitted++
+	c := d.rng.Categorical(d.weights)
+	s, e := &d.start.Components[c], &d.end.Components[c]
+	x = make([]float64, d.start.Dims)
+	for j := range x {
+		mean := s.Mean[j]*(1-alpha) + e.Mean[j]*alpha
+		std := s.Std[j]*(1-alpha) + e.Std[j]*alpha
+		x[j] = d.rng.Gaussian(mean, std)
+	}
+	return x, c, true
+}
+
+// Emitted returns how many points the stream has produced.
+func (d *DriftStream) Emitted() int { return d.emitted }
+
+// Correlated2D draws the Figure 1 workload: two elongated clusters whose
+// major axes are parallel to the line y = x, so their projections onto both
+// coordinate axes overlap even though the clusters are separated across the
+// diagonal. Original KeyBin cannot split them; a lucky rotation can.
+func Correlated2D(m int, gap float64, rng *xrand.Stream) (*linalg.Matrix, []int) {
+	pts := linalg.NewMatrix(m, 2)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		// Position along the shared major axis direction (1,1)/√2 and a
+		// small offset across it; the two clusters sit ±gap/2 across the
+		// minor axis direction (−1,1)/√2.
+		along := rng.Gaussian(0, 3)
+		across := rng.Gaussian(0, 0.3)
+		c := i % 2
+		labels[i] = c
+		sign := -0.5
+		if c == 1 {
+			sign = 0.5
+		}
+		off := across + sign*gap
+		pts.Set(i, 0, (along-off)*0.7071067811865476)
+		pts.Set(i, 1, (along+off)*0.7071067811865476)
+	}
+	return pts, labels
+}
+
+// Six2D draws the Figure 2 workload: six well-separated Gaussian clusters
+// on a 3×2 grid in the plane.
+func Six2D(m int, rng *xrand.Stream) (*linalg.Matrix, []int) {
+	centers := [][2]float64{{-6, -3}, {0, -3}, {6, -3}, {-6, 3}, {0, 3}, {6, 3}}
+	pts := linalg.NewMatrix(m, 2)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		c := i % len(centers)
+		labels[i] = c
+		pts.Set(i, 0, rng.Gaussian(centers[c][0], 0.7))
+		pts.Set(i, 1, rng.Gaussian(centers[c][1], 0.7))
+	}
+	return pts, labels
+}
+
+// Boxes draws k axis-aligned uniform hyper-box clusters over dims
+// dimensions — the shape §2 notes k-means mislabels at the corners because
+// corner points can be closer to a neighboring centroid.
+func Boxes(k, dims, m int, rng *xrand.Stream) (*linalg.Matrix, []int) {
+	type box struct{ lo, hi []float64 }
+	boxes := make([]box, k)
+	for c := 0; c < k; c++ {
+		crng := rng.SplitN("box", c)
+		lo := make([]float64, dims)
+		hi := make([]float64, dims)
+		for j := range lo {
+			center := crng.Uniform(-8, 8)
+			half := crng.Uniform(0.8, 1.6)
+			lo[j], hi[j] = center-half, center+half
+		}
+		boxes[c] = box{lo: lo, hi: hi}
+	}
+	pts := linalg.NewMatrix(m, dims)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		c := i % k
+		labels[i] = c
+		row := pts.Row(i)
+		for j := range row {
+			row[j] = rng.Uniform(boxes[c].lo[j], boxes[c].hi[j])
+		}
+	}
+	return pts, labels
+}
+
+// WithNoise appends uniform background noise points (label -1) to a labeled
+// dataset, covering the bounding box of the signal inflated by margin.
+func WithNoise(pts *linalg.Matrix, labels []int, noise int, margin float64, rng *xrand.Stream) (*linalg.Matrix, []int) {
+	if noise <= 0 {
+		return pts, labels
+	}
+	dims := pts.Cols
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for j := 0; j < dims; j++ {
+		col := pts.Col(j)
+		mn, mx := linalg.MinMax(col)
+		lo[j], hi[j] = mn-margin, mx+margin
+	}
+	out := linalg.NewMatrix(pts.Rows+noise, dims)
+	copy(out.Data, pts.Data)
+	outLabels := append(append([]int(nil), labels...), make([]int, noise)...)
+	for i := 0; i < noise; i++ {
+		row := out.Row(pts.Rows + i)
+		for j := range row {
+			row[j] = rng.Uniform(lo[j], hi[j])
+		}
+		outLabels[pts.Rows+i] = -1
+	}
+	return out, outLabels
+}
+
+// Shard splits m points as evenly as possible across k ranks, returning
+// the half-open row range of rank r. This mirrors the paper's "80,000
+// points per process" data distribution.
+func Shard(m, k, r int) (lo, hi int) {
+	base := m / k
+	rem := m % k
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,298 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"keybin2/internal/stats"
+	"keybin2/internal/xrand"
+)
+
+func TestAutoMixtureShape(t *testing.T) {
+	spec := AutoMixture(4, 20, 5, 1, xrand.New(1))
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.K() != 4 || spec.Dims != 20 {
+		t.Fatalf("k=%d dims=%d", spec.K(), spec.Dims)
+	}
+	for _, c := range spec.Components {
+		for j := range c.Mean {
+			if c.Mean[j] < -5 || c.Mean[j] > 5 {
+				t.Fatalf("mean out of range: %v", c.Mean[j])
+			}
+			if c.Std[j] < 0.5 || c.Std[j] > 1 {
+				t.Fatalf("std out of range: %v", c.Std[j])
+			}
+		}
+	}
+}
+
+func TestAutoMixtureDeterministic(t *testing.T) {
+	a := AutoMixture(3, 5, 5, 1, xrand.New(9))
+	b := AutoMixture(3, 5, 5, 1, xrand.New(9))
+	for c := range a.Components {
+		for j := range a.Components[c].Mean {
+			if a.Components[c].Mean[j] != b.Components[c].Mean[j] {
+				t.Fatal("same seed, different mixture")
+			}
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := &MixtureSpec{Dims: 0}
+	if bad.Validate() == nil {
+		t.Fatal("dims 0")
+	}
+	bad = &MixtureSpec{Dims: 2}
+	if bad.Validate() == nil {
+		t.Fatal("no components")
+	}
+	bad = &MixtureSpec{Dims: 2, Components: []Component{{Mean: []float64{1}, Std: []float64{1, 1}, Weight: 1}}}
+	if bad.Validate() == nil {
+		t.Fatal("dim mismatch")
+	}
+	bad = &MixtureSpec{Dims: 1, Components: []Component{{Mean: []float64{1}, Std: []float64{1}, Weight: -1}}}
+	if bad.Validate() == nil {
+		t.Fatal("negative weight")
+	}
+}
+
+func TestSampleMomentsAndLabels(t *testing.T) {
+	spec := &MixtureSpec{Dims: 2, Components: []Component{
+		{Mean: []float64{-10, 0}, Std: []float64{0.5, 0.5}, Weight: 1},
+		{Mean: []float64{10, 5}, Std: []float64{0.5, 0.5}, Weight: 1},
+	}}
+	pts, labels := spec.Sample(20000, xrand.New(2))
+	if pts.Rows != 20000 || len(labels) != 20000 {
+		t.Fatal("shape")
+	}
+	var sums [2][2]float64
+	var counts [2]int
+	for i := 0; i < pts.Rows; i++ {
+		c := labels[i]
+		counts[c]++
+		sums[c][0] += pts.At(i, 0)
+		sums[c][1] += pts.At(i, 1)
+	}
+	for c := 0; c < 2; c++ {
+		if counts[c] < 9000 {
+			t.Fatalf("unbalanced component %d: %d", c, counts[c])
+		}
+		m0 := sums[c][0] / float64(counts[c])
+		if math.Abs(m0-spec.Components[c].Mean[0]) > 0.1 {
+			t.Fatalf("component %d mean %v", c, m0)
+		}
+	}
+}
+
+func TestSampleWeights(t *testing.T) {
+	spec := &MixtureSpec{Dims: 1, Components: []Component{
+		{Mean: []float64{0}, Std: []float64{1}, Weight: 9},
+		{Mean: []float64{5}, Std: []float64{1}, Weight: 1},
+	}}
+	_, labels := spec.Sample(10000, xrand.New(3))
+	ones := 0
+	for _, l := range labels {
+		ones += l
+	}
+	frac := float64(ones) / 10000
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("weight-1 fraction %v want ~0.1", frac)
+	}
+}
+
+func TestStreamMatchesLimit(t *testing.T) {
+	spec := AutoMixture(2, 3, 5, 1, xrand.New(4))
+	st := spec.Stream(100, xrand.New(5))
+	n := 0
+	for {
+		x, label, ok := st.Next()
+		if !ok {
+			break
+		}
+		if len(x) != 3 || label < 0 || label >= 2 {
+			t.Fatalf("bad stream point %v %d", x, label)
+		}
+		n++
+	}
+	if n != 100 || st.Emitted() != 100 {
+		t.Fatalf("emitted %d", n)
+	}
+}
+
+func TestStreamUnlimited(t *testing.T) {
+	spec := AutoMixture(2, 2, 5, 1, xrand.New(6))
+	st := spec.Stream(0, xrand.New(7))
+	for i := 0; i < 500; i++ {
+		if _, _, ok := st.Next(); !ok {
+			t.Fatal("unlimited stream ended")
+		}
+	}
+}
+
+func TestCorrelated2DOverlapsOnAxes(t *testing.T) {
+	pts, labels := Correlated2D(4000, 3, xrand.New(8))
+	// Per-axis projections of the two clusters overlap heavily: per-class
+	// axis means differ by less than one within-class std.
+	var mean [2][2]float64
+	var count [2]float64
+	for i := 0; i < pts.Rows; i++ {
+		c := labels[i]
+		count[c]++
+		mean[c][0] += pts.At(i, 0)
+		mean[c][1] += pts.At(i, 1)
+	}
+	for c := 0; c < 2; c++ {
+		mean[c][0] /= count[c]
+		mean[c][1] /= count[c]
+	}
+	axisGap := math.Abs(mean[0][0] - mean[1][0])
+	col := pts.Col(0)
+	if axisGap > stats.Std(col) {
+		t.Fatalf("axis-0 gap %v should be below axis std %v", axisGap, stats.Std(col))
+	}
+	// But across the diagonal direction (−1,1)/√2 the clusters separate.
+	var dmean [2]float64
+	for i := 0; i < pts.Rows; i++ {
+		d := (pts.At(i, 1) - pts.At(i, 0)) / math.Sqrt2
+		dmean[labels[i]] += d
+	}
+	dmean[0] /= count[0]
+	dmean[1] /= count[1]
+	if math.Abs(dmean[0]-dmean[1]) < 2 {
+		t.Fatalf("diagonal separation %v too small", math.Abs(dmean[0]-dmean[1]))
+	}
+}
+
+func TestSix2D(t *testing.T) {
+	pts, labels := Six2D(600, xrand.New(10))
+	if pts.Rows != 600 || pts.Cols != 2 {
+		t.Fatal("shape")
+	}
+	seen := map[int]int{}
+	for _, l := range labels {
+		seen[l]++
+	}
+	if len(seen) != 6 {
+		t.Fatalf("labels %v", seen)
+	}
+}
+
+func TestBoxesWithinBounds(t *testing.T) {
+	pts, labels := Boxes(3, 4, 300, xrand.New(11))
+	if pts.Rows != 300 || pts.Cols != 4 || len(labels) != 300 {
+		t.Fatal("shape")
+	}
+	// All coordinates stay within the global generating range.
+	for _, v := range pts.Data {
+		if v < -10 || v > 10 {
+			t.Fatalf("box point %v outside [-10,10]", v)
+		}
+	}
+}
+
+func TestWithNoise(t *testing.T) {
+	pts, labels := Six2D(100, xrand.New(12))
+	noisy, nl := WithNoise(pts, labels, 20, 1, xrand.New(13))
+	if noisy.Rows != 120 || len(nl) != 120 {
+		t.Fatal("shape after noise")
+	}
+	for i := 100; i < 120; i++ {
+		if nl[i] != -1 {
+			t.Fatal("noise labels must be -1")
+		}
+	}
+	// zero noise is a no-op
+	same, sl := WithNoise(pts, labels, 0, 1, xrand.New(14))
+	if same != pts || len(sl) != 100 {
+		t.Fatal("zero noise must be identity")
+	}
+}
+
+func TestShard(t *testing.T) {
+	total := 0
+	prevHi := 0
+	for r := 0; r < 7; r++ {
+		lo, hi := Shard(100, 7, r)
+		if lo != prevHi {
+			t.Fatalf("rank %d: lo %d != prev hi %d", r, lo, prevHi)
+		}
+		if hi-lo < 14 || hi-lo > 15 {
+			t.Fatalf("rank %d shard size %d", r, hi-lo)
+		}
+		total += hi - lo
+		prevHi = hi
+	}
+	if total != 100 || prevHi != 100 {
+		t.Fatalf("total %d end %d", total, prevHi)
+	}
+	// exact division
+	lo, hi := Shard(80, 4, 3)
+	if lo != 60 || hi != 80 {
+		t.Fatalf("exact shard [%d,%d)", lo, hi)
+	}
+}
+
+func TestDriftStream(t *testing.T) {
+	start := AutoMixture(2, 4, 6, 1, xrand.New(50))
+	end := AutoMixture(2, 4, 6, 1, xrand.New(51))
+	d := Drift(start, end, 4000, xrand.New(52))
+	var first, last [][]float64
+	labels := map[int]bool{}
+	for {
+		x, l, ok := d.Next()
+		if !ok {
+			break
+		}
+		labels[l] = true
+		if d.Emitted() <= 200 {
+			first = append(first, x)
+		}
+		if d.Emitted() > 3800 {
+			last = append(last, x)
+		}
+	}
+	if d.Emitted() != 4000 {
+		t.Fatalf("emitted %d", d.Emitted())
+	}
+	if len(labels) != 2 {
+		t.Fatalf("labels %v", labels)
+	}
+	// The early points match the start spec's means better than the end's;
+	// late points the reverse.
+	closerTo := func(pts [][]float64, spec *MixtureSpec) float64 {
+		var total float64
+		for _, x := range pts {
+			best := math.Inf(1)
+			for _, c := range spec.Components {
+				var d2 float64
+				for j := range x {
+					v := x[j] - c.Mean[j]
+					d2 += v * v
+				}
+				best = math.Min(best, d2)
+			}
+			total += best
+		}
+		return total / float64(len(pts))
+	}
+	if closerTo(first, start) > closerTo(first, end) {
+		t.Fatal("early points should match the start spec")
+	}
+	if closerTo(last, end) > closerTo(last, start) {
+		t.Fatal("late points should match the end spec")
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	a := AutoMixture(2, 4, 6, 1, xrand.New(1))
+	b := AutoMixture(3, 4, 6, 1, xrand.New(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	Drift(a, b, 100, xrand.New(3))
+}

@@ -1,0 +1,80 @@
+package trajectory
+
+import (
+	"keybin2/internal/eval"
+)
+
+// Fingerprint post-processes a per-frame cluster label sequence (KeyBin2's
+// output over the trajectory) into the "cluster fingerprints" of §5.2: a
+// mode filter suppresses single-frame flicker, and change points mark
+// candidate conformational-search-space boundaries.
+type Fingerprint struct {
+	// Labels is the smoothed per-frame cluster label.
+	Labels []int
+	// Changes lists frames where the smoothed label differs from the
+	// previous frame.
+	Changes []int
+}
+
+// NewFingerprint smooths raw labels with a sliding mode filter of the given
+// window (0 = 25 frames).
+func NewFingerprint(raw []int, window int) *Fingerprint {
+	if window <= 0 {
+		window = 25
+	}
+	half := window / 2
+	smoothed := make([]int, len(raw))
+	counts := map[int]int{}
+	for i := range raw {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(raw) {
+			hi = len(raw) - 1
+		}
+		for k := range counts {
+			delete(counts, k)
+		}
+		bestLabel, bestCount := raw[i], 0
+		for j := lo; j <= hi; j++ {
+			counts[raw[j]]++
+			if c := counts[raw[j]]; c > bestCount {
+				bestLabel, bestCount = raw[j], c
+			}
+		}
+		smoothed[i] = bestLabel
+	}
+	fp := &Fingerprint{Labels: smoothed}
+	for i := 1; i < len(smoothed); i++ {
+		if smoothed[i] != smoothed[i-1] {
+			fp.Changes = append(fp.Changes, i)
+		}
+	}
+	return fp
+}
+
+// Segments returns the fingerprint's label runs of at least minLen frames.
+func (f *Fingerprint) Segments(minLen int) []Segment {
+	return Segments(f.Labels, minLen)
+}
+
+// Agreement measures how well the fingerprint explains a reference
+// segmentation (planted phases or HDR stable labels): the normalized mutual
+// information between the two label sequences restricted to frames where
+// the reference is defined (>= 0). 1 means the fingerprint changes exactly
+// where the reference changes.
+func (f *Fingerprint) Agreement(reference []int) float64 {
+	var a, b []int
+	for i, r := range reference {
+		if r < 0 || i >= len(f.Labels) {
+			continue
+		}
+		a = append(a, f.Labels[i])
+		b = append(b, r)
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	return eval.NMI(a, b)
+}

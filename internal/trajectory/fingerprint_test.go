@@ -1,0 +1,84 @@
+package trajectory
+
+import (
+	"testing"
+
+	"keybin2/internal/core"
+)
+
+func TestNewFingerprintSmoothsFlicker(t *testing.T) {
+	raw := make([]int, 200)
+	for i := 100; i < 200; i++ {
+		raw[i] = 1
+	}
+	raw[50] = 9 // single-frame flicker
+	fp := NewFingerprint(raw, 11)
+	if fp.Labels[50] != 0 {
+		t.Fatalf("flicker survived: %d", fp.Labels[50])
+	}
+	if len(fp.Changes) != 1 {
+		t.Fatalf("changes %v", fp.Changes)
+	}
+	if c := fp.Changes[0]; c < 95 || c > 105 {
+		t.Fatalf("change at %d", c)
+	}
+}
+
+func TestFingerprintSegmentsAndAgreement(t *testing.T) {
+	raw := make([]int, 300)
+	ref := make([]int, 300)
+	for i := range raw {
+		switch {
+		case i < 100:
+			raw[i], ref[i] = 3, 0
+		case i < 200:
+			raw[i], ref[i] = 7, 1
+		default:
+			raw[i], ref[i] = 3, 0
+		}
+	}
+	fp := NewFingerprint(raw, 5)
+	segs := fp.Segments(10)
+	if len(segs) != 3 {
+		t.Fatalf("segments %+v", segs)
+	}
+	if a := fp.Agreement(ref); a < 0.99 {
+		t.Fatalf("agreement %v", a)
+	}
+	// Reference with undefined frames is restricted correctly.
+	for i := 150; i < 160; i++ {
+		ref[i] = -1
+	}
+	if a := fp.Agreement(ref); a < 0.99 {
+		t.Fatalf("agreement with gaps %v", a)
+	}
+	if (&Fingerprint{}).Agreement([]int{-1}) != 0 {
+		t.Fatal("empty agreement")
+	}
+}
+
+func TestFingerprintFromKeyBin2OnTrajectory(t *testing.T) {
+	// The §5 pipeline end-to-end: generate a trajectory, featurize by
+	// secondary structure, cluster frames with KeyBin2, and check the
+	// fingerprints track the planted phases.
+	tr, err := Generate(Spec{Residues: 30, Frames: 3000, Phases: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := tr.Features()
+	_, labels, err := core.Fit(feats, core.Config{Seed: 10, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := NewFingerprint(labels, 25)
+	agreement := fp.Agreement(tr.Phase)
+	t.Logf("fingerprint/phase agreement (NMI): %.3f", agreement)
+	if agreement < 0.5 {
+		t.Fatalf("agreement %.3f too low", agreement)
+	}
+	// Fingerprint must segment the trajectory into at least as many
+	// stable stretches as there are planted phases.
+	if segs := fp.Segments(100); len(segs) < 4 {
+		t.Fatalf("only %d long segments", len(segs))
+	}
+}

@@ -1,0 +1,237 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+
+	"keybin2/internal/linalg"
+	"keybin2/internal/xrand"
+)
+
+// Spec describes one synthetic folding trajectory.
+type Spec struct {
+	// Name identifies the trajectory (e.g. a PDB-style code).
+	Name string
+	// Residues is the protein length (the paper's trajectories span
+	// 58–747 residues).
+	Residues int
+	// Frames is the number of time steps (2,000–20,000 in MoDEL).
+	Frames int
+	// Phases is the number of meta-stable phases to plant (default 6,
+	// matching Figure 4's six rectangles).
+	Phases int
+	// TransitionLen is the number of frames spent in each transition
+	// (default 40).
+	TransitionLen int
+	// JitterDeg is the within-phase angular noise (default 14°).
+	JitterDeg float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Phases <= 0 {
+		s.Phases = 6
+	}
+	if s.TransitionLen <= 0 {
+		s.TransitionLen = 40
+	}
+	if s.JitterDeg <= 0 {
+		s.JitterDeg = 14
+	}
+	return s
+}
+
+// Trajectory is a generated folding trajectory: Angles holds one row per
+// frame with 3·Residues torsion angles in degrees; Phase[i] is the planted
+// meta-stable phase of frame i, or -1 during transitions.
+type Trajectory struct {
+	Spec   Spec
+	Angles *linalg.Matrix
+	Phase  []int
+}
+
+// Generate builds the trajectory: a hidden phase sequence where each
+// meta-stable phase assigns every residue a secondary-structure basin and
+// frames jitter around those basins, separated by high-variance transition
+// windows that interpolate between consecutive phases — the meta-stable /
+// transition structure of §5.
+func Generate(spec Spec) (*Trajectory, error) {
+	spec = spec.withDefaults()
+	if spec.Residues <= 0 || spec.Frames <= 0 {
+		return nil, fmt.Errorf("trajectory: %d residues × %d frames", spec.Residues, spec.Frames)
+	}
+	rng := xrand.New(spec.Seed)
+
+	// Each phase assigns every residue a basin. Consecutive phases share
+	// most residues (a folding event flips a contiguous segment), which
+	// keeps the clustering problem realistic: fingerprints differ in a
+	// subset of dimensions, not everywhere.
+	phaseBasins := make([][]SSType, spec.Phases)
+	phaseBasins[0] = randomBasins(spec.Residues, rng.Split("phase0"))
+	for p := 1; p < spec.Phases; p++ {
+		prev := phaseBasins[p-1]
+		next := append([]SSType(nil), prev...)
+		prng := rng.SplitN("phase", p)
+		// Flip a contiguous window of 20–50% of the residues.
+		wlen := prng.IntRange(spec.Residues/5+1, spec.Residues/2+1)
+		start := prng.Intn(maxInt(1, spec.Residues-wlen))
+		for i := start; i < start+wlen && i < spec.Residues; i++ {
+			next[i] = randomBasin(prng)
+		}
+		phaseBasins[p] = next
+	}
+
+	// Phase schedule: stable durations with transitions between them.
+	type segment struct {
+		phase  int // -1 = transition from prev to next
+		frames int
+	}
+	var plan []segment
+	remaining := spec.Frames - (spec.Phases-1)*spec.TransitionLen
+	if remaining < spec.Phases {
+		return nil, fmt.Errorf("trajectory: %d frames too short for %d phases with %d-frame transitions",
+			spec.Frames, spec.Phases, spec.TransitionLen)
+	}
+	durations := dirichletLike(spec.Phases, remaining, rng.Split("durations"))
+	for p := 0; p < spec.Phases; p++ {
+		plan = append(plan, segment{phase: p, frames: durations[p]})
+		if p+1 < spec.Phases {
+			plan = append(plan, segment{phase: -1, frames: spec.TransitionLen})
+		}
+	}
+
+	tr := &Trajectory{
+		Spec:   spec,
+		Angles: linalg.NewMatrix(spec.Frames, 3*spec.Residues),
+		Phase:  make([]int, spec.Frames),
+	}
+	frame := 0
+	prevPhase := 0
+	for _, seg := range plan {
+		for f := 0; f < seg.frames && frame < spec.Frames; f++ {
+			row := tr.Angles.Row(frame)
+			if seg.phase >= 0 {
+				emitStable(row, phaseBasins[seg.phase], spec.JitterDeg, rng)
+				tr.Phase[frame] = seg.phase
+				prevPhase = seg.phase
+			} else {
+				alpha := float64(f+1) / float64(seg.frames+1)
+				emitTransition(row, phaseBasins[prevPhase], phaseBasins[minInt(prevPhase+1, spec.Phases-1)], alpha, rng)
+				tr.Phase[frame] = -1
+			}
+			frame++
+		}
+	}
+	for ; frame < spec.Frames; frame++ { // rounding tail stays in the last phase
+		emitStable(tr.Angles.Row(frame), phaseBasins[spec.Phases-1], spec.JitterDeg, rng)
+		tr.Phase[frame] = spec.Phases - 1
+	}
+	return tr, nil
+}
+
+func randomBasin(rng *xrand.Stream) SSType {
+	// cis-peptide is rare (the paper calls it "the rare cis case").
+	if rng.Bernoulli(0.03) {
+		return CisPeptide
+	}
+	return SSType(rng.Intn(5))
+}
+
+func randomBasins(n int, rng *xrand.Stream) []SSType {
+	out := make([]SSType, n)
+	for i := range out {
+		out[i] = randomBasin(rng)
+	}
+	return out
+}
+
+func emitStable(row []float64, basins []SSType, jitter float64, rng *xrand.Stream) {
+	for i, b := range basins {
+		phi, psi, omega := BasinAngles(b)
+		row[3*i] = wrap180(phi + rng.Gaussian(0, jitter))
+		row[3*i+1] = wrap180(psi + rng.Gaussian(0, jitter))
+		row[3*i+2] = wrap180(omega + rng.Gaussian(0, jitter/2))
+	}
+}
+
+func emitTransition(row []float64, from, to []SSType, alpha float64, rng *xrand.Stream) {
+	const transitionNoise = 55.0
+	for i := range from {
+		p0, s0, o0 := BasinAngles(from[i])
+		p1, s1, o1 := BasinAngles(to[i])
+		row[3*i] = wrap180(lerpAngle(p0, p1, alpha) + rng.Gaussian(0, transitionNoise))
+		row[3*i+1] = wrap180(lerpAngle(s0, s1, alpha) + rng.Gaussian(0, transitionNoise))
+		row[3*i+2] = wrap180(lerpAngle(o0, o1, alpha) + rng.Gaussian(0, transitionNoise/2))
+	}
+}
+
+// lerpAngle interpolates angles along the shorter arc.
+func lerpAngle(a, b, t float64) float64 {
+	d := math.Mod(b-a+540, 360) - 180
+	return a + d*t
+}
+
+func wrap180(a float64) float64 {
+	a = math.Mod(a+180, 360)
+	if a < 0 {
+		a += 360
+	}
+	return a - 180
+}
+
+// dirichletLike splits total into n positive parts with moderate variation.
+func dirichletLike(n, total int, rng *xrand.Stream) []int {
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+		sum += weights[i]
+	}
+	out := make([]int, n)
+	used := 0
+	for i := range out {
+		out[i] = int(float64(total) * weights[i] / sum)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		used += out[i]
+	}
+	out[n-1] += total - used
+	if out[n-1] < 1 {
+		out[n-1] = 1
+	}
+	return out
+}
+
+// Features converts the trajectory to the clustering feature space of
+// §5.1: one row per frame, one column per residue, holding the residue's
+// secondary-structure class code. Conformations revisiting the same
+// secondary structures land on the same keys.
+func (t *Trajectory) Features() *linalg.Matrix {
+	r := t.Spec.Residues
+	out := linalg.NewMatrix(t.Angles.Rows, r)
+	classes := make([]SSType, r)
+	for i := 0; i < t.Angles.Rows; i++ {
+		ClassifyFrame(t.Angles.Row(i), classes)
+		row := out.Row(i)
+		for j, c := range classes {
+			row[j] = float64(c)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShapeAndPhases(t *testing.T) {
+	tr, err := Generate(Spec{Residues: 30, Frames: 2000, Phases: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Angles.Rows != 2000 || tr.Angles.Cols != 90 {
+		t.Fatalf("shape %dx%d", tr.Angles.Rows, tr.Angles.Cols)
+	}
+	seen := map[int]int{}
+	transitions := 0
+	for _, p := range tr.Phase {
+		if p == -1 {
+			transitions++
+		} else {
+			seen[p]++
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("phases seen: %v", seen)
+	}
+	if transitions != 3*40 {
+		t.Fatalf("transition frames %d want %d", transitions, 3*40)
+	}
+	// All angles wrapped into [-180, 180].
+	for _, v := range tr.Angles.Data {
+		if v < -180 || v > 180 {
+			t.Fatalf("angle %v out of range", v)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Residues: 0, Frames: 100}); err == nil {
+		t.Fatal("zero residues must fail")
+	}
+	if _, err := Generate(Spec{Residues: 10, Frames: 50, Phases: 6}); err == nil {
+		t.Fatal("too-short trajectory must fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Spec{Residues: 10, Frames: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{Residues: 10, Frames: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Angles.Data {
+		if a.Angles.Data[i] != b.Angles.Data[i] {
+			t.Fatal("nondeterministic trajectory")
+		}
+	}
+}
+
+func TestStablePhasesAreTight(t *testing.T) {
+	tr, err := Generate(Spec{Residues: 20, Frames: 3000, Phases: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within a stable phase, consecutive frames are close (small RMSD);
+	// across a transition, RMSD to the previous stable frame grows.
+	var stableRMSD, n float64
+	for i := 1; i < tr.Angles.Rows; i++ {
+		if tr.Phase[i] >= 0 && tr.Phase[i] == tr.Phase[i-1] {
+			stableRMSD += RMSD(tr.Angles.Row(i), tr.Angles.Row(i-1))
+			n++
+		}
+	}
+	stableRMSD /= n
+	if stableRMSD > 40 {
+		t.Fatalf("within-phase frame-to-frame RMSD %v too large", stableRMSD)
+	}
+
+	// Frames in different phases differ more than frames within one phase.
+	firstOf := map[int]int{}
+	for i, p := range tr.Phase {
+		if p >= 0 {
+			if _, ok := firstOf[p]; !ok {
+				firstOf[p] = i
+			}
+		}
+	}
+	within := RMSD(tr.Angles.Row(firstOf[0]), tr.Angles.Row(firstOf[0]+5))
+	across := RMSD(tr.Angles.Row(firstOf[0]), tr.Angles.Row(firstOf[1]))
+	if across < within {
+		t.Fatalf("across-phase RMSD %v should exceed within-phase %v", across, within)
+	}
+}
+
+func TestFeaturesRecoverPhases(t *testing.T) {
+	tr, err := Generate(Spec{Residues: 25, Frames: 2000, Phases: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := tr.Features()
+	if feats.Rows != 2000 || feats.Cols != 25 {
+		t.Fatalf("features %dx%d", feats.Rows, feats.Cols)
+	}
+	// Features are class codes 0..5.
+	for _, v := range feats.Data {
+		if v < 0 || v > 5 || v != math.Trunc(v) {
+			t.Fatalf("feature %v not a class code", v)
+		}
+	}
+	// Two frames of the same phase should have (nearly) identical
+	// features; different phases should differ in some residues.
+	firstOf := map[int]int{}
+	for i, p := range tr.Phase {
+		if p >= 0 {
+			if _, ok := firstOf[p]; !ok {
+				firstOf[p] = i
+			}
+		}
+	}
+	same := hamming(feats.Row(firstOf[0]), feats.Row(firstOf[0]+3))
+	diff := hamming(feats.Row(firstOf[0]), feats.Row(firstOf[1]))
+	if same > 5 {
+		t.Fatalf("same-phase hamming %d too high", same)
+	}
+	if diff <= same {
+		t.Fatalf("cross-phase hamming %d should exceed same-phase %d", diff, same)
+	}
+}
+
+func hamming(a, b []float64) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSuiteMatchesTable3(t *testing.T) {
+	specs := Suite(42)
+	if len(specs) != 31 {
+		t.Fatalf("%d trajectories", len(specs))
+	}
+	s := Stats(specs)
+	// Table 3: residues mean 193.06 ± 145.29, range [58, 747];
+	// time steps mean 9,779 ± 3,426, range [2,000, 20,000].
+	if s.ResidueMin < 58 || s.ResidueMax > 747 {
+		t.Fatalf("residue range [%v, %v]", s.ResidueMin, s.ResidueMax)
+	}
+	if s.ResidueMean < 120 || s.ResidueMean > 280 {
+		t.Fatalf("residue mean %v", s.ResidueMean)
+	}
+	if s.FramesMin < 2000 || s.FramesMax > 20000 {
+		t.Fatalf("frames range [%v, %v]", s.FramesMin, s.FramesMax)
+	}
+	if s.FramesMean < 7000 || s.FramesMean > 13000 {
+		t.Fatalf("frames mean %v", s.FramesMean)
+	}
+	if specs[0].Name != "1a70" || specs[0].Frames != 10000 || specs[0].Phases != 6 {
+		t.Fatalf("figure-4 subject: %+v", specs[0])
+	}
+	// Stats of an empty suite must not panic.
+	if Stats(nil).Count != 0 {
+		t.Fatal("empty suite")
+	}
+}

@@ -1,0 +1,97 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"keybin2/internal/linalg"
+)
+
+func TestGroupRepresentativesMergesDuplicates(t *testing.T) {
+	tr, err := Generate(Spec{Residues: 15, Frames: 2000, Phases: 3, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick two frames from each phase: groups should merge same-phase
+	// pairs and keep phases apart.
+	firstOf := map[int][]int{}
+	for i, p := range tr.Phase {
+		if p >= 0 && len(firstOf[p]) < 2 {
+			// take frames at least 20 apart
+			if len(firstOf[p]) == 1 && i-firstOf[p][0] < 20 {
+				continue
+			}
+			firstOf[p] = append(firstOf[p], i)
+		}
+	}
+	var reps []int
+	for p := 0; p < 3; p++ {
+		reps = append(reps, firstOf[p]...)
+	}
+	groups := GroupRepresentatives(tr.Angles, reps, 0.5)
+	if len(groups) != 6 {
+		t.Fatalf("groups %v", groups)
+	}
+	// Same-phase pairs share a group...
+	for p := 0; p < 3; p++ {
+		if groups[2*p] != groups[2*p+1] {
+			t.Fatalf("phase %d pair split: %v", p, groups)
+		}
+	}
+	// ...different phases do not.
+	if groups[0] == groups[2] || groups[2] == groups[4] || groups[0] == groups[4] {
+		t.Fatalf("phases merged: %v", groups)
+	}
+}
+
+func TestGroupRepresentativesDegenerate(t *testing.T) {
+	if got := GroupRepresentatives(linalg.NewMatrix(1, 3), nil, 0.5); got != nil {
+		t.Fatal("empty reps")
+	}
+	m := linalg.NewMatrix(1, 3)
+	if got := GroupRepresentatives(m, []int{0}, 0.5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single rep %v", got)
+	}
+}
+
+func TestCollapseColumns(t *testing.T) {
+	probs, _ := linalg.FromRows([][]float64{
+		{0.1, 0.2, 0.3, 0.4},
+		{0.25, 0.25, 0.25, 0.25},
+	})
+	groups := []int{0, 1, 0, 1}
+	out := CollapseColumns(probs, groups)
+	if out.Rows != 2 || out.Cols != 2 {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	if math.Abs(out.At(0, 0)-0.4) > 1e-12 || math.Abs(out.At(0, 1)-0.6) > 1e-12 {
+		t.Fatalf("row0 %v", out.Row(0))
+	}
+	// Mass is preserved per row.
+	for i := 0; i < out.Rows; i++ {
+		var sum float64
+		for _, v := range out.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d mass %v", i, sum)
+		}
+	}
+}
+
+func TestStableLabelsRelativeGap(t *testing.T) {
+	// Flat scores at any magnitude: unstable. Dominant top: stable —
+	// regardless of absolute scale.
+	big, _ := linalg.FromRows([][]float64{{0.5, 0.5}})
+	if l := StableLabels(big, 0.1); l[0] != -1 {
+		t.Fatalf("flat large-scale labels %v", l)
+	}
+	small, _ := linalg.FromRows([][]float64{{0.02, 0.08}})
+	if l := StableLabels(small, 0.1); l[0] != 1 {
+		t.Fatalf("dominant small-scale labels %v", l)
+	}
+	zero, _ := linalg.FromRows([][]float64{{0, 0}})
+	if l := StableLabels(zero, 0.1); l[0] != -1 {
+		t.Fatalf("zero scores labels %v", l)
+	}
+}

@@ -1,0 +1,122 @@
+// Package trajectory is the protein-folding substrate for the paper's §5
+// case study. The original study consumes MoDEL molecular-dynamics
+// trajectories; this package provides the equivalent synthetic feature
+// space: per-residue backbone torsion angles (φ, ψ, ω), a Ramachandran
+// classifier into the six secondary-structure types the paper lists, a
+// generator that plants meta-stable and transition phases (so ground truth
+// exists), torsion-space RMSD, and the offline probabilistic validation of
+// §5.2 — power-law conformation sampling, the stability probability of
+// eq. (3), the 70% High-Density-Region stability score, and the threshold
+// rule of eq. (4).
+package trajectory
+
+import "math"
+
+// SSType is one of the six secondary-structure classes of §5.1.
+type SSType int
+
+const (
+	// AlphaHelix is the right-handed α-helix region (φ ≈ −60°, ψ ≈ −45°).
+	AlphaHelix SSType = iota
+	// BetaStrand is the extended β-strand region (φ ≈ −120°, ψ ≈ +130°).
+	BetaStrand
+	// PPIIHelix is the polyproline-II helix region (φ ≈ −75°, ψ ≈ +150°).
+	PPIIHelix
+	// GammaPrimeTurn is the inverse γ'-turn region (φ ≈ −80°, ψ ≈ +65°).
+	GammaPrimeTurn
+	// GammaTurn is the classic γ-turn region (φ ≈ +75°, ψ ≈ −65°).
+	GammaTurn
+	// CisPeptide marks the rare cis peptide bond (ω ≈ 0° instead of 180°).
+	CisPeptide
+	numSSTypes
+)
+
+// NumSSTypes is the number of secondary-structure classes.
+const NumSSTypes = int(numSSTypes)
+
+// String names the class.
+func (s SSType) String() string {
+	switch s {
+	case AlphaHelix:
+		return "alpha-helix"
+	case BetaStrand:
+		return "beta-strand"
+	case PPIIHelix:
+		return "ppii-helix"
+	case GammaPrimeTurn:
+		return "gamma'-turn"
+	case GammaTurn:
+		return "gamma-turn"
+	case CisPeptide:
+		return "cis-peptide"
+	default:
+		return "unknown"
+	}
+}
+
+// basin is the (φ, ψ) center of a secondary-structure region on the
+// Ramachandran plot, in degrees. ω selects cis separately.
+type basin struct{ phi, psi float64 }
+
+// Basin centers follow the canonical Ramachandran regions: α-helix around
+// (−60, −45), β-strand (−120, +130), polyproline-II (−75, +150), inverse
+// γ'-turn (−80, +65), classic γ-turn (+75, −65).
+var basins = [5]basin{
+	AlphaHelix:     {-60, -45},
+	BetaStrand:     {-120, 130},
+	PPIIHelix:      {-75, 150},
+	GammaPrimeTurn: {-80, 65},
+	GammaTurn:      {75, -65},
+}
+
+// BasinAngles returns the characteristic (φ, ψ, ω) of a class; cis-peptide
+// uses the PPII backbone with ω = 0, everything else is trans (ω = 180).
+func BasinAngles(s SSType) (phi, psi, omega float64) {
+	if s == CisPeptide {
+		return basins[PPIIHelix].phi, basins[PPIIHelix].psi, 0
+	}
+	return basins[s].phi, basins[s].psi, 180
+}
+
+// angDiff returns the circular difference of two angles in degrees,
+// in [0, 180].
+func angDiff(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// Classify maps a residue's torsion angles to its secondary-structure
+// class: ω near 0 is the rare cis case (the typical trans is ~180); other
+// residues take the nearest Ramachandran basin in circular (φ, ψ) distance.
+func Classify(phi, psi, omega float64) SSType {
+	if angDiff(omega, 0) < 90 {
+		return CisPeptide
+	}
+	best := AlphaHelix
+	bestD := math.Inf(1)
+	for s, b := range basins {
+		dp := angDiff(phi, b.phi)
+		dq := angDiff(psi, b.psi)
+		d := dp*dp + dq*dq
+		if d < bestD {
+			best, bestD = SSType(s), d
+		}
+	}
+	return best
+}
+
+// ClassifyFrame maps a frame of R residues (3R angles, φ/ψ/ω per residue)
+// into R class codes written into dst (allocated when nil) and returns it.
+func ClassifyFrame(angles []float64, dst []SSType) []SSType {
+	r := len(angles) / 3
+	if dst == nil {
+		dst = make([]SSType, r)
+	}
+	for i := 0; i < r; i++ {
+		dst[i] = Classify(angles[3*i], angles[3*i+1], angles[3*i+2])
+	}
+	return dst
+}

@@ -1,0 +1,88 @@
+package trajectory
+
+import (
+	"testing"
+
+	"keybin2/internal/xrand"
+)
+
+func TestClassifyBasinCenters(t *testing.T) {
+	// Every basin's own center must classify as that type.
+	for s := SSType(0); s < numSSTypes; s++ {
+		phi, psi, omega := BasinAngles(s)
+		if got := Classify(phi, psi, omega); got != s {
+			t.Fatalf("%v center classified as %v", s, got)
+		}
+	}
+}
+
+func TestClassifyCisOverrides(t *testing.T) {
+	// Any (phi, psi) with omega near 0 is cis.
+	if got := Classify(-60, -45, 10); got != CisPeptide {
+		t.Fatalf("omega=10 classified as %v", got)
+	}
+	if got := Classify(-60, -45, 170); got == CisPeptide {
+		t.Fatal("omega=170 must be trans")
+	}
+	// Wraparound: omega = 350 ≡ -10 is cis.
+	if got := Classify(-60, -45, 350); got != CisPeptide {
+		t.Fatalf("omega=350 classified as %v", got)
+	}
+}
+
+func TestClassifyNoisyBasins(t *testing.T) {
+	// Jittered basin samples should classify correctly most of the time.
+	rng := xrand.New(1)
+	for s := SSType(0); s < numSSTypes; s++ {
+		correct := 0
+		const n = 500
+		for i := 0; i < n; i++ {
+			phi, psi, omega := BasinAngles(s)
+			got := Classify(phi+rng.Gaussian(0, 10), psi+rng.Gaussian(0, 10), omega+rng.Gaussian(0, 10))
+			if got == s {
+				correct++
+			}
+		}
+		if float64(correct)/n < 0.85 {
+			t.Fatalf("%v recovered only %d/%d under 10° jitter", s, correct, n)
+		}
+	}
+}
+
+func TestAngDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {10, 350, 20}, {180, -180, 0}, {90, -90, 180}, {-170, 170, 20},
+	}
+	for _, c := range cases {
+		if got := angDiff(c.a, c.b); got != c.want {
+			t.Fatalf("angDiff(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClassifyFrame(t *testing.T) {
+	p0, s0, o0 := BasinAngles(AlphaHelix)
+	p1, s1, o1 := BasinAngles(BetaStrand)
+	frame := []float64{p0, s0, o0, p1, s1, o1}
+	got := ClassifyFrame(frame, nil)
+	if len(got) != 2 || got[0] != AlphaHelix || got[1] != BetaStrand {
+		t.Fatalf("got %v", got)
+	}
+	// reuse dst
+	dst := make([]SSType, 2)
+	got2 := ClassifyFrame(frame, dst)
+	if &got2[0] != &dst[0] {
+		t.Fatal("dst not reused")
+	}
+}
+
+func TestSSTypeString(t *testing.T) {
+	for s := SSType(0); s < numSSTypes; s++ {
+		if s.String() == "unknown" || s.String() == "" {
+			t.Fatalf("missing name for %d", s)
+		}
+	}
+	if SSType(99).String() != "unknown" {
+		t.Fatal("out-of-range name")
+	}
+}

@@ -1,0 +1,364 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"keybin2/internal/linalg"
+	"keybin2/internal/unionfind"
+	"keybin2/internal/xrand"
+)
+
+// RMSD returns the torsion-space root-mean-square deviation between two
+// frames (circular angle differences in degrees). The paper computes RMSD
+// over atomic coordinates; torsion RMSD is the equivalent deviation measure
+// for the angle representation this substrate uses.
+func RMSD(a, b []float64) float64 {
+	var ss float64
+	for i := range a {
+		d := angDiff(a[i], b[i])
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a)))
+}
+
+// MeanFrame returns the circular mean of every angle across all frames.
+func MeanFrame(angles *linalg.Matrix) []float64 {
+	cols := angles.Cols
+	sumSin := make([]float64, cols)
+	sumCos := make([]float64, cols)
+	for i := 0; i < angles.Rows; i++ {
+		row := angles.Row(i)
+		for j, v := range row {
+			rad := v * math.Pi / 180
+			sumSin[j] += math.Sin(rad)
+			sumCos[j] += math.Cos(rad)
+		}
+	}
+	out := make([]float64, cols)
+	for j := range out {
+		out[j] = math.Atan2(sumSin[j], sumCos[j]) * 180 / math.Pi
+	}
+	return out
+}
+
+// SampleRepresentatives picks n distinct frames using a power-law
+// distribution over each frame's distance to the mean conformation (§5.2:
+// "selected N distinct conformations sampled by using a power law
+// distribution with respect to the distance to the mean conformation"),
+// favoring diverse, far-from-average representatives.
+//
+// Two refinements keep the representatives usable as *conformations*:
+// frames with high local variability (mid-transition noise, measured by
+// RMSD to the frame a few steps away) are excluded before sampling, and a
+// minimum mutual RMSD separation is enforced so the n representatives do
+// not collapse onto one meta-stable basin.
+func SampleRepresentatives(angles *linalg.Matrix, n int, seed int64) ([]int, error) {
+	if n <= 0 || n > angles.Rows {
+		return nil, fmt.Errorf("trajectory: %d representatives from %d frames", n, angles.Rows)
+	}
+	mean := MeanFrame(angles)
+
+	// Local stability: compare each frame with its neighbor 5 steps ahead.
+	const lag = 5
+	variability := make([]float64, angles.Rows)
+	for i := 0; i < angles.Rows; i++ {
+		j := i + lag
+		if j >= angles.Rows {
+			j = angles.Rows - 1
+		}
+		variability[i] = RMSD(angles.Row(i), angles.Row(j))
+	}
+	sortedVar := append([]float64(nil), variability...)
+	sort.Float64s(sortedVar)
+	cutoff := sortedVar[len(sortedVar)/2] // median
+
+	type fd struct {
+		frame int
+		dist  float64
+	}
+	var dists []fd
+	for i := 0; i < angles.Rows; i++ {
+		if variability[i] <= cutoff {
+			dists = append(dists, fd{frame: i, dist: RMSD(angles.Row(i), mean)})
+		}
+	}
+	if len(dists) < n {
+		for i := 0; i < angles.Rows && len(dists) < n; i++ {
+			if variability[i] > cutoff {
+				dists = append(dists, fd{frame: i, dist: RMSD(angles.Row(i), mean)})
+			}
+		}
+	}
+	rng := xrand.New(seed)
+	powerPick := func(ranked []fd) fd {
+		r := int(rng.PowerLaw(1.3, 1, float64(len(ranked)))) - 1
+		if r < 0 {
+			r = 0
+		}
+		if r >= len(ranked) {
+			r = len(ranked) - 1
+		}
+		return ranked[r]
+	}
+
+	// First representative: power-law sample by rank of distance to the
+	// mean conformation. Subsequent ones: power-law sample by rank of
+	// distance to the *nearest chosen representative* (randomized
+	// farthest-point traversal), which spreads the set across distinct
+	// meta-stable basins instead of piling into the single farthest one.
+	sort.Slice(dists, func(i, j int) bool { return dists[i].dist > dists[j].dist })
+	out := make([]int, 0, n)
+	chosen := make(map[int]bool, n)
+	first := powerPick(dists)
+	out = append(out, first.frame)
+	chosen[first.frame] = true
+
+	nearest := make([]fd, 0, len(dists))
+	for len(out) < n {
+		nearest = nearest[:0]
+		last := angles.Row(out[len(out)-1])
+		for i := range dists {
+			f := dists[i].frame
+			if chosen[f] {
+				continue
+			}
+			d := RMSD(angles.Row(f), last)
+			if len(out) == 1 {
+				dists[i].dist = d
+			} else if d < dists[i].dist {
+				dists[i].dist = d
+			}
+			nearest = append(nearest, fd{frame: f, dist: dists[i].dist})
+		}
+		sort.Slice(nearest, func(i, j int) bool { return nearest[i].dist > nearest[j].dist })
+		pick := powerPick(nearest)
+		out = append(out, pick.frame)
+		chosen[pick.frame] = true
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// StabilityProbabilities computes eq. (3): for every frame i and every
+// representative conformation l, the probability that the frame *is* that
+// conformation, from the inverse RMSD weights. Rows are frames, columns are
+// representatives. Zero distances are floored at epsilon.
+func StabilityProbabilities(angles *linalg.Matrix, representatives []int) *linalg.Matrix {
+	const epsilon = 1e-9
+	nl := len(representatives)
+	out := linalg.NewMatrix(angles.Rows, nl)
+	reps := make([][]float64, nl)
+	for l, f := range representatives {
+		reps[l] = angles.Row(f)
+	}
+	for i := 0; i < angles.Rows; i++ {
+		row := angles.Row(i)
+		probs := out.Row(i)
+		var total float64
+		for l := 0; l < nl; l++ {
+			d := RMSD(row, reps[l])
+			if d < epsilon {
+				d = epsilon
+			}
+			probs[l] = 1 / d
+			total += probs[l]
+		}
+		for l := range probs {
+			probs[l] /= total
+		}
+	}
+	return out
+}
+
+// GroupRepresentatives merges representatives that are near-duplicates —
+// samples of the same meta-stable basin — by single-linkage clustering at
+// an RMSD threshold of frac (0 selects 0.5) times the median pairwise
+// RMSD. It returns a dense group id per representative. Eq. (4)'s top-2
+// gap test presumes one label per distinct conformation; two labels
+// sharing a basin would split its probability and flag every frame
+// unstable.
+func GroupRepresentatives(angles *linalg.Matrix, reps []int, frac float64) []int {
+	if frac <= 0 {
+		frac = 0.5
+	}
+	n := len(reps)
+	if n == 0 {
+		return nil
+	}
+	dist := make([][]float64, n)
+	var all []float64
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := i + 1; j < n; j++ {
+			d := RMSD(angles.Row(reps[i]), angles.Row(reps[j]))
+			dist[i][j] = d
+			all = append(all, d)
+		}
+	}
+	if len(all) == 0 {
+		return make([]int, n)
+	}
+	sort.Float64s(all)
+	threshold := frac * all[len(all)/2]
+
+	dsu := unionfind.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist[i][j] <= threshold {
+				dsu.Union(i, j)
+			}
+		}
+	}
+	return dsu.Labels()
+}
+
+// CollapseColumns sums probability columns sharing a group id, returning a
+// matrix with one column per group.
+func CollapseColumns(probs *linalg.Matrix, groups []int) *linalg.Matrix {
+	ng := 0
+	for _, g := range groups {
+		if g+1 > ng {
+			ng = g + 1
+		}
+	}
+	out := linalg.NewMatrix(probs.Rows, ng)
+	for i := 0; i < probs.Rows; i++ {
+		src := probs.Row(i)
+		dst := out.Row(i)
+		for l, g := range groups {
+			dst[g] += src[l]
+		}
+	}
+	return out
+}
+
+// HDRCenter returns the center of the p-fraction High Density Region of a
+// sample: the midpoint of the shortest interval containing ⌈p·n⌉ of the
+// sorted values. This is the §5.2 stability score building block.
+func HDRCenter(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	k := int(math.Ceil(p * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	bestLo, bestWidth := 0, math.Inf(1)
+	for lo := 0; lo+k <= len(sorted); lo++ {
+		if w := sorted[lo+k-1] - sorted[lo]; w < bestWidth {
+			bestLo, bestWidth = lo, w
+		}
+	}
+	return (sorted[bestLo] + sorted[bestLo+k-1]) / 2
+}
+
+// StabilityScores turns the per-frame probabilities into per-frame label
+// stability scores: for each label, the center of the 70% HDR of its
+// probability over the trailing `window` frames (100 in the paper),
+// normalized across labels to [0, 1] per frame.
+func StabilityScores(probs *linalg.Matrix, window int, hdr float64) *linalg.Matrix {
+	if window <= 0 {
+		window = 100
+	}
+	if hdr <= 0 || hdr > 1 {
+		hdr = 0.7
+	}
+	nl := probs.Cols
+	out := linalg.NewMatrix(probs.Rows, nl)
+	buf := make([]float64, 0, window)
+	for i := 0; i < probs.Rows; i++ {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		row := out.Row(i)
+		var total float64
+		for l := 0; l < nl; l++ {
+			buf = buf[:0]
+			for f := lo; f <= i; f++ {
+				buf = append(buf, probs.At(f, l))
+			}
+			row[l] = HDRCenter(buf, hdr)
+			total += row[l]
+		}
+		if total > 0 {
+			for l := range row {
+				row[l] /= total
+			}
+		}
+	}
+	return out
+}
+
+// StableLabels applies eq. (4): at each frame, compare the two highest
+// stability scores; if their gap is below the threshold w the frame is not
+// stable (-1), otherwise the top label is the frame's stable conformation.
+// The gap is measured relative to the top score ((s_p − s_q)/s_p), which
+// makes the predefined threshold w scale-free: with many representatives
+// or long proteins the absolute scores flatten toward 1/N, but the
+// relative dominance of the winning conformation does not.
+func StableLabels(scores *linalg.Matrix, w float64) []int {
+	out := make([]int, scores.Rows)
+	for i := range out {
+		row := scores.Row(i)
+		best, second := -1, -1
+		for l, v := range row {
+			switch {
+			case best < 0 || v > row[best]:
+				second = best
+				best = l
+			case second < 0 || v > row[second]:
+				second = l
+			}
+		}
+		if best < 0 {
+			out[i] = -1
+			continue
+		}
+		gap := 1.0
+		if second >= 0 && row[best] > 0 {
+			gap = (row[best] - row[second]) / row[best]
+		} else if row[best] <= 0 {
+			gap = 0
+		}
+		if gap < w {
+			out[i] = -1
+		} else {
+			out[i] = best
+		}
+	}
+	return out
+}
+
+// Segment is a maximal run of frames sharing a stable label.
+type Segment struct {
+	Start, End int // inclusive frame range
+	Label      int
+}
+
+// Segments extracts the stable segments (label >= 0) of at least minLen
+// frames — Figure 4's rectangles.
+func Segments(labels []int, minLen int) []Segment {
+	if minLen < 1 {
+		minLen = 1
+	}
+	var out []Segment
+	start := 0
+	for i := 1; i <= len(labels); i++ {
+		if i < len(labels) && labels[i] == labels[start] {
+			continue
+		}
+		if labels[start] >= 0 && i-start >= minLen {
+			out = append(out, Segment{Start: start, End: i - 1, Label: labels[start]})
+		}
+		start = i
+	}
+	return out
+}

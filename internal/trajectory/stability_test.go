@@ -1,0 +1,185 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+
+	"keybin2/internal/linalg"
+)
+
+func TestRMSDBasics(t *testing.T) {
+	a := []float64{0, 90, -90}
+	if got := RMSD(a, a); got != 0 {
+		t.Fatalf("self RMSD %v", got)
+	}
+	b := []float64{10, 100, -80}
+	if got := RMSD(a, b); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("uniform-10 RMSD %v", got)
+	}
+	// wraparound: 175 vs -175 differ by 10, not 350
+	if got := RMSD([]float64{175}, []float64{-175}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("wrap RMSD %v", got)
+	}
+}
+
+func TestMeanFrameCircular(t *testing.T) {
+	// Angles straddling the wrap: mean of 170 and -170 is ±180, not 0.
+	m, _ := linalg.FromRows([][]float64{{170}, {-170}})
+	mean := MeanFrame(m)
+	if angDiff(mean[0], 180) > 1e-6 {
+		t.Fatalf("circular mean %v want ±180", mean[0])
+	}
+	// Plain case.
+	m2, _ := linalg.FromRows([][]float64{{10}, {20}})
+	if got := MeanFrame(m2)[0]; math.Abs(got-15) > 1e-6 {
+		t.Fatalf("mean %v want 15", got)
+	}
+}
+
+func TestSampleRepresentatives(t *testing.T) {
+	tr, err := Generate(Spec{Residues: 10, Frames: 1500, Phases: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := SampleRepresentatives(tr.Angles, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 8 {
+		t.Fatalf("%d reps", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, f := range reps {
+		if f < 0 || f >= tr.Angles.Rows || seen[f] {
+			t.Fatalf("bad rep %d", f)
+		}
+		seen[f] = true
+	}
+	if _, err := SampleRepresentatives(tr.Angles, 0, 1); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := SampleRepresentatives(tr.Angles, tr.Angles.Rows+1, 1); err == nil {
+		t.Fatal("n>frames must fail")
+	}
+}
+
+func TestStabilityProbabilitiesRows(t *testing.T) {
+	tr, err := Generate(Spec{Residues: 10, Frames: 1000, Phases: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := []int{10, 600}
+	probs := StabilityProbabilities(tr.Angles, reps)
+	for i := 0; i < probs.Rows; i++ {
+		var sum float64
+		for l := 0; l < probs.Cols; l++ {
+			p := probs.At(i, l)
+			if p < 0 || p > 1 {
+				t.Fatalf("prob %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// A representative frame is maximally probable for its own label.
+	if probs.At(10, 0) <= probs.At(10, 1) {
+		t.Fatal("rep frame should prefer itself")
+	}
+}
+
+func TestHDRCenter(t *testing.T) {
+	if HDRCenter(nil, 0.7) != 0 {
+		t.Fatal("empty input")
+	}
+	// Tight cluster + one outlier: HDR center stays near the cluster.
+	vals := []float64{0.5, 0.51, 0.49, 0.5, 0.52, 10}
+	c := HDRCenter(vals, 0.7)
+	if c < 0.4 || c > 0.6 {
+		t.Fatalf("HDR center %v", c)
+	}
+	// p=1 covers everything: center is the midrange.
+	c = HDRCenter([]float64{0, 1}, 1)
+	if c != 0.5 {
+		t.Fatalf("full HDR center %v", c)
+	}
+}
+
+func TestStableLabelsThreshold(t *testing.T) {
+	scores, _ := linalg.FromRows([][]float64{
+		{0.9, 0.1},  // clearly label 0
+		{0.5, 0.5},  // tie → unstable
+		{0.2, 0.75}, // clearly label 1
+	})
+	got := StableLabels(scores, 0.2)
+	if got[0] != 0 || got[1] != -1 || got[2] != 1 {
+		t.Fatalf("labels %v", got)
+	}
+	// single-label degenerate input
+	one, _ := linalg.FromRows([][]float64{{0.9}})
+	if l := StableLabels(one, 0.2); l[0] != 0 {
+		t.Fatalf("single-label %v", l)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	labels := []int{0, 0, 0, -1, -1, 1, 1, 1, 1, 0}
+	segs := Segments(labels, 2)
+	if len(segs) != 2 {
+		t.Fatalf("segments %+v", segs)
+	}
+	if segs[0] != (Segment{Start: 0, End: 2, Label: 0}) {
+		t.Fatalf("seg0 %+v", segs[0])
+	}
+	if segs[1] != (Segment{Start: 5, End: 8, Label: 1}) {
+		t.Fatalf("seg1 %+v", segs[1])
+	}
+	// minLen 1 keeps the final singleton too
+	if got := Segments(labels, 1); len(got) != 3 {
+		t.Fatalf("minLen=1 segments %+v", got)
+	}
+	if Segments(nil, 1) != nil {
+		t.Fatal("empty labels")
+	}
+}
+
+func TestEndToEndStabilityRecoversPhases(t *testing.T) {
+	// Full §5.2 pipeline on a planted trajectory: the HDR stability
+	// analysis should mark most stable-phase frames stable and most
+	// transition frames unstable.
+	tr, err := Generate(Spec{Residues: 20, Frames: 3000, Phases: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := SampleRepresentatives(tr.Angles, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupRepresentatives(tr.Angles, reps, 0.5)
+	probs := CollapseColumns(StabilityProbabilities(tr.Angles, reps), groups)
+	scores := StabilityScores(probs, 100, 0.7)
+	stable := StableLabels(scores, 0.1)
+
+	stableInPhase, phaseFrames := 0, 0
+	for i, p := range tr.Phase {
+		if i < 150 {
+			continue // warm the trailing window
+		}
+		if p >= 0 {
+			phaseFrames++
+			if stable[i] >= 0 {
+				stableInPhase++
+			}
+		}
+	}
+	frac := float64(stableInPhase) / float64(phaseFrames)
+	t.Logf("stable fraction within phases: %.3f", frac)
+	if frac < 0.6 {
+		t.Fatalf("stable fraction %.3f too low", frac)
+	}
+	segs := Segments(stable, 50)
+	if len(segs) < 2 {
+		t.Fatalf("found %d stable segments", len(segs))
+	}
+}

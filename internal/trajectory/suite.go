@@ -1,0 +1,92 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+
+	"keybin2/internal/xrand"
+)
+
+// Suite returns the 31 trajectory specs standing in for the MoDEL library
+// used in §5 (Table 3): residue counts spanning 58–747 with mean ≈ 193 and
+// a heavy right tail, and simulation lengths of 2,000–20,000 steps with
+// mean ≈ 9,779. Residue counts are drawn from a clamped log-normal tuned to
+// those moments; lengths from a clamped normal. The first trajectory is
+// named "1a70" and pinned to 10,000 frames to match Figure 4's subject.
+func Suite(seed int64) []Spec {
+	rng := xrand.New(seed)
+	const count = 31
+	specs := make([]Spec, count)
+	for i := range specs {
+		srng := rng.SplitN("traj", i)
+		// Log-normal with median ~155 and sigma ~0.62 gives mean ≈ 190
+		// and a tail reaching the 700s; clamp to the paper's range.
+		res := int(math.Round(155 * math.Exp(srng.Gaussian(0, 0.62))))
+		if res < 58 {
+			res = 58
+		}
+		if res > 747 {
+			res = 747
+		}
+		frames := int(math.Round(srng.Gaussian(9779, 3426)))
+		if frames < 2000 {
+			frames = 2000
+		}
+		if frames > 20000 {
+			frames = 20000
+		}
+		specs[i] = Spec{
+			Name:     fmt.Sprintf("traj%02d", i),
+			Residues: res,
+			Frames:   frames,
+			Seed:     seed + int64(1000*i),
+		}
+	}
+	// Figure 4 analyzes 10,000 frames of trajectory "1a70" with six
+	// meta-stable phases.
+	specs[0].Name = "1a70"
+	specs[0].Frames = 10000
+	specs[0].Phases = 6
+	return specs
+}
+
+// SuiteStats summarizes a suite the way Table 3 does.
+type SuiteStats struct {
+	Count                                       int
+	ResidueMean, ResidueStd, ResidueMin         float64
+	ResidueMax                                  float64
+	FramesMean, FramesStd, FramesMin, FramesMax float64
+}
+
+// Stats computes the Table 3 summary of a suite.
+func Stats(specs []Spec) SuiteStats {
+	s := SuiteStats{Count: len(specs)}
+	if len(specs) == 0 {
+		return s
+	}
+	s.ResidueMin, s.ResidueMax = math.Inf(1), math.Inf(-1)
+	s.FramesMin, s.FramesMax = math.Inf(1), math.Inf(-1)
+	for _, sp := range specs {
+		r, f := float64(sp.Residues), float64(sp.Frames)
+		s.ResidueMean += r
+		s.FramesMean += f
+		s.ResidueMin = math.Min(s.ResidueMin, r)
+		s.ResidueMax = math.Max(s.ResidueMax, r)
+		s.FramesMin = math.Min(s.FramesMin, f)
+		s.FramesMax = math.Max(s.FramesMax, f)
+	}
+	n := float64(len(specs))
+	s.ResidueMean /= n
+	s.FramesMean /= n
+	for _, sp := range specs {
+		dr := float64(sp.Residues) - s.ResidueMean
+		df := float64(sp.Frames) - s.FramesMean
+		s.ResidueStd += dr * dr
+		s.FramesStd += df * df
+	}
+	if len(specs) > 1 {
+		s.ResidueStd = math.Sqrt(s.ResidueStd / (n - 1))
+		s.FramesStd = math.Sqrt(s.FramesStd / (n - 1))
+	}
+	return s
+}

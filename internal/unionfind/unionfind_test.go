@@ -1,0 +1,167 @@
+package unionfind
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 || d.Len() != 5 {
+		t.Fatalf("Sets=%d Len=%d", d.Sets(), d.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("Find(%d)=%d", i, d.Find(i))
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeat union should report false")
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	if !d.Same(0, 2) {
+		t.Fatal("0 and 2 should be joined transitively")
+	}
+	if d.Same(0, 4) {
+		t.Fatal("0 and 4 must be separate")
+	}
+	if d.Sets() != 3 { // {0,1,2,3} {4} {5}
+		t.Fatalf("Sets=%d want 3", d.Sets())
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	d := New(5)
+	d.Union(0, 4)
+	d.Union(1, 2)
+	l := d.Labels()
+	if l[0] != l[4] || l[1] != l[2] {
+		t.Fatalf("labels %v", l)
+	}
+	if l[0] == l[1] || l[0] == l[3] || l[1] == l[3] {
+		t.Fatalf("labels %v should be distinct across sets", l)
+	}
+	// dense: ids form 0..k-1
+	max := 0
+	for _, v := range l {
+		if v > max {
+			max = v
+		}
+	}
+	if max != d.Sets()-1 {
+		t.Fatalf("labels not dense: max=%d sets=%d", max, d.Sets())
+	}
+}
+
+// Property: after any union sequence, Same is an equivalence relation
+// consistent with the applied unions (checked against a naive model).
+func TestAgainstNaiveModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		d := New(n)
+		model := make([]int, n) // naive set ids
+		for i := range model {
+			model[i] = i
+		}
+		for k := 0; k < 40; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			d.Union(a, b)
+			oldID, newID := model[b], model[a]
+			for i := range model {
+				if model[i] == oldID {
+					model[i] = newID
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.Same(i, j) != (model[i] == model[j]) {
+					return false
+				}
+			}
+		}
+		sets := map[int]bool{}
+		for _, v := range model {
+			sets[v] = true
+		}
+		return d.Sets() == len(sets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUnions(t *testing.T) {
+	const n = 1000
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// each worker chains a stripe, stripes overlap so the whole
+			// range ends connected
+			for i := w * 100; i < w*100+300 && i+1 < n; i++ {
+				c.Union(i, i+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	d := c.Snapshot()
+	// workers 0..7 cover unions over [0, 999]
+	if !d.Same(0, 999) {
+		t.Fatal("chained unions should connect 0 and 999")
+	}
+	if d.Sets() != 1 {
+		t.Fatalf("Sets=%d want 1", d.Sets())
+	}
+}
+
+func TestConcurrentFindValid(t *testing.T) {
+	c := NewConcurrent(100)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 99; i++ {
+			c.Union(i, i+1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if r := c.Find(i % 100); r < 0 || r >= 100 {
+				t.Errorf("invalid representative %d", r)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same sequence")
+		}
+	}
+	if a.Seed() != 7 {
+		t.Fatalf("Seed()=%d", a.Seed())
+	}
+}
+
+func TestSplitIndependentButReproducible(t *testing.T) {
+	p1, p2 := New(7), New(7)
+	c1, c2 := p1.Split("worker"), p2.Split("worker")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("same (seed,label) split must match")
+		}
+	}
+	d := New(7).Split("other")
+	e := New(7).Split("worker")
+	same := true
+	for i := 0; i < 20; i++ {
+		if d.Float64() != e.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different labels should give different streams")
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	a := New(3).SplitN("trial", 0)
+	b := New(3).SplitN("trial", 1)
+	c := New(3).SplitN("trial", 0)
+	if a.Float64() != c.Float64() {
+		t.Fatal("SplitN not reproducible")
+	}
+	a2 := New(3).SplitN("trial", 0)
+	a2.Float64()
+	if a2.Float64() == b.Float64() && a2.Float64() == b.Float64() {
+		t.Fatal("SplitN(0) and SplitN(1) look identical")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntRange out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("IntRange should hit all of [3,6], saw %v", seen)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := s.Gaussian(10, 2)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("mean=%v want 10", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("std=%v want 2", std)
+	}
+}
+
+func TestGaussianVec(t *testing.T) {
+	s := New(2)
+	out := make([]float64, 3)
+	s.GaussianVec(out, []float64{0, 100, -100}, []float64{0.001, 0.001, 0.001})
+	if math.Abs(out[0]) > 1 || math.Abs(out[1]-100) > 1 || math.Abs(out[2]+100) > 1 {
+		t.Fatalf("GaussianVec=%v", out)
+	}
+}
+
+func TestPowerLawBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 2000; i++ {
+		v := s.PowerLaw(2.5, 1, 50)
+		if v < 1-1e-9 || v > 50+1e-9 {
+			t.Fatalf("PowerLaw out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// With alpha > 1, mass concentrates near xmin.
+	s := New(5)
+	low := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if s.PowerLaw(3, 1, 100) < 5 {
+			low++
+		}
+	}
+	if float64(low)/n < 0.8 {
+		t.Fatalf("power law not skewed toward xmin: %d/%d below 5", low, n)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	s := New(9)
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical([]float64{1, 2, 7})]++
+	}
+	if math.Abs(float64(counts[2])/n-0.7) > 0.02 {
+		t.Fatalf("weight-7 bucket freq %v want ~0.7", float64(counts[2])/n)
+	}
+	if math.Abs(float64(counts[0])/n-0.1) > 0.02 {
+		t.Fatalf("weight-1 bucket freq %v want ~0.1", float64(counts[0])/n)
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	s := New(9)
+	// all-zero weights: uniform fallback, must not panic and must cover all.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[s.Categorical([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("uniform fallback should cover all indices, saw %v", seen)
+	}
+	// negative weights are ignored.
+	for i := 0; i < 100; i++ {
+		if got := s.Categorical([]float64{-5, 1, -2}); got != 1 {
+			t.Fatalf("negative weights must be skipped, got index %d", got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		n := 1 + int(uint(seed)%20)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	s := New(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(rate=2) mean %v want 0.5", mean)
+	}
+}

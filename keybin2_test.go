@@ -1,0 +1,140 @@
+package keybin2_test
+
+import (
+	"testing"
+
+	"keybin2"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// TestPublicAPIRoundTrip exercises the library exactly as a downstream user
+// would: build a matrix, fit, evaluate, assign.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	spec := synth.AutoMixture(3, 16, 6, 1, xrand.New(1))
+	data, truth := spec.Sample(5000, xrand.New(2))
+
+	model, labels, err := keybin2.Fit(data, keybin2.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, f1 := keybin2.PrecisionRecallF1(labels, truth)
+	if f1 < 0.6 {
+		t.Fatalf("f1=%.3f p=%.3f r=%.3f", f1, p, r)
+	}
+	if keybin2.ARI(labels, truth) <= 0 || keybin2.NMI(labels, truth) <= 0 {
+		t.Fatal("agreement indices")
+	}
+	if l, err := model.Assign(data.Row(0)); err != nil || l != labels[0] {
+		t.Fatalf("assign: %d vs %d (%v)", l, labels[0], err)
+	}
+}
+
+func TestPublicAPIDistributed(t *testing.T) {
+	spec := synth.AutoMixture(3, 12, 6, 1, xrand.New(4))
+	data, truth := spec.Sample(4000, xrand.New(5))
+	const ranks = 2
+	all := make([][]int, ranks)
+	err := keybin2.Run(ranks, func(c *keybin2.Comm) error {
+		lo, hi := synth.Shard(data.Rows, ranks, c.Rank())
+		local := keybin2.NewMatrix(hi-lo, data.Cols)
+		copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
+		_, labels, err := keybin2.FitDistributed(c, local, keybin2.Config{Seed: 6})
+		all[c.Rank()] = labels
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred []int
+	for _, l := range all {
+		pred = append(pred, l...)
+	}
+	if _, _, f1 := keybin2.PrecisionRecallF1(pred, truth); f1 < 0.6 {
+		t.Fatalf("distributed f1 %.3f", f1)
+	}
+}
+
+func TestPublicAPIStream(t *testing.T) {
+	spec := synth.AutoMixture(2, 8, 6, 1, xrand.New(7))
+	st, err := keybin2.NewStream(keybin2.StreamConfig{
+		Config: keybin2.Config{Seed: 8}, Dims: 8, Warmup: 300, Period: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := spec.Stream(2000, xrand.New(9))
+	labeled := 0
+	for {
+		x, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		l, err := st.Ingest(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != keybin2.Noise {
+			labeled++
+		}
+	}
+	if labeled < 1000 {
+		t.Fatalf("only %d labeled", labeled)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if keybin2.TargetDims(1280) != 16 {
+		t.Fatalf("TargetDims(1280)=%d", keybin2.TargetDims(1280))
+	}
+	m, err := keybin2.FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil || m.Rows != 2 {
+		t.Fatal("FromRows")
+	}
+	if keybin2.Gaussian.String() != "gaussian" {
+		t.Fatal("kind constant")
+	}
+}
+
+func TestPublicCheckpointAPIs(t *testing.T) {
+	spec := synth.AutoMixture(2, 6, 6, 1, xrand.New(40))
+	data, _ := spec.Sample(1500, xrand.New(41))
+	model, labels, err := keybin2.Fit(data, keybin2.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := keybin2.DecodeModel(model.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := restored.Assign(data.Row(0)); l != labels[0] {
+		t.Fatal("restored model labels differently")
+	}
+
+	cfg := keybin2.StreamConfig{Config: keybin2.Config{Seed: 43}, Dims: 6, Warmup: 200, Period: 200}
+	st, err := keybin2.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := spec.Stream(600, xrand.New(44))
+	for {
+		x, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := st.Ingest(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := keybin2.DecodeStream(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Seen() != st.Seen() {
+		t.Fatalf("resumed seen %d vs %d", resumed.Seen(), st.Seen())
+	}
+}
