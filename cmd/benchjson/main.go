@@ -1,0 +1,72 @@
+// Command benchjson measures the labeling-pipeline kernels and writes the
+// results as JSON, seeding the repo's performance trajectory. It tracks
+// ns/point for per-point key assignment, the tuple-counting pass, and the
+// end-to-end serial Fit at the Table-1 medium scale.
+//
+// Usage:
+//
+//	benchjson                          # writes BENCH_keybin2.json
+//	benchjson -points 50000 -dims 64   # custom fixture
+//	benchjson -o - -reps 5             # print to stdout, 5 repetitions
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"keybin2/internal/core"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+type report struct {
+	// Schema identifies the payload for downstream tooling.
+	Schema     string             `json:"schema"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Seed       int64              `json:"seed"`
+	Kernels    core.KernelTimings `json:"kernels"`
+}
+
+func main() {
+	var (
+		points = flag.Int("points", 30000, "fixture rows (Table-1 medium scale)")
+		dims   = flag.Int("dims", 80, "fixture dimensionality")
+		reps   = flag.Int("reps", 3, "repetitions per measurement (fastest kept)")
+		seed   = flag.Int64("seed", 1, "fixture + fit seed")
+		out    = flag.String("o", "BENCH_keybin2.json", "output path ('-' for stdout)")
+	)
+	flag.Parse()
+
+	spec := synth.AutoMixture(4, *dims, 6, 1, xrand.New(*seed))
+	data, _ := spec.Sample(*points, xrand.New(*seed+1))
+	kt, err := core.MeasureKernels(data, core.Config{Seed: *seed + 2}, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep := report{
+		Schema:     "keybin2/bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Kernels:    kt,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: key-assign %.1f ns/pt, tuple-count %.1f ns/pt, fit %.1f ns/pt (%d×%d)\n",
+		*out, kt.KeyAssignNsPerPoint, kt.TupleCountNsPerPoint, kt.FitNsPerPoint, kt.Points, kt.Dims)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"keybin2/internal/linalg"
+)
+
+// KernelTimings reports steady-state per-point costs of the labeling
+// pipeline's kernels, in nanoseconds per point. It feeds the repo's perf
+// trajectory (cmd/benchjson writes it to BENCH_keybin2.json) so regressions
+// in the hot path are visible across PRs.
+type KernelTimings struct {
+	// KeyAssignNsPerPoint is the fused per-point labeling kernel
+	// (bin + segment LUT + packed tuple key + label lookup).
+	KeyAssignNsPerPoint float64 `json:"key_assign_ns_per_point"`
+	// TupleCountNsPerPoint is the full parallel tuple-counting pass.
+	TupleCountNsPerPoint float64 `json:"tuple_count_ns_per_point"`
+	// FitNsPerPoint is the end-to-end serial Fit, amortized per point.
+	FitNsPerPoint float64 `json:"fit_ns_per_point"`
+	// Points and Dims describe the fixture the timings were taken on.
+	Points int `json:"points"`
+	Dims   int `json:"dims"`
+}
+
+// MeasureKernels fits data once and then times the labeling kernels on the
+// winning trial, repeating each measurement `reps` times (≥1) and keeping
+// the fastest — the standard microbenchmark convention for steady-state
+// cost. It is intentionally lightweight: a perf-tracking harness, not a
+// substitute for `go test -bench`.
+func MeasureKernels(data *linalg.Matrix, cfg Config, reps int) (KernelTimings, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var kt KernelTimings
+	kt.Points, kt.Dims = data.Rows, data.Cols
+
+	// End-to-end fit (includes projection, binning, partitioning, trials).
+	fitBest := time.Duration(1<<63 - 1)
+	var model *Model
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		m, _, err := Fit(data, cfg)
+		if err != nil {
+			return kt, fmt.Errorf("core: measure fit: %w", err)
+		}
+		if d := time.Since(start); d < fitBest {
+			fitBest = d
+		}
+		model = m
+	}
+	kt.FitNsPerPoint = float64(fitBest.Nanoseconds()) / float64(data.Rows)
+
+	// Project once so the kernel timings isolate labeling, not projection.
+	proj := data
+	if model.Projection != nil {
+		var err error
+		proj, err = linalg.ParallelMul(nil, data, model.Projection, cfg.Workers)
+		if err != nil {
+			return kt, err
+		}
+	}
+
+	// Per-point key assignment + label lookup (the in-situ hot path).
+	assignBest := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < proj.Rows; i++ {
+			model.AssignProjected(proj.Row(i))
+		}
+		if d := time.Since(start); d < assignBest {
+			assignBest = d
+		}
+	}
+	kt.KeyAssignNsPerPoint = float64(assignBest.Nanoseconds()) / float64(proj.Rows)
+
+	// Full tuple-counting pass over the winning trial's columns.
+	codec := newTupleCodec(model.Parts, model.Collapsed)
+	countBest := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		countTuples(proj, 0, model.Set, model.Parts, model.Collapsed, codec, cfg.Workers)
+		if d := time.Since(start); d < countBest {
+			countBest = d
+		}
+	}
+	kt.TupleCountNsPerPoint = float64(countBest.Nanoseconds()) / float64(proj.Rows)
+	return kt, nil
+}

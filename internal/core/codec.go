@@ -186,7 +186,6 @@ func DecodeModel(b []byte) (*Model, error) {
 		return nil, fmt.Errorf("core: absurd cluster count %d", nclusters)
 	}
 	m.Clusters = make([]quality.Cluster, nclusters)
-	m.labelOf = make(map[string]int, nclusters)
 	for i := 0; i < nclusters; i++ {
 		mass := r.u64()
 		segs := make([]int, ndims)
@@ -194,8 +193,17 @@ func DecodeModel(b []byte) (*Model, error) {
 			segs[j] = int(r.u32())
 		}
 		m.Clusters[i] = quality.Cluster{Segments: segs, Mass: mass}
-		m.labelOf[packSegments(segs)] = i
 	}
+	// The wire format stores segments explicitly (it predates — and is
+	// unaffected by — the packed-uint64 tuple keys); the codec, fused
+	// labeling kernel, and tuple→label map are rebuilt from the decoded
+	// partitions so checkpoints from before the packing change label
+	// identically.
+	m.codec = newTupleCodec(m.Parts, m.Collapsed)
+	if m.codec.fits {
+		m.lab = newLabeler(m.Set, m.Parts, m.Collapsed, m.codec)
+	}
+	m.installLabels(identityLabels(nclusters))
 	m.Assessment.CH = r.f64()
 	m.Assessment.Within = r.f64()
 	m.Assessment.Between = r.f64()

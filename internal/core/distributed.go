@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"keybin2/internal/histogram"
 	"keybin2/internal/keys"
@@ -57,25 +58,13 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 	}
 
 	// Agree on global per-dimension ranges for all trials at once:
-	// interleaved (min, max) pairs over Trials·TargetDims dimensions.
+	// interleaved (min, max) pairs over Trials·TargetDims dimensions,
+	// established in one parallel pass over the local shard.
 	totalDims := cfg.Trials * cfg.TargetDims
+	lmins, lmaxs := columnRanges(proj, 0, totalDims, cfg.Workers)
 	mm := make([]float64, 2*totalDims)
 	for d := 0; d < totalDims; d++ {
-		if proj.Rows == 0 {
-			mm[2*d], mm[2*d+1] = 0, 0
-			continue
-		}
-		lo, hi := proj.At(0, d), proj.At(0, d)
-		for i := 1; i < proj.Rows; i++ {
-			v := proj.At(i, d)
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		mm[2*d], mm[2*d+1] = lo, hi
+		mm[2*d], mm[2*d+1] = lmins[d], lmaxs[d]
 	}
 	mmRaw, err := consolidate(comm, cfg, mpi.EncodeFloat64s(mm), mpi.MinMaxFloat64s)
 	if err != nil {
@@ -86,25 +75,43 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 		return nil, nil, err
 	}
 
-	// Bin local points per trial and consolidate histograms. All trials'
-	// sets travel in one payload (length-prefixed frames).
+	// Bin local points per trial and consolidate histograms. Trials are
+	// independent, so local binning runs concurrently over a shared worker
+	// budget; all trials' sets then travel in one payload (length-prefixed
+	// frames, appended in trial order so the bytes stay deterministic).
 	sets := make([]*histogram.Set, cfg.Trials)
-	var packed []byte
+	binErrs := make([]error, cfg.Trials)
+	perTrial := trialWorkers(cfg.Workers, cfg.Trials)
+	var binWG sync.WaitGroup
 	for t := 0; t < cfg.Trials; t++ {
-		mins := make([]float64, cfg.TargetDims)
-		maxs := make([]float64, cfg.TargetDims)
-		for j := 0; j < cfg.TargetDims; j++ {
-			d := t*cfg.TargetDims + j
-			mins[j], maxs[j] = gmm[2*d], gmm[2*d+1]
-		}
-		set, err := buildSet(proj, t*cfg.TargetDims, mins, maxs, depth, cfg.Workers)
+		binWG.Add(1)
+		go func(t int) {
+			defer binWG.Done()
+			mins := make([]float64, cfg.TargetDims)
+			maxs := make([]float64, cfg.TargetDims)
+			for j := 0; j < cfg.TargetDims; j++ {
+				d := t*cfg.TargetDims + j
+				mins[j], maxs[j] = gmm[2*d], gmm[2*d+1]
+			}
+			set, err := buildSet(proj, t*cfg.TargetDims, mins, maxs, depth, perTrial)
+			if err != nil {
+				binErrs[t] = fmt.Errorf("trial %d: %w", t, err)
+				return
+			}
+			if cfg.SuppressBelow >= 2 {
+				set.Suppress(uint64(cfg.SuppressBelow))
+			}
+			sets[t] = set
+		}(t)
+	}
+	binWG.Wait()
+	for _, err := range binErrs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
+			return nil, nil, err
 		}
-		if cfg.SuppressBelow >= 2 {
-			set.Suppress(uint64(cfg.SuppressBelow))
-		}
-		sets[t] = set
+	}
+	var packed []byte
+	for _, set := range sets {
 		packed = mpi.AppendBytesFrame(packed, set.Encode())
 	}
 	globalRaw, err := consolidate(comm, cfg, packed, combineFramedSets)
@@ -132,20 +139,27 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 	// buildLabels orders tuples deterministically.
 	models := make([]*Model, cfg.Trials)
 	assessments := make([]quality.Assessment, cfg.Trials)
-	var tuplePacked []byte
 	partResults := make([]trialPartitions, cfg.Trials)
+	localTuples := make([]tupleCounts, cfg.Trials)
+	var cntWG sync.WaitGroup
 	for t := 0; t < cfg.Trials; t++ {
-		parts, collapsed := partitionSet(globalSets[t], cfg)
-		partResults[t] = trialPartitions{parts: parts, collapsed: collapsed}
-		local := countTuples(proj, t*cfg.TargetDims, globalSets[t], parts, collapsed, cfg.Workers)
-		if cfg.SuppressBelow >= 2 {
-			for k, n := range local {
-				if n < uint64(cfg.SuppressBelow) {
-					delete(local, k)
-				}
+		cntWG.Add(1)
+		go func(t int) {
+			defer cntWG.Done()
+			parts, collapsed := partitionSet(globalSets[t], cfg)
+			partResults[t] = trialPartitions{parts: parts, collapsed: collapsed}
+			codec := newTupleCodec(parts, collapsed)
+			local := countTuples(proj, t*cfg.TargetDims, globalSets[t], parts, collapsed, codec, perTrial)
+			if cfg.SuppressBelow >= 2 {
+				local.dropBelow(uint64(cfg.SuppressBelow))
 			}
-		}
-		tuplePacked = mpi.AppendBytesFrame(tuplePacked, encodeTuples(local))
+			localTuples[t] = local
+		}(t)
+	}
+	cntWG.Wait()
+	var tuplePacked []byte
+	for t := 0; t < cfg.Trials; t++ {
+		tuplePacked = mpi.AppendBytesFrame(tuplePacked, encodeTupleCounts(localTuples[t]))
 	}
 	globalTuplesRaw, err := consolidate(comm, cfg, tuplePacked, combineFramedTuples)
 	if err != nil {
@@ -159,7 +173,7 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 		return nil, nil, fmt.Errorf("core: %d tuple frames for %d trials", len(tupleFrames), cfg.Trials)
 	}
 	for t := 0; t < cfg.Trials; t++ {
-		tuples, err := decodeTuples(tupleFrames[t])
+		tuples, err := decodeTupleCounts(tupleFrames[t])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -217,7 +231,8 @@ func combineFramedSets(acc, in []byte) ([]byte, error) {
 }
 
 // combineFramedTuples merges two frame sequences of encoded tuple-count
-// maps element-wise.
+// maps element-wise. Every rank derives the same codec from the same global
+// partitions, so paired frames always carry the same key tag.
 func combineFramedTuples(acc, in []byte) ([]byte, error) {
 	a, err := mpi.SplitBytesFrames(acc)
 	if err != nil {
@@ -232,25 +247,28 @@ func combineFramedTuples(acc, in []byte) ([]byte, error) {
 	}
 	var out []byte
 	for i := range a {
-		ma, err := decodeTuples(a[i])
+		ta, err := decodeTupleCounts(a[i])
 		if err != nil {
 			return nil, err
 		}
-		mb, err := decodeTuples(b[i])
+		tb, err := decodeTupleCounts(b[i])
 		if err != nil {
 			return nil, err
 		}
-		for k, n := range mb {
-			ma[k] += n
+		merged, err := mergeTupleCounts(ta, tb)
+		if err != nil {
+			return nil, err
 		}
-		out = mpi.AppendBytesFrame(out, encodeTuples(ma))
+		out = mpi.AppendBytesFrame(out, encodeTupleCounts(merged))
 	}
 	return out, nil
 }
 
-// Tuple map wire format: [nentries:u32] then per entry
+// String-keyed tuple map wire format: [nentries:u32] then per entry
 // [keylen:u32][key bytes][mass:u64]. Entries are written in sorted key
-// order so equal maps encode identically.
+// order so equal maps encode identically. The distributed fit wraps this
+// (or the packed-uint64 form) behind a tag byte via encodeTupleCounts; the
+// streaming sync path uses it directly for its packed-keys.Key sketches.
 func encodeTuples(m map[string]uint64) []byte {
 	keys := make([]string, 0, len(m))
 	for k := range m {

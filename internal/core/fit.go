@@ -37,22 +37,44 @@ func Fit(data *linalg.Matrix, cfg Config) (*Model, []int, error) {
 		return nil, nil, err
 	}
 
-	// Fit every bootstrap trial on the projected data and keep the best.
+	// One fused parallel pass over the projected matrix establishes every
+	// trial's per-dimension ranges, instead of t serial full-matrix scans.
+	allMins, allMaxs := columnRanges(proj, 0, cfg.Trials*cfg.TargetDims, cfg.Workers)
+
+	// The t bootstrap trials are independent until SelectBest, so they run
+	// concurrently, splitting the worker budget between them (each trial's
+	// binning/counting passes parallelize internally over its share).
 	trials := make([]*Model, cfg.Trials)
 	assessments := make([]quality.Assessment, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	perTrial := trialWorkers(cfg.Workers, cfg.Trials)
+	var wg sync.WaitGroup
 	for t := 0; t < cfg.Trials; t++ {
-		loCol := t * cfg.TargetDims
-		mins, maxs := columnRanges(proj, loCol, cfg.TargetDims)
-		set, err := buildSet(proj, loCol, mins, maxs, depth, cfg.Workers)
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			loCol := t * cfg.TargetDims
+			mins := allMins[loCol : loCol+cfg.TargetDims]
+			maxs := allMaxs[loCol : loCol+cfg.TargetDims]
+			set, err := buildSet(proj, loCol, mins, maxs, depth, perTrial)
+			if err != nil {
+				errs[t] = fmt.Errorf("trial %d: %w", t, err)
+				return
+			}
+			model, err := finishTrial(set, proj, loCol, cfg, t, batch, perTrial)
+			if err != nil {
+				errs[t] = fmt.Errorf("trial %d: %w", t, err)
+				return
+			}
+			trials[t] = model
+			assessments[t] = model.Assessment
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
+			return nil, nil, err
 		}
-		model, err := finishTrial(set, proj, loCol, cfg, t, batch)
-		if err != nil {
-			return nil, nil, fmt.Errorf("trial %d: %w", t, err)
-		}
-		trials[t] = model
-		assessments[t] = model.Assessment
 	}
 	best := quality.SelectBest(assessments)
 	model := trials[best]
@@ -81,23 +103,93 @@ func projectAll(data *linalg.Matrix, cfg Config) (*linalg.Matrix, *projection.Ba
 	return proj, batch, nil
 }
 
+// trialWorkers splits a worker budget (0 = all CPUs) across concurrent
+// trials, at least one worker each.
+func trialWorkers(workers, trials int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	per := workers / trials
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // columnRanges returns per-dimension min/max over columns
-// [loCol, loCol+nrp) of the projected matrix.
-func columnRanges(proj *linalg.Matrix, loCol, nrp int) (mins, maxs []float64) {
+// [loCol, loCol+nrp) of the projected matrix, fanning row blocks across
+// workers with the same chunk pattern as buildSet. A zero-row matrix (an
+// empty distributed shard) yields zero ranges — the neutral element of the
+// min/max consolidation.
+func columnRanges(proj *linalg.Matrix, loCol, nrp, workers int) (mins, maxs []float64) {
 	mins = make([]float64, nrp)
 	maxs = make([]float64, nrp)
-	for j := 0; j < nrp; j++ {
-		mins[j], maxs[j] = proj.At(0, loCol+j), proj.At(0, loCol+j)
+	if proj.Rows == 0 {
+		return mins, maxs
 	}
-	for i := 1; i < proj.Rows; i++ {
-		row := proj.Row(i)
-		for j := 0; j < nrp; j++ {
-			v := row[loCol+j]
-			if v < mins[j] {
-				mins[j] = v
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > proj.Rows {
+		workers = 1
+	}
+	locMins := make([][]float64, workers)
+	locMaxs := make([][]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (proj.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > proj.Rows {
+			hi = proj.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lmin := make([]float64, nrp)
+			lmax := make([]float64, nrp)
+			row := proj.Row(lo)
+			for j := 0; j < nrp; j++ {
+				lmin[j], lmax[j] = row[loCol+j], row[loCol+j]
 			}
-			if v > maxs[j] {
-				maxs[j] = v
+			for i := lo + 1; i < hi; i++ {
+				row := proj.Row(i)
+				for j := 0; j < nrp; j++ {
+					v := row[loCol+j]
+					if v < lmin[j] {
+						lmin[j] = v
+					}
+					if v > lmax[j] {
+						lmax[j] = v
+					}
+				}
+			}
+			locMins[w], locMaxs[w] = lmin, lmax
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	first := true
+	for w := range locMins {
+		if locMins[w] == nil {
+			continue
+		}
+		if first {
+			copy(mins, locMins[w])
+			copy(maxs, locMaxs[w])
+			first = false
+			continue
+		}
+		for j := 0; j < nrp; j++ {
+			if locMins[w][j] < mins[j] {
+				mins[j] = locMins[w][j]
+			}
+			if locMaxs[w][j] > maxs[j] {
+				maxs[j] = locMaxs[w][j]
 			}
 		}
 	}
@@ -207,8 +299,62 @@ func partitionSet(set *histogram.Set, cfg Config) (parts []partition.Result, col
 }
 
 // countTuples maps every row to its primary-cluster tuple and counts
-// occupancy.
-func countTuples(proj *linalg.Matrix, loCol int, set *histogram.Set, parts []partition.Result, collapsed []bool, workers int) map[string]uint64 {
+// occupancy, dispatching to the packed-uint64 kernel or the string fallback
+// depending on whether the trial's tuple fits in 64 bits.
+func countTuples(proj *linalg.Matrix, loCol int, set *histogram.Set, parts []partition.Result, collapsed []bool, codec tupleCodec, workers int) tupleCounts {
+	if codec.fits {
+		lab := newLabeler(set, parts, collapsed, codec)
+		return tupleCounts{u: countTuplesPacked(proj, loCol, lab, workers)}
+	}
+	return tupleCounts{s: countTuplesString(proj, loCol, set, parts, collapsed, workers)}
+}
+
+// countTuplesPacked is the allocation-free counting kernel: per point, one
+// multiply and one table lookup per dimension, one map increment.
+func countTuplesPacked(proj *linalg.Matrix, loCol int, lab *labeler, workers int) map[uint64]uint64 {
+	nrp := len(lab.luts)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > proj.Rows {
+		workers = 1
+	}
+	maps := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	chunk := (proj.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > proj.Rows {
+			hi = proj.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(map[uint64]uint64)
+			for i := lo; i < hi; i++ {
+				row := proj.Row(i)
+				local[lab.key(row[loCol:loCol+nrp])]++
+			}
+			maps[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := make(map[uint64]uint64)
+	for _, m := range maps {
+		for k, n := range m {
+			out[k] += n
+		}
+	}
+	return out
+}
+
+// countTuplesString is the legacy string-keyed pass, kept as the documented
+// fallback for tuples wider than 64 bits (and as the baseline the
+// equivalence tests and benchmarks compare against).
+func countTuplesString(proj *linalg.Matrix, loCol int, set *histogram.Set, parts []partition.Result, collapsed []bool, workers int) map[string]uint64 {
 	nrp := len(set.Dims)
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -262,17 +408,24 @@ func segmentsOfRow(projected []float64, set *histogram.Set, parts []partition.Re
 
 // finishTrial partitions, counts tuples, builds labels, and assesses one
 // trial, producing its Model.
-func finishTrial(set *histogram.Set, proj *linalg.Matrix, loCol int, cfg Config, trial int, batch *projection.Batch) (*Model, error) {
+func finishTrial(set *histogram.Set, proj *linalg.Matrix, loCol int, cfg Config, trial int, batch *projection.Batch, workers int) (*Model, error) {
 	parts, collapsed := partitionSet(set, cfg)
-	tuples := countTuples(proj, loCol, set, parts, collapsed, cfg.Workers)
+	codec := newTupleCodec(parts, collapsed)
+	tuples := countTuples(proj, loCol, set, parts, collapsed, codec, workers)
 	return assembleModel(set, parts, collapsed, tuples, cfg, trial, batch)
 }
 
 // assembleModel finalizes a trial from its global histograms, partitions,
 // and global tuple counts. It is shared by the serial and distributed
-// drivers.
-func assembleModel(set *histogram.Set, parts []partition.Result, collapsed []bool, tuples map[string]uint64, cfg Config, trial int, batch *projection.Batch) (*Model, error) {
-	clusters, labelOf := buildLabels(tuples, len(set.Dims), cfg.MinClusterSize, cfg.MaxClusters)
+// drivers. The tuple counts must be keyed under the codec the partitions
+// imply (packed when it fits, string otherwise) — both drivers derive them
+// from the identical deterministic partition step.
+func assembleModel(set *histogram.Set, parts []partition.Result, collapsed []bool, tuples tupleCounts, cfg Config, trial int, batch *projection.Batch) (*Model, error) {
+	codec := newTupleCodec(parts, collapsed)
+	if codec.fits != (tuples.u != nil) {
+		return nil, fmt.Errorf("core: tuple counts keyed inconsistently with partition codec")
+	}
+	clusters := buildLabels(tuples, codec, len(set.Dims), cfg.MinClusterSize, cfg.MaxClusters)
 	assessment, err := quality.Assess(set, parts, clusters)
 	if err != nil {
 		return nil, err
@@ -284,8 +437,12 @@ func assembleModel(set *histogram.Set, parts []partition.Result, collapsed []boo
 		Clusters:   clusters,
 		Assessment: assessment,
 		Trial:      trial,
-		labelOf:    labelOf,
+		codec:      codec,
 	}
+	if codec.fits {
+		model.lab = newLabeler(set, parts, collapsed, codec)
+	}
+	model.installLabels(identityLabels(len(clusters)))
 	if batch != nil {
 		nrp := batch.Nrp
 		pm := linalg.NewMatrix(batch.Joined.Rows, nrp)
@@ -320,11 +477,25 @@ func assignAll(proj *linalg.Matrix, loCol int, model *Model, workers int) []int 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			if model.codec.fits {
+				// Allocation-free fast path: one multiply + one LUT load
+				// per dimension, one map probe per point.
+				lab, labelOf := model.lab, model.labelOf
+				for i := lo; i < hi; i++ {
+					row := proj.Row(i)
+					if l, ok := labelOf[lab.key(row[loCol:loCol+nrp])]; ok {
+						labels[i] = l
+					} else {
+						labels[i] = cluster.Noise
+					}
+				}
+				return
+			}
 			segs := make([]int, nrp)
 			for i := lo; i < hi; i++ {
 				row := proj.Row(i)
 				segmentsOfRow(row[loCol:loCol+nrp], model.Set, model.Parts, model.Collapsed, segs)
-				if l, ok := model.labelOf[packSegments(segs)]; ok {
+				if l, ok := model.labelOfStr[packSegments(segs)]; ok {
 					labels[i] = l
 				} else {
 					labels[i] = cluster.Noise

@@ -40,7 +40,15 @@ type Model struct {
 	// Trial is the index of the winning bootstrap trial.
 	Trial int
 
-	labelOf map[string]int
+	// codec packs segment tuples into uint64 keys; lab is the fused
+	// bin→segment labeling kernel. When the packed width overflows 64 bits
+	// (codec.fits == false) the model falls back to string tuple keys and
+	// labelOfStr. Both are rebuilt deterministically from Parts/Collapsed,
+	// so they never travel on the wire.
+	codec      tupleCodec
+	lab        *labeler
+	labelOf    map[uint64]int
+	labelOfStr map[string]int
 }
 
 // K returns the number of clusters the model found.
@@ -71,8 +79,10 @@ func (m *Model) Describe() string {
 	return b.String()
 }
 
-// packSegments serializes a segment tuple into a map key. Collapsed
-// dimensions contribute a constant so they do not fragment clusters.
+// packSegments serializes a segment tuple into a string map key. It is the
+// fallback codec for tuples whose packed width overflows 64 bits (see
+// tupleCodec); the hot paths use packed uint64 keys. Collapsed dimensions
+// contribute a constant so they do not fragment clusters.
 func packSegments(segs []int) string {
 	buf := make([]byte, 2*len(segs))
 	for j, s := range segs {
@@ -102,11 +112,18 @@ func (m *Model) segmentsOf(projected []float64, segs []int) {
 }
 
 // AssignProjected labels a point already expressed in the projected
-// subspace. Unknown tuples return cluster.Noise.
+// subspace. Unknown tuples return cluster.Noise. The packed-key path is
+// allocation-free.
 func (m *Model) AssignProjected(projected []float64) int {
+	if m.codec.fits {
+		if l, ok := m.labelOf[m.lab.key(projected)]; ok {
+			return l
+		}
+		return cluster.Noise
+	}
 	segs := make([]int, len(m.Set.Dims))
 	m.segmentsOf(projected, segs)
-	if l, ok := m.labelOf[packSegments(segs)]; ok {
+	if l, ok := m.labelOfStr[packSegments(segs)]; ok {
 		return l
 	}
 	return cluster.Noise
@@ -126,15 +143,45 @@ func (m *Model) Assign(x []float64) (int, error) {
 }
 
 // buildLabels orders the occupied tuples by mass (descending, ties by key
-// for determinism), applies the dust filter and cap, and installs the
-// tuple→label map. It returns the surviving clusters.
-func buildLabels(tuples map[string]uint64, dims int, minSize, maxClusters int) ([]quality.Cluster, map[string]int) {
+// ascending for determinism — packed keys put dimension 0 in the high bits,
+// so numeric order matches the string codec's byte order), applies the dust
+// filter and cap, and returns the surviving clusters. installLabels then
+// derives the tuple→label map from the cluster list.
+func buildLabels(tuples tupleCounts, codec tupleCodec, dims, minSize, maxClusters int) []quality.Cluster {
+	if tuples.u != nil {
+		type entry struct {
+			key  uint64
+			mass uint64
+		}
+		entries := make([]entry, 0, len(tuples.u))
+		for k, n := range tuples.u {
+			if int(n) >= minSize {
+				entries = append(entries, entry{key: k, mass: n})
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].mass != entries[j].mass {
+				return entries[i].mass > entries[j].mass
+			}
+			return entries[i].key < entries[j].key
+		})
+		if len(entries) > maxClusters {
+			entries = entries[:maxClusters]
+		}
+		clusters := make([]quality.Cluster, len(entries))
+		for i, e := range entries {
+			segs := make([]int, dims)
+			codec.unpack(e.key, segs)
+			clusters[i] = quality.Cluster{Segments: segs, Mass: e.mass}
+		}
+		return clusters
+	}
 	type entry struct {
 		key  string
 		mass uint64
 	}
-	entries := make([]entry, 0, len(tuples))
-	for k, n := range tuples {
+	entries := make([]entry, 0, len(tuples.s))
+	for k, n := range tuples.s {
 		if int(n) >= minSize {
 			entries = append(entries, entry{key: k, mass: n})
 		}
@@ -149,10 +196,37 @@ func buildLabels(tuples map[string]uint64, dims int, minSize, maxClusters int) (
 		entries = entries[:maxClusters]
 	}
 	clusters := make([]quality.Cluster, len(entries))
-	labelOf := make(map[string]int, len(entries))
 	for i, e := range entries {
 		clusters[i] = quality.Cluster{Segments: unpackSegments(e.key), Mass: e.mass}
-		labelOf[e.key] = i
 	}
-	return clusters, labelOf
+	return clusters
+}
+
+// installLabels (re)builds the tuple→label map: cluster i's segment tuple
+// maps to labels[i]. The streaming driver re-installs with remapped labels
+// to keep cluster identities stable across refits.
+func (m *Model) installLabels(labels []int) {
+	if m.codec.fits {
+		lm := make(map[uint64]int, len(m.Clusters))
+		for i, cl := range m.Clusters {
+			lm[m.codec.pack(cl.Segments)] = labels[i]
+		}
+		m.labelOf, m.labelOfStr = lm, nil
+		return
+	}
+	sm := make(map[string]int, len(m.Clusters))
+	for i, cl := range m.Clusters {
+		sm[packSegments(cl.Segments)] = labels[i]
+	}
+	m.labelOf, m.labelOfStr = nil, sm
+}
+
+// identityLabels returns [0, 1, …, n) — the label assignment buildLabels'
+// mass ordering implies.
+func identityLabels(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }

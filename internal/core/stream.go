@@ -196,7 +196,7 @@ func (s *Stream) initSetsFromBuffer() error {
 	s.sets = make([]*histogram.Set, trials)
 	s.counter = make([]*keys.Counter, trials)
 	for t := 0; t < trials; t++ {
-		mins, maxs := columnRanges(proj, t*nrp, nrp)
+		mins, maxs := columnRanges(proj, t*nrp, nrp, s.cfg.Workers)
 		// Widen by 10% per side: the warmup sample underestimates the
 		// stream's true extent, and out-of-range points clamp into edge
 		// bins.
@@ -348,8 +348,17 @@ func (s *Stream) Refit() error {
 		}
 		// Accumulate tuple mass in float and round once per tuple: after
 		// decay the individual key masses are fractional, and rounding
-		// them before summing would zero the sketch.
-		fmass := make(map[string]float64)
+		// them before summing would zero the sketch. Keys follow the
+		// trial's codec — packed uint64 when the tuple fits, string
+		// fallback otherwise — matching what assembleModel expects.
+		codec := newTupleCodec(parts, collapsed)
+		var fmassU map[uint64]float64
+		var fmassS map[string]float64
+		if codec.fits {
+			fmassU = make(map[uint64]float64)
+		} else {
+			fmassS = make(map[string]float64)
+		}
 		segs := make([]int, len(set.Dims))
 		s.counter[t].Each(func(k keys.Key, n float64) {
 			for j := range segs {
@@ -359,12 +368,26 @@ func (s *Stream) Refit() error {
 					segs[j] = parts[j].SegmentOf(s.sketchBinCenter(k[j]))
 				}
 			}
-			fmass[packSegments(segs)] += n
+			if codec.fits {
+				fmassU[codec.pack(segs)] += n
+			} else {
+				fmassS[packSegments(segs)] += n
+			}
 		})
-		tuples := make(map[string]uint64, len(fmass))
-		for k, n := range fmass {
-			if r := uint64(math.Round(n)); r > 0 {
-				tuples[k] = r
+		var tuples tupleCounts
+		if codec.fits {
+			tuples.u = make(map[uint64]uint64, len(fmassU))
+			for k, n := range fmassU {
+				if r := uint64(math.Round(n)); r > 0 {
+					tuples.u[k] = r
+				}
+			}
+		} else {
+			tuples.s = make(map[string]uint64, len(fmassS))
+			for k, n := range fmassS {
+				if r := uint64(math.Round(n)); r > 0 {
+					tuples.s[k] = r
+				}
 			}
 		}
 		model, err := assembleModel(set, parts, collapsed, tuples, cfg, t, s.batch)
@@ -401,11 +424,11 @@ func (s *Stream) stabilizeLabels(next *Model) {
 		// First model, or a projection switch: labels start (over) fresh
 		// beyond any previously issued id so stale and new ids never mix.
 		if s.model != nil {
-			remap := make(map[string]int, len(next.labelOf))
-			for k, l := range next.labelOf {
-				remap[k] = s.nextID + l
+			labels := make([]int, len(next.Clusters))
+			for i := range labels {
+				labels[i] = s.nextID + i
 			}
-			next.labelOf = remap
+			next.installLabels(labels)
 			s.nextID += len(next.Clusters)
 		} else {
 			s.nextID = len(next.Clusters)
@@ -413,26 +436,25 @@ func (s *Stream) stabilizeLabels(next *Model) {
 		return
 	}
 	used := make(map[int]bool)
-	remap := make(map[string]int, len(next.labelOf))
+	labels := make([]int, len(next.Clusters))
 	// Walk clusters in mass order so the heaviest clusters win contended
 	// old labels.
-	for i, cl := range next.Clusters {
+	for i := range next.Clusters {
 		centroid := clusterCentroid(next, i)
 		old := s.model.AssignProjected(centroid)
-		key := packSegments(cl.Segments)
 		if old != cluster.Noise && !used[old] {
-			remap[key] = old
+			labels[i] = old
 			used[old] = true
 			if old >= s.nextID {
 				s.nextID = old + 1
 			}
 			continue
 		}
-		remap[key] = s.nextID
+		labels[i] = s.nextID
 		used[s.nextID] = true
 		s.nextID++
 	}
-	next.labelOf = remap
+	next.installLabels(labels)
 }
 
 // clusterCentroid returns cluster q's representative point in the model's

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"keybin2/internal/histogram"
+	"keybin2/internal/partition"
+)
+
+// This file implements the allocation-free labeling kernel (§3.4). The
+// paper's per-point work is: bin the point in every projected dimension,
+// map each bin to its primary-cluster segment, and concatenate the segments
+// into a tuple key. The reference implementation built a string per point
+// per pass; here the whole tuple packs into a single uint64 — with
+// B ≤ 2^MaxDepth bins a dimension rarely has more than 16 segments, so
+// ⌈log₂(maxSeg+1)⌉ bits per dimension fit comfortably — and the bin→segment
+// map fuses Hist.Bin with Result.SegmentOf into one lookup table per
+// dimension. The string codec (packSegments) survives only as the
+// documented fallback for tuples whose packed width overflows 64 bits, and
+// in the Model wire format, which stores segments explicitly and therefore
+// never changed.
+
+// tupleCodec describes how one trial's segment tuples pack into a uint64.
+// Dimension 0 occupies the most significant bits, so ascending uint64 order
+// equals lexicographic ascending order on (seg₀, seg₁, …) — the same
+// deterministic tie-break order buildLabels used with string keys.
+type tupleCodec struct {
+	bits   []uint // field width of dimension j (0 for collapsed/1-segment dims)
+	shifts []uint // left-shift of dimension j's field
+	fits   bool   // false when Σ bits > 64: callers use the string fallback
+}
+
+// newTupleCodec derives the packing from a trial's partitions. Collapsed
+// dimensions contribute zero bits (their segment is constant 0), matching
+// packSegments' constant contribution.
+func newTupleCodec(parts []partition.Result, collapsed []bool) tupleCodec {
+	n := len(parts)
+	c := tupleCodec{bits: make([]uint, n), shifts: make([]uint, n)}
+	total := uint(0)
+	for j := range parts {
+		if collapsed[j] {
+			continue // 0 bits
+		}
+		b := uint(bits.Len(uint(parts[j].Segments() - 1)))
+		c.bits[j] = b
+		total += b
+	}
+	if total > 64 {
+		return tupleCodec{} // fits=false: fall back to string keys
+	}
+	off := total
+	for j := range c.bits {
+		off -= c.bits[j]
+		c.shifts[j] = off
+	}
+	c.fits = true
+	return c
+}
+
+// pack packs a segment tuple. Only valid when fits.
+func (c tupleCodec) pack(segs []int) uint64 {
+	var key uint64
+	for j, s := range segs {
+		key |= uint64(s) << c.shifts[j]
+	}
+	return key
+}
+
+// unpack expands a packed key into segs (len(segs) == len(c.bits)).
+func (c tupleCodec) unpack(key uint64, segs []int) {
+	for j := range segs {
+		segs[j] = int((key >> c.shifts[j]) & (1<<c.bits[j] - 1))
+	}
+}
+
+// labeler is the fused per-point labeling kernel for one trial: per
+// dimension, a multiply by the cached inverse bin width replaces Hist.Bin's
+// division, and luts[j][bin] holds the dimension's segment already shifted
+// into its key field, replacing Result.SegmentOf's binary search. key() does
+// no allocation and no branching beyond range clamps.
+type labeler struct {
+	codec tupleCodec
+	mins  []float64
+	invW  []float64
+	nbins []float64 // float so the high clamp is one compare
+	luts  [][]uint64
+}
+
+func newLabeler(set *histogram.Set, parts []partition.Result, collapsed []bool, codec tupleCodec) *labeler {
+	n := len(set.Dims)
+	l := &labeler{
+		codec: codec,
+		mins:  make([]float64, n),
+		invW:  make([]float64, n),
+		nbins: make([]float64, n),
+		luts:  make([][]uint64, n),
+	}
+	for j, h := range set.Dims {
+		l.mins[j] = h.Min
+		l.invW[j] = 1 / h.BinWidth()
+		l.nbins[j] = float64(h.Bins())
+		lut := make([]uint64, h.Bins())
+		if !collapsed[j] {
+			for b := range lut {
+				lut[b] = uint64(parts[j].SegmentOf(b)) << codec.shifts[j]
+			}
+		}
+		l.luts[j] = lut
+	}
+	return l
+}
+
+// key maps a projected point to its packed tuple key. Out-of-range values
+// clamp into the edge bins and NaN lands in bin 0, matching Hist.Bin.
+func (l *labeler) key(x []float64) uint64 {
+	var key uint64
+	for j, lut := range l.luts {
+		v := (x[j] - l.mins[j]) * l.invW[j]
+		b := 0
+		if v >= l.nbins[j] {
+			b = len(lut) - 1
+		} else if v >= 0 {
+			b = int(v)
+		}
+		key |= lut[b]
+	}
+	return key
+}
+
+// tupleCounts holds one trial's tuple occupancy: packed uint64 keys on the
+// fast path, legacy string keys when the codec does not fit.
+type tupleCounts struct {
+	u map[uint64]uint64
+	s map[string]uint64
+}
+
+// len returns the number of distinct occupied tuples.
+func (tc tupleCounts) len() int {
+	if tc.u != nil {
+		return len(tc.u)
+	}
+	return len(tc.s)
+}
+
+// dropBelow removes tuples with mass under k (the SuppressBelow filter).
+func (tc tupleCounts) dropBelow(k uint64) {
+	for key, n := range tc.u {
+		if n < k {
+			delete(tc.u, key)
+		}
+	}
+	for key, n := range tc.s {
+		if n < k {
+			delete(tc.s, key)
+		}
+	}
+}
+
+// Tuple-count wire format (distributed reduce): a tag byte 'U' or 'S'
+// selecting the key codec, then [nentries:u32] and per entry either
+// [key:u64][mass:u64] (packed) or [keylen:u32][key bytes][mass:u64]
+// (string fallback). Entries are sorted by key so equal maps encode
+// identically on every rank — all ranks derive the same codec from the same
+// global partitions, so frames always carry matching tags.
+
+const (
+	tupleTagPacked = 'U'
+	tupleTagString = 'S'
+)
+
+func encodeTupleCounts(tc tupleCounts) []byte {
+	if tc.u != nil {
+		keys := make([]uint64, 0, len(tc.u))
+		for k := range tc.u {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		buf := make([]byte, 5, 5+16*len(keys))
+		buf[0] = tupleTagPacked
+		binary.LittleEndian.PutUint32(buf[1:], uint32(len(keys)))
+		for _, k := range keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+			buf = binary.LittleEndian.AppendUint64(buf, tc.u[k])
+		}
+		return buf
+	}
+	return append([]byte{tupleTagString}, encodeTuples(tc.s)...)
+}
+
+func decodeTupleCounts(b []byte) (tupleCounts, error) {
+	if len(b) < 1 {
+		return tupleCounts{}, fmt.Errorf("core: empty tuple-count frame")
+	}
+	switch b[0] {
+	case tupleTagPacked:
+		b = b[1:]
+		if len(b) < 4 {
+			return tupleCounts{}, fmt.Errorf("core: truncated packed tuple map")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) != 16*n {
+			return tupleCounts{}, fmt.Errorf("core: packed tuple map %d bytes for %d entries", len(b), n)
+		}
+		out := make(map[uint64]uint64, n)
+		for i := 0; i < n; i++ {
+			out[binary.LittleEndian.Uint64(b)] = binary.LittleEndian.Uint64(b[8:])
+			b = b[16:]
+		}
+		return tupleCounts{u: out}, nil
+	case tupleTagString:
+		m, err := decodeTuples(b[1:])
+		if err != nil {
+			return tupleCounts{}, err
+		}
+		return tupleCounts{s: m}, nil
+	default:
+		return tupleCounts{}, fmt.Errorf("core: unknown tuple-count tag %q", b[0])
+	}
+}
+
+// mergeTupleCounts sums in into acc (matching key codecs required).
+func mergeTupleCounts(acc, in tupleCounts) (tupleCounts, error) {
+	if (acc.u != nil) != (in.u != nil) {
+		return tupleCounts{}, fmt.Errorf("core: merging packed and string tuple maps")
+	}
+	if acc.u != nil {
+		for k, n := range in.u {
+			acc.u[k] += n
+		}
+	} else {
+		if acc.s == nil {
+			acc.s = make(map[string]uint64, len(in.s))
+		}
+		for k, n := range in.s {
+			acc.s[k] += n
+		}
+	}
+	return acc, nil
+}

@@ -23,6 +23,12 @@ type Hist struct {
 	Depth    int
 	Counts   []uint64
 	Total    uint64
+
+	// invW caches 1/BinWidth so Bin is one multiply instead of a division
+	// per call — Bin sits inside the per-point·per-dimension labeling loop.
+	// Set by New and restored by Clone/DecodeSet; zero-value Hists fall
+	// back to computing it on the fly.
+	invW float64
 }
 
 // MaxDepth bounds the binning tree so bin counts stay cheap to ship.
@@ -42,7 +48,12 @@ func New(min, max float64, depth int) *Hist {
 		mid := min
 		min, max = mid-0.5, mid+0.5
 	}
-	return &Hist{Min: min, Max: max, Depth: depth, Counts: make([]uint64, 1<<depth)}
+	nbins := 1 << depth
+	return &Hist{
+		Min: min, Max: max, Depth: depth,
+		Counts: make([]uint64, nbins),
+		invW:   float64(nbins) / (max - min),
+	}
 }
 
 // Bins returns the number of finest-level bins (2^Depth).
@@ -52,18 +63,18 @@ func (h *Hist) Bins() int { return len(h.Counts) }
 // Out-of-range values land in the first or last bin; this matches streaming
 // settings where the global range was fixed from an earlier sample.
 func (h *Hist) Bin(x float64) int {
-	if math.IsNaN(x) {
-		return 0
+	iw := h.invW
+	if iw == 0 { // Hist built as a struct literal rather than via New
+		iw = float64(len(h.Counts)) / (h.Max - h.Min)
 	}
-	w := (h.Max - h.Min) / float64(len(h.Counts))
-	b := int((x - h.Min) / w)
-	if b < 0 {
-		return 0
-	}
-	if b >= len(h.Counts) {
+	v := (x - h.Min) * iw
+	if v >= float64(len(h.Counts)) {
 		return len(h.Counts) - 1
 	}
-	return b
+	if v >= 0 {
+		return int(v)
+	}
+	return 0 // negative or NaN
 }
 
 // Add bins x and increments its finest-level count.
@@ -169,7 +180,7 @@ func (h *Hist) Merge(other *Hist) error {
 
 // Clone returns a deep copy.
 func (h *Hist) Clone() *Hist {
-	out := &Hist{Min: h.Min, Max: h.Max, Depth: h.Depth, Total: h.Total}
+	out := &Hist{Min: h.Min, Max: h.Max, Depth: h.Depth, Total: h.Total, invW: h.invW}
 	out.Counts = append([]uint64(nil), h.Counts...)
 	return out
 }

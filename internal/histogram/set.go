@@ -153,6 +153,7 @@ func DecodeSet(b []byte) (*Set, error) {
 			Depth:  depth,
 			Counts: make([]uint64, nbins),
 		}
+		h.invW = float64(nbins) / (h.Max - h.Min)
 		off += 24
 		for k := 0; k < nbins; k++ {
 			h.Counts[k] = binary.LittleEndian.Uint64(b[off:])
