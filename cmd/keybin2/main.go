@@ -4,6 +4,8 @@
 //
 //	keybin2 -in data.csv [-out labels.csv] [-trials 5] [-seed 1]
 //	        [-ranks 1] [-ring] [-truth] [-no-projection] [-depth 0]
+//	        [-comm-timeout 0] [-tcp-addrs a:p,b:p] [-tcp-rank 0]
+//	        [-max-frame 0] [-dial-timeout 30s]
 //
 // The input is a CSV of numeric features, one point per row (an optional
 // header row is skipped). With -truth, the last column is a ground-truth
@@ -12,15 +14,24 @@
 // histogram-only communication path a multi-node deployment uses; -ring
 // consolidates histograms around a ring instead of a binomial tree.
 //
+// With -tcp-addrs the fit instead runs over the TCP transport: every
+// participating process is started with the same comma-separated address
+// list and its own -tcp-rank, shards the input by rank, and rank 0 writes
+// the gathered labels. -comm-timeout bounds every receive as a backstop
+// against dead or wedged peers (a rank failure surfaces as a RankFailedError
+// instead of a hang) and -max-frame caps the accepted wire frame size.
+//
 // Output (stdout or -out): the input rows with an appended cluster label
 // column. A summary with cluster count, the histogram-CH assessment, and —
 // when -truth is given — pairwise precision/recall/F1 goes to stderr.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"keybin2/internal/cluster"
@@ -32,73 +43,107 @@ import (
 	"keybin2/internal/synth"
 )
 
+// runOpts carries every CLI knob; tests drive run() with it directly.
+type runOpts struct {
+	in, out      string
+	trials       int
+	seed         int64
+	ranks        int
+	ring         bool
+	truth        bool
+	noProjection bool
+	depth        int
+	minCluster   int
+	describe     bool
+
+	commTimeout time.Duration // per-Recv backstop for distributed runs
+	tcpAddrs    string        // comma-separated rank addresses; enables TCP transport
+	tcpRank     int           // this process's rank when tcpAddrs is set
+	maxFrame    int           // TCP max accepted frame payload (0 = default)
+	dialTimeout time.Duration // TCP mesh-establishment timeout
+}
+
 func main() {
-	var (
-		in           = flag.String("in", "", "input CSV (required; '-' for stdin)")
-		out          = flag.String("out", "", "output CSV with label column (default stdout)")
-		trials       = flag.Int("trials", 5, "bootstrap projection trials")
-		seed         = flag.Int64("seed", 1, "random seed")
-		ranks        = flag.Int("ranks", 1, "in-process message-passing ranks")
-		ring         = flag.Bool("ring", false, "ring histogram consolidation (distributed runs)")
-		truth        = flag.Bool("truth", false, "treat last column as ground-truth label")
-		noProjection = flag.Bool("no-projection", false, "skip random projection (KeyBin1 ablation)")
-		depth        = flag.Int("depth", 0, "binning tree depth (0 = auto from data size)")
-		minCluster   = flag.Int("min-cluster", 0, "minimum cluster size (0 = auto)")
-		describe     = flag.Bool("describe", false, "print the fitted model's structure to stderr")
-	)
+	var o runOpts
+	flag.StringVar(&o.in, "in", "", "input CSV (required; '-' for stdin)")
+	flag.StringVar(&o.out, "out", "", "output CSV with label column (default stdout)")
+	flag.IntVar(&o.trials, "trials", 5, "bootstrap projection trials")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.ranks, "ranks", 1, "in-process message-passing ranks")
+	flag.BoolVar(&o.ring, "ring", false, "ring histogram consolidation (distributed runs)")
+	flag.BoolVar(&o.truth, "truth", false, "treat last column as ground-truth label")
+	flag.BoolVar(&o.noProjection, "no-projection", false, "skip random projection (KeyBin1 ablation)")
+	flag.IntVar(&o.depth, "depth", 0, "binning tree depth (0 = auto from data size)")
+	flag.IntVar(&o.minCluster, "min-cluster", 0, "minimum cluster size (0 = auto)")
+	flag.BoolVar(&o.describe, "describe", false, "print the fitted model's structure to stderr")
+	flag.DurationVar(&o.commTimeout, "comm-timeout", 0, "per-receive timeout in distributed runs (0 = block; backstop against dead peers)")
+	flag.StringVar(&o.tcpAddrs, "tcp-addrs", "", "comma-separated host:port per rank; run over the TCP transport")
+	flag.IntVar(&o.tcpRank, "tcp-rank", 0, "this process's rank within -tcp-addrs")
+	flag.IntVar(&o.maxFrame, "max-frame", 0, "max accepted TCP frame payload in bytes (0 = default 256 MiB)")
+	flag.DurationVar(&o.dialTimeout, "dial-timeout", 30*time.Second, "TCP mesh establishment timeout")
 	flag.Parse()
-	if *in == "" {
+	if o.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *trials, *seed, *ranks, *ring, *truth, *noProjection, *depth, *minCluster, *describe); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "keybin2:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, trials int, seed int64, ranks int, ring, hasTruth, noProjection bool, depth, minCluster int, describe bool) error {
+func run(o runOpts) error {
 	var data *linalg.Matrix
 	var truthLabels []int
 	var err error
 	switch {
-	case in == "-" && hasTruth:
+	case o.in == "-" && o.truth:
 		data, truthLabels, err = dataio.ReadLabeled(os.Stdin)
-	case in == "-":
+	case o.in == "-":
 		data, err = dataio.ReadMatrix(os.Stdin)
-	case hasTruth:
-		data, truthLabels, err = dataio.ReadLabeledFile(in)
+	case o.truth:
+		data, truthLabels, err = dataio.ReadLabeledFile(o.in)
 	default:
-		data, err = dataio.ReadMatrixFile(in)
+		data, err = dataio.ReadMatrixFile(o.in)
 	}
 	if err != nil {
 		return err
 	}
 
 	cfg := core.Config{
-		Trials:         trials,
-		Seed:           seed,
-		Ring:           ring,
-		NoProjection:   noProjection,
-		Depth:          depth,
-		MinClusterSize: minCluster,
+		Trials:         o.trials,
+		Seed:           o.seed,
+		Ring:           o.ring,
+		NoProjection:   o.noProjection,
+		Depth:          o.depth,
+		MinClusterSize: o.minCluster,
 	}
 
 	start := time.Now()
 	var model *core.Model
 	var labels []int
-	if ranks <= 1 {
+	switch {
+	case o.tcpAddrs != "":
+		model, labels, err = runTCPFit(o, data, cfg)
+		if err != nil {
+			return err
+		}
+		if model == nil {
+			return nil // non-root TCP rank: labels were gathered at rank 0
+		}
+	case o.ranks <= 1:
 		model, labels, err = core.Fit(data, cfg)
 		if err != nil {
 			return err
 		}
-	} else {
+	default:
 		type rankOut struct {
 			labels []int
 			model  *core.Model
 		}
-		results, rerr := mpi.RunCollect(ranks, func(c *mpi.Comm) (rankOut, error) {
-			lo, hi := synth.Shard(data.Rows, ranks, c.Rank())
+		results, rerr := mpi.RunCollect(o.ranks, func(c *mpi.Comm) (rankOut, error) {
+			c.SetRecvTimeout(o.commTimeout)
+			lo, hi := synth.Shard(data.Rows, o.ranks, c.Rank())
 			local := linalg.NewMatrix(hi-lo, data.Cols)
 			copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
 			m, l, err := core.FitDistributed(c, local, cfg)
@@ -123,10 +168,10 @@ func run(in, out string, trials int, seed int64, ranks int, ring, hasTruth, noPr
 		}
 	}
 	fmt.Fprintf(os.Stderr, "noise points: %d (%.2f%%)\n", noise, 100*float64(noise)/float64(len(labels)))
-	if describe {
+	if o.describe {
 		fmt.Fprint(os.Stderr, model.Describe())
 	}
-	if hasTruth {
+	if o.truth {
 		p, r, f1 := eval.PrecisionRecallF1(labels, truthLabels)
 		fmt.Fprintf(os.Stderr, "precision=%.3f recall=%.3f f1=%.3f ari=%.3f\n",
 			p, r, f1, eval.ARI(labels, truthLabels))
@@ -134,8 +179,8 @@ func run(in, out string, trials int, seed int64, ranks int, ring, hasTruth, noPr
 	}
 
 	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -143,4 +188,60 @@ func run(in, out string, trials int, seed int64, ranks int, ring, hasTruth, noPr
 		w = f
 	}
 	return dataio.WriteLabeled(w, data, labels, nil)
+}
+
+// runTCPFit runs the distributed fit over the TCP transport. Every process
+// shards the (identical) input by its rank, and rank 0 gathers the label
+// shards back. Non-root ranks return a nil model after contributing.
+func runTCPFit(o runOpts, data *linalg.Matrix, cfg core.Config) (*core.Model, []int, error) {
+	addrs := strings.Split(o.tcpAddrs, ",")
+	comm, cleanup, err := mpi.DialTCPOpts(addrs, o.tcpRank, o.dialTimeout, mpi.TCPOptions{
+		MaxFrame:    o.maxFrame,
+		RecvTimeout: o.commTimeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanup()
+
+	size := comm.Size()
+	lo, hi := synth.Shard(data.Rows, size, comm.Rank())
+	local := linalg.NewMatrix(hi-lo, data.Cols)
+	copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
+	model, localLabels, err := core.FitDistributed(comm, local, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := comm.Gather(0, encodeLabels(localLabels))
+	if err != nil {
+		return nil, nil, err
+	}
+	if comm.Rank() != 0 {
+		return nil, nil, nil
+	}
+	var labels []int
+	for _, p := range parts {
+		labels = append(labels, decodeLabels(p)...)
+	}
+	if len(labels) != data.Rows {
+		return nil, nil, fmt.Errorf("gathered %d labels for %d rows", len(labels), data.Rows)
+	}
+	return model, labels, nil
+}
+
+// Labels travel as little-endian int64s (noise is negative).
+func encodeLabels(labels []int) []byte {
+	buf := make([]byte, 8*len(labels))
+	for i, l := range labels {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(int64(l)))
+	}
+	return buf
+}
+
+func decodeLabels(b []byte) []int {
+	out := make([]int, len(b)/8)
+	for i := range out {
+		out[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out
 }

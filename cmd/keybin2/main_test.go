@@ -4,9 +4,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"keybin2/internal/dataio"
+	"keybin2/internal/mpi"
 	"keybin2/internal/synth"
 	"keybin2/internal/xrand"
 )
@@ -37,7 +40,7 @@ func TestRunSerial(t *testing.T) {
 	dir := t.TempDir()
 	in := writeDataset(t, dir, true)
 	out := filepath.Join(dir, "labels.csv")
-	if err := run(in, out, 3, 1, 1, false, true, false, 0, 0, true); err != nil {
+	if err := run(runOpts{in: in, out: out, trials: 3, seed: 1, ranks: 1, truth: true, describe: true}); err != nil {
 		t.Fatal(err)
 	}
 	m, labels, err := dataio.ReadLabeledFile(out)
@@ -60,7 +63,7 @@ func TestRunDistributedRanks(t *testing.T) {
 	dir := t.TempDir()
 	in := writeDataset(t, dir, false)
 	out := filepath.Join(dir, "labels.csv")
-	if err := run(in, out, 2, 1, 3, true, false, false, 0, 0, false); err != nil {
+	if err := run(runOpts{in: in, out: out, trials: 2, seed: 1, ranks: 3, ring: true, commTimeout: time.Minute}); err != nil {
 		t.Fatal(err)
 	}
 	_, labels, err := dataio.ReadLabeledFile(out)
@@ -75,17 +78,59 @@ func TestRunDistributedRanks(t *testing.T) {
 func TestRunNoProjection(t *testing.T) {
 	dir := t.TempDir()
 	in := writeDataset(t, dir, false)
-	if err := run(in, filepath.Join(dir, "o.csv"), 1, 1, 1, false, false, true, 5, 4, false); err != nil {
+	if err := run(runOpts{in: in, out: filepath.Join(dir, "o.csv"), trials: 1, seed: 1, ranks: 1, noProjection: true, depth: 5, minCluster: 4}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	err := run("/does/not/exist.csv", "", 3, 1, 1, false, false, false, 0, 0, false)
+	err := run(runOpts{in: "/does/not/exist.csv", trials: 3, seed: 1, ranks: 1})
 	if err == nil {
 		t.Fatal("missing input must fail")
 	}
 	if !strings.Contains(err.Error(), "exist") && !os.IsNotExist(err) {
 		t.Logf("error (ok): %v", err)
+	}
+}
+
+func TestRunTCPTransport(t *testing.T) {
+	dir := t.TempDir()
+	in := writeDataset(t, dir, false)
+	out := filepath.Join(dir, "labels.csv")
+	addrs, err := mpi.FreeLocalAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpAddrs := strings.Join(addrs, ",")
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o := runOpts{
+				in: in, trials: 2, seed: 1,
+				tcpAddrs: tcpAddrs, tcpRank: r,
+				commTimeout: time.Minute, dialTimeout: 10 * time.Second,
+				maxFrame: 64 << 20,
+			}
+			if r == 0 {
+				o.out = out
+			}
+			errs[r] = run(o)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", r, err)
+		}
+	}
+	_, labels, err := dataio.ReadLabeledFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2000 {
+		t.Fatalf("%d labels", len(labels))
 	}
 }

@@ -36,7 +36,7 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 	// Agree on the global point count (cfg defaults depend on it).
 	totRaw, err := comm.Allreduce(mpi.EncodeUint64s([]uint64{uint64(local.Rows)}), mpi.SumUint64s)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, commError("point-count agreement", err)
 	}
 	tot, err := mpi.DecodeUint64s(totRaw)
 	if err != nil {
@@ -68,7 +68,7 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 	}
 	mmRaw, err := consolidate(comm, cfg, mpi.EncodeFloat64s(mm), mpi.MinMaxFloat64s)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, commError("range consolidation", err)
 	}
 	gmm, err := mpi.DecodeFloat64s(mmRaw)
 	if err != nil {
@@ -116,7 +116,7 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 	}
 	globalRaw, err := consolidate(comm, cfg, packed, combineFramedSets)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, commError("histogram consolidation", err)
 	}
 	frames, err := mpi.SplitBytesFrames(globalRaw)
 	if err != nil {
@@ -163,7 +163,7 @@ func FitDistributed(comm *mpi.Comm, local *linalg.Matrix, cfg Config) (*Model, [
 	}
 	globalTuplesRaw, err := consolidate(comm, cfg, tuplePacked, combineFramedTuples)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, commError("tuple-count consolidation", err)
 	}
 	tupleFrames, err := mpi.SplitBytesFrames(globalTuplesRaw)
 	if err != nil {
@@ -203,6 +203,19 @@ func consolidate(comm *mpi.Comm, cfg Config, payload []byte, op mpi.Combine) ([]
 		return comm.RingAllreduce(payload, op)
 	}
 	return comm.Allreduce(payload, op)
+}
+
+// commError tags a communication failure with the pipeline stage it
+// interrupted. A RankFailedError stays unwrappable (errors.As /
+// mpi.IsRankFailure) so callers can tell "a peer died mid-fit" from a local
+// error and degrade gracefully — e.g. refit over the surviving ranks —
+// instead of retrying blindly. The paper's mpi4py baseline has no analogue:
+// a dead rank there stalls the collective until the scheduler kills the job.
+func commError(stage string, err error) error {
+	if rank, ok := mpi.IsRankFailure(err); ok {
+		return fmt.Errorf("core: %s: peer rank %d failed mid-collective: %w", stage, rank, err)
+	}
+	return fmt.Errorf("core: %s: %w", stage, err)
 }
 
 // combineFramedSets merges two frame sequences of encoded histogram sets

@@ -2,7 +2,10 @@ package core
 
 import (
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"keybin2/internal/eval"
 	"keybin2/internal/linalg"
@@ -239,5 +242,45 @@ func TestEncodeDecodeTuples(t *testing.T) {
 	// deterministic encoding
 	if string(encodeTuples(m)) != string(encodeTuples(map[string]uint64{"xyz": 9, "ab": 3, "": 1})) {
 		t.Fatal("encoding must be order-independent")
+	}
+}
+
+func TestFitDistributedSurfacesRankFailure(t *testing.T) {
+	// A rank dying mid-fit must surface a stage-tagged RankFailedError on
+	// the survivors — degrading gracefully instead of hanging the world.
+	spec := synth.AutoMixture(3, 10, 6, 1, xrand.New(50))
+	data, _ := spec.Sample(3000, xrand.New(51))
+
+	comms, closeAll := mpi.NewWorld(3)
+	defer closeAll()
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 1 {
+				comms[r].Abort() // dies before contributing anything
+				return
+			}
+			comms[r].SetRecvTimeout(10 * time.Second)
+			local, _ := shardData(data, make([]int, data.Rows), 3, r)
+			_, _, errs[r] = FitDistributed(comms[r], local, Config{Seed: 52})
+			if errs[r] != nil {
+				comms[r].Abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range []int{0, 2} {
+		if errs[r] == nil {
+			t.Fatalf("rank %d: fit succeeded despite dead peer", r)
+		}
+		if _, ok := mpi.IsRankFailure(errs[r]); !ok {
+			t.Fatalf("rank %d: got %v, want a RankFailedError", r, errs[r])
+		}
+		if !strings.Contains(errs[r].Error(), "core: ") {
+			t.Fatalf("rank %d: error lacks pipeline-stage context: %v", r, errs[r])
+		}
 	}
 }

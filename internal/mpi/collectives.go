@@ -90,7 +90,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 		parent := (rel - mask + root) % c.size
 		payload, _, err := c.Recv(parent, tag)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: bcast: %w", err)
 		}
 		data = payload
 	}
@@ -102,7 +102,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	for mask := base; rel+mask < c.size; mask <<= 1 {
 		child := (rel + mask + root) % c.size
 		if err := c.sendRaw(child, tag, data); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: bcast: %w", err)
 		}
 	}
 	return data, nil
@@ -122,7 +122,7 @@ func (c *Comm) Reduce(root int, data []byte, op Combine) ([]byte, error) {
 		if rel&mask != 0 {
 			parent := (rel - mask + root) % c.size
 			if err := c.sendRaw(parent, tag, acc); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mpi: reduce: %w", err)
 			}
 			return nil, nil
 		}
@@ -130,7 +130,7 @@ func (c *Comm) Reduce(root int, data []byte, op Combine) ([]byte, error) {
 			child := (rel + mask + root) % c.size
 			in, _, err := c.Recv(child, tag)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mpi: reduce: %w", err)
 			}
 			acc, err = op(acc, in)
 			if err != nil {
@@ -168,12 +168,12 @@ func (c *Comm) RingAllreduce(data []byte, op Combine) ([]byte, error) {
 	// forwards. Rank size-1 ends holding the global value.
 	if c.rank == 0 {
 		if err := c.sendRaw(next, tag, data); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: ring allreduce: %w", err)
 		}
 	} else {
 		in, _, err := c.Recv(prev, tag)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: ring allreduce: %w", err)
 		}
 		acc, err := op(data, in)
 		if err != nil {
@@ -181,7 +181,7 @@ func (c *Comm) RingAllreduce(data []byte, op Combine) ([]byte, error) {
 		}
 		if c.rank != c.size-1 {
 			if err := c.sendRaw(next, tag, acc); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mpi: ring allreduce: %w", err)
 			}
 		} else {
 			data = acc
@@ -192,17 +192,17 @@ func (c *Comm) RingAllreduce(data []byte, op Combine) ([]byte, error) {
 	tag2 := c.nextCollTag()
 	if c.rank == c.size-1 {
 		if err := c.sendRaw(next, tag2, data); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: ring allreduce: %w", err)
 		}
 		return data, nil
 	}
 	global, _, err := c.Recv(prev, tag2)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mpi: ring allreduce: %w", err)
 	}
 	if next != c.size-1 {
 		if err := c.sendRaw(next, tag2, global); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: ring allreduce: %w", err)
 		}
 	}
 	return global, nil
@@ -214,7 +214,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	tag := c.nextCollTag()
 	if c.rank != root {
 		if err := c.sendRaw(root, tag, data); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: gather: %w", err)
 		}
 		return nil, nil
 	}
@@ -223,7 +223,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	for i := 0; i < c.size-1; i++ {
 		payload, from, err := c.Recv(AnySource, tag)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: gather: %w", err)
 		}
 		out[from] = payload
 	}
@@ -264,17 +264,22 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 				continue
 			}
 			if err := c.sendRaw(i, tag, p); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mpi: scatter: %w", err)
 			}
 		}
 		return parts[root], nil
 	}
 	payload, _, err := c.Recv(root, tag)
-	return payload, err
+	if err != nil {
+		return nil, fmt.Errorf("mpi: scatter: %w", err)
+	}
+	return payload, nil
 }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
-	_, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s)
-	return err
+	if _, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s); err != nil {
+		return fmt.Errorf("mpi: barrier: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection: a transport wrapper that subjects outgoing cross-rank
+// messages to seeded, deterministic failures — drop, delay, duplicate,
+// corrupt — so tests can prove the runtime's failure semantics under
+// `go test -race` without a real flaky network. Install with
+// Comm.InjectFaults before any traffic flows on that rank.
+
+// FaultSpec configures the failure behaviour of one rank's outgoing
+// traffic. Probabilities are evaluated independently per message from a
+// deterministic Seed-derived stream.
+type FaultSpec struct {
+	Seed    int64
+	Drop    float64       // probability a message is silently dropped
+	Dup     float64       // probability a message is delivered twice
+	Corrupt float64       // probability one payload byte is flipped (in a copy)
+	Delay   time.Duration // max extra delivery latency, uniform in [0, Delay)
+	// Match restricts injection to messages it returns true for; nil
+	// matches every cross-rank message. Self-deliveries are never touched.
+	Match func(to, tag int) bool
+}
+
+// FaultCounts reports how many faults a faultTransport injected.
+type FaultCounts struct {
+	Dropped, Duplicated, Corrupted, Delayed atomic.Int64
+}
+
+type faultTransport struct {
+	inner  sender
+	rank   int
+	spec   FaultSpec
+	counts *FaultCounts
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// InjectFaults wraps this rank's transport with seeded fault injection and
+// returns the injected-fault counters. Call before communicating on c; the
+// wrapper composes with both transports (and with itself).
+func (c *Comm) InjectFaults(spec FaultSpec) *FaultCounts {
+	ft := &faultTransport{
+		inner:  c.out,
+		rank:   c.rank,
+		spec:   spec,
+		counts: &FaultCounts{},
+		rng:    rand.New(rand.NewSource(spec.Seed)),
+	}
+	c.out = ft
+	return ft.counts
+}
+
+func (ft *faultTransport) send(to int, msg message) error {
+	if to == ft.rank || (ft.spec.Match != nil && !ft.spec.Match(to, msg.tag)) {
+		return ft.inner.send(to, msg)
+	}
+	ft.mu.Lock()
+	drop := ft.rng.Float64() < ft.spec.Drop
+	dup := ft.rng.Float64() < ft.spec.Dup
+	corrupt := ft.rng.Float64() < ft.spec.Corrupt
+	var delay time.Duration
+	if ft.spec.Delay > 0 {
+		delay = time.Duration(ft.rng.Int63n(int64(ft.spec.Delay)))
+	}
+	var flip int
+	if corrupt && len(msg.payload) > 0 {
+		flip = ft.rng.Intn(len(msg.payload))
+	}
+	ft.mu.Unlock()
+
+	if drop {
+		ft.counts.Dropped.Add(1)
+		return nil
+	}
+	if corrupt && len(msg.payload) > 0 {
+		p := append([]byte(nil), msg.payload...)
+		p[flip] ^= 0xFF
+		msg.payload = p
+		ft.counts.Corrupted.Add(1)
+	}
+	deliver := 1
+	if dup {
+		deliver = 2
+		ft.counts.Duplicated.Add(1)
+	}
+	if delay > 0 {
+		// Delayed delivery keeps the eager-send contract: the sender does
+		// not block, the message just arrives late. Delivery errors on a
+		// delayed message are dropped, as they would be on a dying link.
+		ft.counts.Delayed.Add(1)
+		go func(m message, n int) {
+			time.Sleep(delay)
+			for i := 0; i < n; i++ {
+				if ft.inner.send(to, m) != nil {
+					return
+				}
+			}
+		}(msg, deliver)
+		return nil
+	}
+	var err error
+	for i := 0; i < deliver; i++ {
+		if err = ft.inner.send(to, msg); err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// abort forwards rank-death propagation through the wrapper.
+func (ft *faultTransport) abort(rank int) {
+	if a, ok := ft.inner.(aborter); ok {
+		a.abort(rank)
+	}
+}

@@ -1,0 +1,634 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- rank death mid-collective ---------------------------------------------
+
+// dialAll establishes a full TCP mesh, one goroutine per rank, and returns
+// each rank's comm and cleanup. Fails the test on any setup error.
+func dialAll(t *testing.T, opts TCPOptions) ([]*Comm, []func()) {
+	t.Helper()
+	lns, addrs, err := FreeLocalListeners(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*Comm, 3)
+	cleanups := make([]func(), 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], cleanups[r], errs[r] = DialTCPWithListener(addrs, r, lns[r], 10*time.Second, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d setup: %v", r, err)
+		}
+	}
+	return comms, cleanups
+}
+
+// TestRankDeathMidAllreduceTCP is the acceptance test for failure
+// propagation: with the pre-hardening transport a dead rank left every
+// surviving rank blocked in Recv until process kill; now each survivor gets
+// a RankFailedError well within the configured backstop.
+func TestRankDeathMidAllreduceTCP(t *testing.T) {
+	comms, cleanups := dialAll(t, TCPOptions{RecvTimeout: 5 * time.Second})
+	start := time.Now()
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 1 {
+				cleanups[1]() // rank 1 dies before participating
+				return
+			}
+			defer cleanups[r]()
+			_, errs[r] = comms[r].Allreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+		}(r)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("collective took %s; failure did not propagate before the backstop", elapsed)
+	}
+	for _, r := range []int{0, 2} {
+		if errs[r] == nil {
+			t.Fatalf("rank %d: expected failure, got success", r)
+		}
+		if _, ok := IsRankFailure(errs[r]); !ok {
+			t.Fatalf("rank %d: got %v, want RankFailedError", r, errs[r])
+		}
+	}
+}
+
+func TestRankDeathMidRingAllreduceTCP(t *testing.T) {
+	comms, cleanups := dialAll(t, TCPOptions{RecvTimeout: 5 * time.Second})
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer cleanups[r]()
+			if r == 2 {
+				comms[2].Abort()
+				return
+			}
+			_, errs[r] = comms[r].RingAllreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range []int{0, 1} {
+		if errs[r] == nil {
+			t.Fatalf("rank %d: expected failure, got success", r)
+		}
+		if _, ok := IsRankFailure(errs[r]); !ok {
+			t.Fatalf("rank %d: got %v, want RankFailedError", r, errs[r])
+		}
+	}
+}
+
+func TestRankDeathMidGatherTCP(t *testing.T) {
+	comms, cleanups := dialAll(t, TCPOptions{RecvTimeout: 5 * time.Second})
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer cleanups[r]()
+			if r == 1 {
+				comms[1].Abort()
+				return
+			}
+			_, errs[r] = comms[r].Gather(0, []byte{byte(r)})
+		}(r)
+	}
+	wg.Wait()
+	// The root blocks on the dead rank's contribution and must fail; the
+	// other survivor sends eagerly and may complete.
+	if errs[0] == nil {
+		t.Fatal("root: expected failure, got success")
+	}
+	if _, ok := IsRankFailure(errs[0]); !ok {
+		t.Fatalf("root: got %v, want RankFailedError", errs[0])
+	}
+}
+
+// inproc equivalents: a rank aborts mid-collective; every rank in mustFail
+// (the ranks whose schedule blocks on a receive) must see RankFailedError —
+// directly, or cascaded when an affected peer aborts in turn — instead of
+// hanging. Eagerly-sending ranks may legitimately complete.
+func testInprocDeath(t *testing.T, size, victim int, mustFail []int, coll func(c *Comm) error) {
+	t.Helper()
+	comms, closeAll := NewWorld(size)
+	defer closeAll()
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == victim {
+				comms[r].Abort()
+				return
+			}
+			errs[r] = coll(comms[r])
+			if errs[r] != nil {
+				comms[r].Abort() // cascade, as a dying process's transport would
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range mustFail {
+		if errs[r] == nil {
+			t.Fatalf("rank %d: expected failure, got success", r)
+		}
+		if _, ok := IsRankFailure(errs[r]); !ok {
+			t.Fatalf("rank %d: got %v, want RankFailedError", r, errs[r])
+		}
+	}
+}
+
+func TestRankDeathMidAllreduceInproc(t *testing.T) {
+	testInprocDeath(t, 4, 1, []int{0, 2, 3}, func(c *Comm) error {
+		_, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+		return err
+	})
+}
+
+func TestRankDeathMidRingAllreduceInproc(t *testing.T) {
+	testInprocDeath(t, 4, 2, []int{0, 1, 3}, func(c *Comm) error {
+		_, err := c.RingAllreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+		return err
+	})
+}
+
+func TestRankDeathMidGatherInproc(t *testing.T) {
+	// Non-root survivors send eagerly and succeed; the root must fail.
+	testInprocDeath(t, 4, 3, []int{0}, func(c *Comm) error {
+		_, err := c.Gather(0, []byte{byte(c.Rank())})
+		return err
+	})
+}
+
+func TestAbortFailsPendingAndFutureRecvs(t *testing.T) {
+	comms, closeAll := NewWorld(2)
+	defer closeAll()
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := comms[0].Recv(1, 0) // pending before the abort
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	comms[1].Abort()
+	if _, ok := IsRankFailure(<-got); !ok {
+		t.Fatal("pending recv did not fail with RankFailedError")
+	}
+	if _, _, err := comms[0].Recv(1, 0); err == nil {
+		t.Fatal("future recv from dead rank should fail")
+	}
+	if err := comms[0].Send(1, 0, []byte{1}); err == nil {
+		t.Fatal("send to dead rank should fail")
+	} else if _, ok := IsRankFailure(err); !ok {
+		t.Fatalf("send to dead rank: got %v, want RankFailedError", err)
+	}
+}
+
+// --- wire hardening ---------------------------------------------------------
+
+// dialVictim starts rank 0 of a 2-rank world and hands the test rank 1's
+// pre-accepted raw connection, with rank 0's hello already consumed — the
+// vantage point of a corrupt peer.
+func dialVictim(t *testing.T, opts TCPOptions) (comm *Comm, raw net.Conn) {
+	t.Helper()
+	lns, addrs, err := FreeLocalListeners(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		comm    *Comm
+		cleanup func()
+		err     error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, cl, err := DialTCPWithListener(addrs, 0, lns[0], 10*time.Second, opts)
+		ch <- res{c, cl, err}
+	}()
+	conn, err := lns[1].Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lns[1].Close()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(int32(binary.LittleEndian.Uint32(hello[:]))); got != 0 {
+		t.Fatalf("hello rank %d, want 0", got)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(r.cleanup)
+	t.Cleanup(func() { conn.Close() })
+	return r.comm, conn
+}
+
+func frame(from, tag int, payloadLen uint32, payload []byte) []byte {
+	buf := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(int32(from)))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(buf[8:], payloadLen)
+	copy(buf[12:], payload)
+	return buf
+}
+
+func TestForgedSourceFrameRejected(t *testing.T) {
+	for _, forged := range []int{7, 0, -3} { // out-of-range, self-forge, negative
+		t.Run(fmt.Sprintf("from=%d", forged), func(t *testing.T) {
+			comm, raw := dialVictim(t, TCPOptions{RecvTimeout: 5 * time.Second})
+			if _, err := raw.Write(frame(forged, 3, 4, []byte("evil"))); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := comm.Recv(1, 3)
+			if err == nil {
+				t.Fatal("forged frame was delivered")
+			}
+			if rank, ok := IsRankFailure(err); !ok || rank != 1 {
+				t.Fatalf("got %v, want RankFailedError{1}", err)
+			}
+		})
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	// A corrupt 4 GiB-ish length prefix must evict the peer, not allocate.
+	comm, raw := dialVictim(t, TCPOptions{MaxFrame: 1 << 16, RecvTimeout: 5 * time.Second})
+	if _, err := raw.Write(frame(1, 3, 0xFFFFFFF0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := comm.Recv(1, 3)
+	if rank, ok := IsRankFailure(err); !ok || rank != 1 {
+		t.Fatalf("got %v, want RankFailedError{1}", err)
+	}
+}
+
+func TestNegativeTagFrameRejected(t *testing.T) {
+	comm, raw := dialVictim(t, TCPOptions{RecvTimeout: 5 * time.Second})
+	if _, err := raw.Write(frame(1, -2, 1, []byte{0})); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := comm.Recv(1, AnyTag)
+	if rank, ok := IsRankFailure(err); !ok || rank != 1 {
+		t.Fatalf("got %v, want RankFailedError{1}", err)
+	}
+}
+
+func TestValidFramesStillDeliveredAfterHardening(t *testing.T) {
+	comm, raw := dialVictim(t, TCPOptions{MaxFrame: 1 << 16})
+	if _, err := raw.Write(frame(1, 3, 5, []byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	payload, from, err := comm.Recv(1, 3)
+	if err != nil || from != 1 || string(payload) != "hello" {
+		t.Fatalf("got %q from %d, err %v", payload, from, err)
+	}
+}
+
+func TestSendRejectsOversizedPayload(t *testing.T) {
+	comm, _ := dialVictim(t, TCPOptions{MaxFrame: 16})
+	if err := comm.Send(1, 0, make([]byte, 64)); err == nil {
+		t.Fatal("oversized send should be rejected locally")
+	}
+}
+
+// --- setup robustness -------------------------------------------------------
+
+func TestDialTCPFailsFastOnSetupError(t *testing.T) {
+	// Rank 1 accepts from rank 0 and dials rank 2. Rank 2's port never
+	// answers (listener closed), so the dial loop would previously retry
+	// until the full timeout even after the accept side had already failed
+	// on a bad hello. Now the first error tears down setup immediately.
+	lns, addrs, err := FreeLocalListeners(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lns[0].Close()
+	lns[2].Close() // rank 2 never comes up
+	const timeout = 10 * time.Second
+	type res struct {
+		err     error
+		elapsed time.Duration
+	}
+	ch := make(chan res, 1)
+	go func() {
+		start := time.Now()
+		_, _, err := DialTCPWithListener(addrs, 1, lns[1], timeout, TCPOptions{})
+		ch <- res{err, time.Since(start)}
+	}()
+	// Impersonate rank 0 with a hello claiming an invalid rank.
+	conn, err := net.Dial("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(int32(99)))
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err == nil {
+		t.Fatal("setup should fail on invalid hello")
+	}
+	if r.elapsed > timeout/2 {
+		t.Fatalf("setup took %s; should fail fast, not wait out the %s timeout", r.elapsed, timeout)
+	}
+}
+
+func TestDialTCPRejectsMalformedAddr(t *testing.T) {
+	_, _, err := DialTCP([]string{"127.0.0.1:0", "not:a:valid:addr"}, 0, time.Second)
+	if err == nil {
+		t.Fatal("malformed peer addr should fail before dialing")
+	}
+}
+
+func TestFreeLocalListenersHoldPorts(t *testing.T) {
+	lns, addrs, err := FreeLocalListeners(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	// The reserved port stays bound, so nobody can steal it before dial.
+	if ln, err := net.Listen("tcp", addrs[0]); err == nil {
+		ln.Close()
+		t.Fatalf("port %s was stealable while reserved", addrs[0])
+	}
+}
+
+// --- recv timeout backstop --------------------------------------------------
+
+func TestRecvTimeoutBackstop(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil // alive but silent
+		}
+		c.SetRecvTimeout(50 * time.Millisecond)
+		_, _, err := c.Recv(1, 0)
+		return err
+	})
+	if !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("got %v, want ErrRecvTimeout", err)
+	}
+}
+
+func TestRecvTimeoutNotTriggeredByTraffic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		c.SetRecvTimeout(5 * time.Second)
+		for i := 0; i < 50; i++ {
+			out, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+			if err != nil {
+				return err
+			}
+			if v, _ := DecodeUint64s(out); v[0] != 2 {
+				return fmt.Errorf("round %d: got %d", i, v[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- fault injection --------------------------------------------------------
+
+func TestFaultInjectionDropCausesTimeout(t *testing.T) {
+	counts := make([]*FaultCounts, 2)
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			counts[0] = c.InjectFaults(FaultSpec{Seed: 1, Drop: 1})
+			return c.Send(1, 0, []byte("lost"))
+		}
+		c.SetRecvTimeout(50 * time.Millisecond)
+		_, _, err := c.Recv(0, 0)
+		return err
+	})
+	if !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("got %v, want ErrRecvTimeout", err)
+	}
+	if counts[0].Dropped.Load() != 1 {
+		t.Fatalf("dropped %d messages, want 1", counts[0].Dropped.Load())
+	}
+}
+
+func TestFaultInjectionDuplicate(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			counts := c.InjectFaults(FaultSpec{Seed: 2, Dup: 1})
+			if err := c.Send(1, 0, []byte("twice")); err != nil {
+				return err
+			}
+			if counts.Duplicated.Load() != 1 {
+				return fmt.Errorf("duplicated %d, want 1", counts.Duplicated.Load())
+			}
+			return nil
+		}
+		for i := 0; i < 2; i++ {
+			p, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if string(p) != "twice" {
+				return fmt.Errorf("copy %d: got %q", i, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjectionCorruptCopiesPayload(t *testing.T) {
+	original := []byte("pristine-payload")
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			counts := c.InjectFaults(FaultSpec{Seed: 3, Corrupt: 1})
+			if err := c.Send(1, 0, original); err != nil {
+				return err
+			}
+			if counts.Corrupted.Load() != 1 {
+				return fmt.Errorf("corrupted %d, want 1", counts.Corrupted.Load())
+			}
+			return nil
+		}
+		p, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		diff := 0
+		for i := range p {
+			if p[i] != original[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			return fmt.Errorf("%d bytes differ, want exactly 1", diff)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(original) != "pristine-payload" {
+		t.Fatal("corruption mutated the caller's payload")
+	}
+}
+
+func TestCollectivesSurviveDelayAndDuplication(t *testing.T) {
+	// Delayed and duplicated deliveries must not corrupt collective
+	// results: tags isolate rounds, so stragglers land harmlessly.
+	err := Run(4, func(c *Comm) error {
+		c.InjectFaults(FaultSpec{Seed: int64(c.Rank()) + 10, Dup: 0.3, Delay: 2 * time.Millisecond})
+		c.SetRecvTimeout(10 * time.Second)
+		for round := 0; round < 20; round++ {
+			out, err := c.Allreduce(EncodeUint64s([]uint64{uint64(round)}), SumUint64s)
+			if err != nil {
+				return err
+			}
+			if v, _ := DecodeUint64s(out); v[0] != uint64(4*round) {
+				return fmt.Errorf("round %d: got %d want %d", round, v[0], 4*round)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultInjectionOnTCP(t *testing.T) {
+	lns, _, err := FreeLocalListeners(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunTCPListeners(lns, 10*time.Second, TCPOptions{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Drop only tag-0 traffic so rank 1's completion message (and
+			// nothing else) still flows; then hold the connection open
+			// until rank 1 has observed its timeout, so teardown does not
+			// race the backstop.
+			c.InjectFaults(FaultSpec{Seed: 4, Drop: 1, Match: func(to, tag int) bool { return tag == 0 }})
+			if err := c.Send(1, 0, []byte("lost on the wire")); err != nil {
+				return err
+			}
+			_, _, err := c.Recv(1, 1)
+			return err
+		}
+		c.SetRecvTimeout(100 * time.Millisecond)
+		_, _, err := c.Recv(0, 0)
+		if !errors.Is(err, ErrRecvTimeout) {
+			return fmt.Errorf("got %v, want ErrRecvTimeout", err)
+		}
+		c.SetRecvTimeout(0)
+		return c.Send(0, 1, []byte("timed out as expected"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- accounting -------------------------------------------------------------
+
+func TestSelfSendsNotCounted(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Send(0, 1, make([]byte, 64)); err != nil {
+			return err
+		}
+		if _, _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		if c.Stats().Messages() != 0 || c.Stats().Bytes() != 0 {
+			return fmt.Errorf("self-sends counted: %d msgs, %d bytes",
+				c.Stats().Messages(), c.Stats().Bytes())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerPeerAccounting(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 10)); err != nil {
+				return err
+			}
+			if err := c.Send(2, 0, make([]byte, 20)); err != nil {
+				return err
+			}
+			s := c.Stats()
+			if s.PeerBytes(1) != 10 || s.PeerBytes(2) != 20 || s.Bytes() != 30 {
+				return fmt.Errorf("peer bytes: [%d %d], total %d",
+					s.PeerBytes(1), s.PeerBytes(2), s.Bytes())
+			}
+			if s.PeerMessages(1) != 1 || s.PeerMessages(2) != 1 {
+				return fmt.Errorf("peer msgs: [%d %d]", s.PeerMessages(1), s.PeerMessages(2))
+			}
+			s.Reset()
+			if s.PeerBytes(1) != 0 || s.Bytes() != 0 {
+				return fmt.Errorf("reset left counters: %d %d", s.PeerBytes(1), s.Bytes())
+			}
+			return nil
+		}
+		_, _, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- panic recovery ---------------------------------------------------------
+
+func TestRunPanicMidCollective(t *testing.T) {
+	// A rank panicking while peers sit inside a collective must propagate
+	// the panic to the caller and release everyone.
+	defer func() {
+		if r := recover(); r != "rank 2 exploded" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	_ = Run(3, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("rank 2 exploded")
+		}
+		_, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s)
+		return err
+	})
+	t.Fatal("unreachable: panic should propagate")
+}

@@ -12,9 +12,36 @@ import (
 // semantics across machines.
 type world struct {
 	boxes []*mailbox
+
+	mu   sync.Mutex
+	dead map[int]bool // ranks that aborted
 }
 
-func (w *world) send(to int, msg message) error { return w.boxes[to].put(msg) }
+func (w *world) send(to int, msg message) error {
+	w.mu.Lock()
+	dead := w.dead[to]
+	w.mu.Unlock()
+	if dead {
+		return fmt.Errorf("mpi: send to rank %d: %w", to, RankFailedError{Rank: to})
+	}
+	return w.boxes[to].put(msg)
+}
+
+// abort marks rank dead in every mailbox, so any peer waiting on it (or on
+// AnySource) fails with RankFailedError instead of blocking — the in-process
+// equivalent of a dead TCP peer's connections closing everywhere. Sends to
+// the dead rank fail the same way.
+func (w *world) abort(rank int) {
+	w.mu.Lock()
+	if w.dead == nil {
+		w.dead = make(map[int]bool)
+	}
+	w.dead[rank] = true
+	w.mu.Unlock()
+	for _, b := range w.boxes {
+		b.fail(rank)
+	}
+}
 
 // NewWorld creates size connected in-process communicators. The caller is
 // responsible for running each returned Comm on its own goroutine and for
@@ -27,7 +54,7 @@ func NewWorld(size int) ([]*Comm, func()) {
 	comms := make([]*Comm, size)
 	for i := range comms {
 		w.boxes[i] = newMailbox()
-		comms[i] = &Comm{rank: i, size: size, out: w, box: w.boxes[i], stats: &Stats{}}
+		comms[i] = &Comm{rank: i, size: size, out: w, box: w.boxes[i], stats: newStats(size)}
 	}
 	closeAll := func() {
 		for _, b := range w.boxes {
@@ -38,8 +65,10 @@ func NewWorld(size int) ([]*Comm, func()) {
 }
 
 // Run executes fn on size in-process ranks and waits for all of them. The
-// first non-nil error (by rank order) is returned. A panic in any rank is
-// re-panicked in the caller after the other ranks are released, so tests
+// first root-cause error is returned: cascade artifacts (ErrClosed,
+// RankFailedError on ranks that merely observed a peer's death) are
+// suppressed in favour of the failing rank's own error. A panic in any rank
+// is re-panicked in the caller after the other ranks are released, so tests
 // fail loudly instead of deadlocking.
 func Run(size int, fn func(c *Comm) error) error {
 	comms, closeAll := NewWorld(size)
@@ -60,10 +89,10 @@ func Run(size int, fn func(c *Comm) error) error {
 			}()
 			errs[i] = fn(c)
 			if errs[i] != nil {
-				// A failing rank tears the world down so peers blocked in
-				// collectives fail fast (with ErrClosed, suppressed below)
-				// instead of deadlocking.
-				closeAll()
+				// A failing rank aborts so peers blocked on it fail fast
+				// with RankFailedError (suppressed below as a cascade
+				// artifact) instead of deadlocking.
+				c.Abort()
 			}
 		}(i, c)
 	}
@@ -73,12 +102,20 @@ func Run(size int, fn func(c *Comm) error) error {
 			panic(p)
 		}
 	}
+	var cascade error
 	for _, err := range errs {
-		if err != nil && !errors.Is(err, ErrClosed) {
-			return err
+		if err == nil || errors.Is(err, ErrClosed) {
+			continue
 		}
+		if _, ok := IsRankFailure(err); ok {
+			if cascade == nil {
+				cascade = err
+			}
+			continue
+		}
+		return err
 	}
-	return nil
+	return cascade
 }
 
 // RunCollect executes fn on size ranks and gathers each rank's result.

@@ -11,12 +11,28 @@
 // implementation uses mpi4py on an Infiniband cluster; behaviourally the
 // algorithm depends only on collective semantics and on how many bytes move,
 // both of which this package reproduces and accounts for (see Stats).
+//
+// # Failure semantics
+//
+// Unlike the paper's mpi4py baseline — where a dead rank stalls every
+// collective until the scheduler kills the job — this runtime propagates
+// rank death. When a peer's connection breaks (TCP), a frame fails
+// authentication, or a rank calls Abort / returns an error under Run, that
+// rank is marked failed and every pending or future Recv that depends on it
+// returns a RankFailedError instead of blocking forever. Collectives
+// surface the same error on the ranks whose tree/ring position touches the
+// failure; the failure then cascades as the affected ranks tear down,
+// so the whole world unblocks. A configurable per-Recv timeout
+// (SetRecvTimeout, or TCPOptions.RecvTimeout) acts as a backstop for
+// failures the transport cannot observe (a live but wedged peer), returning
+// ErrRecvTimeout. Fault injection for tests lives in fault.go.
 package mpi
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Wildcards for Recv.
@@ -31,6 +47,32 @@ const collectiveTagBase = 1 << 20
 // ErrClosed is returned when communicating on a torn-down world.
 var ErrClosed = errors.New("mpi: communicator closed")
 
+// ErrRecvTimeout is returned (wrapped) when a Recv exceeds the configured
+// per-receive timeout without a matching message or an observed failure.
+var ErrRecvTimeout = errors.New("mpi: recv timed out")
+
+// RankFailedError reports that a peer rank died, was evicted for protocol
+// violations (forged frame source, oversized frame), or aborted. Pending
+// and future receives that depend on the rank fail with this error instead
+// of blocking until mailbox close.
+type RankFailedError struct {
+	Rank int
+}
+
+func (e RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed", e.Rank)
+}
+
+// IsRankFailure reports whether err (anywhere in its chain) indicates a
+// failed peer rank, and which rank.
+func IsRankFailure(err error) (rank int, ok bool) {
+	var rf RankFailedError
+	if errors.As(err, &rf) {
+		return rf.Rank, true
+	}
+	return -1, false
+}
+
 // message is a single tagged payload in flight.
 type message struct {
 	from, tag int
@@ -39,11 +81,13 @@ type message struct {
 
 // mailbox is an unbounded, match-by-(source,tag) receive queue. Sends are
 // eager (never block), which makes naive collective schedules deadlock-free.
+// Ranks marked failed via fail() poison matching receives.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []message
 	closed bool
+	dead   map[int]bool
 }
 
 func newMailbox() *mailbox {
@@ -63,9 +107,35 @@ func (m *mailbox) put(msg message) error {
 	return nil
 }
 
+// fail marks a rank dead: receives waiting on it (or on AnySource) wake up
+// and return RankFailedError. Messages already queued are still delivered.
+func (m *mailbox) fail(rank int) {
+	m.mu.Lock()
+	if m.dead == nil {
+		m.dead = make(map[int]bool)
+	}
+	m.dead[rank] = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) failed(rank int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead[rank]
+}
+
 // get blocks until a message matching (from, tag) is available and removes
-// it from the queue. AnySource / AnyTag act as wildcards.
-func (m *mailbox) get(from, tag int) (message, error) {
+// it from the queue. AnySource / AnyTag act as wildcards. Queued messages
+// win over failure: a dead rank's already-delivered traffic is drained
+// before RankFailedError is reported. A timeout > 0 bounds the wait.
+func (m *mailbox) get(from, tag int, timeout time.Duration) (message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, m.cond.Broadcast)
+		defer timer.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -77,6 +147,25 @@ func (m *mailbox) get(from, tag int) (message, error) {
 		}
 		if m.closed {
 			return message{}, ErrClosed
+		}
+		if from != AnySource {
+			if m.dead[from] {
+				return message{}, RankFailedError{Rank: from}
+			}
+		} else if len(m.dead) > 0 {
+			// Waiting on anyone while someone is dead: the missing message
+			// may be the dead rank's, so fail rather than risk a hang.
+			// Report the lowest dead rank for determinism.
+			r := -1
+			for d := range m.dead {
+				if r < 0 || d < r {
+					r = d
+				}
+			}
+			return message{}, RankFailedError{Rank: r}
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return message{}, fmt.Errorf("mpi: recv(from=%d, tag=%d): %w after %s", from, tag, ErrRecvTimeout, timeout)
 		}
 		m.cond.Wait()
 	}
@@ -95,15 +184,22 @@ type sender interface {
 	send(to int, msg message) error
 }
 
+// aborter is implemented by transports that can simulate/propagate the
+// death of a rank to the rest of the world.
+type aborter interface {
+	abort(rank int)
+}
+
 // Comm is one rank's endpoint into a world of size Size. A Comm is intended
 // for use by a single goroutine (MPI process semantics); the transport
 // beneath it is concurrency-safe.
 type Comm struct {
-	rank, size int
-	out        sender
-	box        *mailbox
-	stats      *Stats
-	collSeq    int // per-rank collective sequence, advances in lockstep
+	rank, size  int
+	out         sender
+	box         *mailbox
+	stats       *Stats
+	collSeq     int // per-rank collective sequence, advances in lockstep
+	recvTimeout time.Duration
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -114,6 +210,22 @@ func (c *Comm) Size() int { return c.size }
 
 // Stats returns the communication accounting for this rank.
 func (c *Comm) Stats() *Stats { return c.stats }
+
+// SetRecvTimeout bounds every subsequent Recv (and therefore every
+// collective step) by d. Zero restores blocking forever. The timeout is a
+// backstop for failures the transport cannot observe — an expired wait
+// returns an error wrapping ErrRecvTimeout.
+func (c *Comm) SetRecvTimeout(d time.Duration) { c.recvTimeout = d }
+
+// Abort simulates this rank's death: the transport propagates the failure
+// to peers (closing connections on TCP, poisoning mailboxes in-process) and
+// the local mailbox is closed. Subsequent operations on this Comm fail.
+func (c *Comm) Abort() {
+	if a, ok := c.out.(aborter); ok {
+		a.abort(c.rank)
+	}
+	c.box.close()
+}
 
 // Send delivers payload to rank `to` with the given tag. Sends are eager and
 // never block on the receiver. The payload is not copied; callers must not
@@ -129,17 +241,24 @@ func (c *Comm) Send(to, tag int, payload []byte) error {
 }
 
 func (c *Comm) sendRaw(to, tag int, payload []byte) error {
-	c.stats.record(len(payload))
+	// Self-deliveries never touch the wire; keeping them out of Stats makes
+	// the reported volume match what a real interconnect would carry.
+	if to != c.rank {
+		c.stats.record(to, len(payload))
+	}
 	return c.out.send(to, message{from: c.rank, tag: tag, payload: payload})
 }
 
 // Recv blocks until a message from `from` with tag `tag` arrives and returns
-// its payload and actual source. AnySource and AnyTag are accepted.
+// its payload and actual source. AnySource and AnyTag are accepted. If the
+// awaited rank is (or becomes) failed, Recv returns a RankFailedError; if a
+// receive timeout is configured and expires, an error wrapping
+// ErrRecvTimeout.
 func (c *Comm) Recv(from, tag int) (payload []byte, source int, err error) {
 	if from != AnySource && (from < 0 || from >= c.size) {
 		return nil, 0, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", from, c.size)
 	}
-	msg, err := c.box.get(from, tag)
+	msg, err := c.box.get(from, tag, c.recvTimeout)
 	if err != nil {
 		return nil, 0, err
 	}

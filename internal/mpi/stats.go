@@ -5,26 +5,65 @@ import "sync/atomic"
 // Stats accounts for traffic originated by one rank. KeyBin2's scalability
 // argument rests on the communication volume being O(2·K·N_rp·B) — a few
 // kilobytes of histograms — so the experiment harness reports these counters
-// alongside wall-clock time.
+// alongside wall-clock time. Self-deliveries are not counted: only bytes
+// that would cross a real interconnect appear here. When the Stats is built
+// by a transport (newStats), traffic is additionally broken down per
+// destination rank.
 type Stats struct {
 	msgs  atomic.Int64
 	bytes atomic.Int64
+	peers []peerStat // indexed by destination rank; nil on zero-value Stats
 }
 
-func (s *Stats) record(n int) {
+type peerStat struct {
+	msgs, bytes atomic.Int64
+}
+
+// newStats sizes the per-peer breakdown for a world of `size` ranks.
+func newStats(size int) *Stats {
+	return &Stats{peers: make([]peerStat, size)}
+}
+
+func (s *Stats) record(to, n int) {
 	s.msgs.Add(1)
 	s.bytes.Add(int64(n))
+	if to >= 0 && to < len(s.peers) {
+		s.peers[to].msgs.Add(1)
+		s.peers[to].bytes.Add(int64(n))
+	}
 }
 
-// Messages returns the number of point-to-point messages sent by this rank
-// (collectives are counted by their constituent messages).
+// Messages returns the number of cross-rank point-to-point messages sent by
+// this rank (collectives are counted by their constituent messages).
 func (s *Stats) Messages() int64 { return s.msgs.Load() }
 
-// Bytes returns the total payload bytes sent by this rank.
+// Bytes returns the total payload bytes sent by this rank to other ranks.
 func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// PeerMessages returns the number of messages sent to rank. Zero when the
+// breakdown is not tracked or rank is out of range.
+func (s *Stats) PeerMessages(rank int) int64 {
+	if rank < 0 || rank >= len(s.peers) {
+		return 0
+	}
+	return s.peers[rank].msgs.Load()
+}
+
+// PeerBytes returns the payload bytes sent to rank. Zero when the breakdown
+// is not tracked or rank is out of range.
+func (s *Stats) PeerBytes(rank int) int64 {
+	if rank < 0 || rank >= len(s.peers) {
+		return 0
+	}
+	return s.peers[rank].bytes.Load()
+}
 
 // Reset zeroes the counters.
 func (s *Stats) Reset() {
 	s.msgs.Store(0)
 	s.bytes.Store(0)
+	for i := range s.peers {
+		s.peers[i].msgs.Store(0)
+		s.peers[i].bytes.Store(0)
+	}
 }

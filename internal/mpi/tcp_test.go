@@ -7,11 +7,11 @@ import (
 )
 
 func TestTCPWorldSendRecv(t *testing.T) {
-	addrs, err := FreeLocalAddrs(3)
+	lns, _, err := FreeLocalListeners(3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = RunTCP(addrs, 10*time.Second, func(c *Comm) error {
+	err = RunTCPListeners(lns, 10*time.Second, TCPOptions{}, func(c *Comm) error {
 		if c.Rank() == 0 {
 			if err := c.Send(2, 7, []byte("over tcp")); err != nil {
 				return err
@@ -35,11 +35,11 @@ func TestTCPWorldSendRecv(t *testing.T) {
 }
 
 func TestTCPCollectives(t *testing.T) {
-	addrs, err := FreeLocalAddrs(4)
+	lns, _, err := FreeLocalListeners(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = RunTCP(addrs, 10*time.Second, func(c *Comm) error {
+	err = RunTCPListeners(lns, 10*time.Second, TCPOptions{RecvTimeout: time.Minute}, func(c *Comm) error {
 		out, err := c.Allreduce(EncodeUint64s([]uint64{uint64(c.Rank() + 1)}), SumUint64s)
 		if err != nil {
 			return err
@@ -77,11 +77,11 @@ func TestTCPCollectives(t *testing.T) {
 }
 
 func TestTCPSingleRank(t *testing.T) {
-	addrs, err := FreeLocalAddrs(1)
+	lns, _, err := FreeLocalListeners(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = RunTCP(addrs, 2*time.Second, func(c *Comm) error {
+	err = RunTCPListeners(lns, 2*time.Second, TCPOptions{}, func(c *Comm) error {
 		out, err := c.Allreduce(EncodeUint64s([]uint64{5}), SumUint64s)
 		if err != nil {
 			return err
