@@ -1,23 +1,33 @@
-// Command benchjson measures the labeling-pipeline kernels and writes the
-// results as JSON, seeding the repo's performance trajectory. It tracks
-// ns/point for per-point key assignment, the tuple-counting pass, and the
-// end-to-end serial Fit at the Table-1 medium scale.
+// Command benchjson measures the labeling-pipeline kernels plus the
+// keybin2d serving path and writes the results as JSON, seeding the repo's
+// performance trajectory. It tracks ns/point for per-point key assignment,
+// the tuple-counting pass, the end-to-end serial Fit at the Table-1 medium
+// scale, and — via an in-process daemon driven by the client load
+// generator — concurrent ingest throughput and /label query latency.
 //
 // Usage:
 //
 //	benchjson                          # writes BENCH_keybin2.json
 //	benchjson -points 50000 -dims 64   # custom fixture
 //	benchjson -o - -reps 5             # print to stdout, 5 repetitions
+//	benchjson -server-points 200000    # heavier service measurement
+//	benchjson -no-server               # kernels only
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"time"
 
+	"keybin2/internal/client"
 	"keybin2/internal/core"
+	"keybin2/internal/server"
 	"keybin2/internal/synth"
 	"keybin2/internal/xrand"
 )
@@ -28,15 +38,22 @@ type report struct {
 	GoMaxProcs int                `json:"gomaxprocs"`
 	Seed       int64              `json:"seed"`
 	Kernels    core.KernelTimings `json:"kernels"`
+	// Server is the keybin2d serving-path measurement: an in-process
+	// daemon under the client load generator (concurrent batched ingest +
+	// live /label queries).
+	Server *client.LoadReport `json:"server,omitempty"`
 }
 
 func main() {
 	var (
-		points = flag.Int("points", 30000, "fixture rows (Table-1 medium scale)")
-		dims   = flag.Int("dims", 80, "fixture dimensionality")
-		reps   = flag.Int("reps", 3, "repetitions per measurement (fastest kept)")
-		seed   = flag.Int64("seed", 1, "fixture + fit seed")
-		out    = flag.String("o", "BENCH_keybin2.json", "output path ('-' for stdout)")
+		points   = flag.Int("points", 30000, "fixture rows (Table-1 medium scale)")
+		dims     = flag.Int("dims", 80, "fixture dimensionality")
+		reps     = flag.Int("reps", 3, "repetitions per measurement (fastest kept)")
+		seed     = flag.Int64("seed", 1, "fixture + fit seed")
+		out      = flag.String("o", "BENCH_keybin2.json", "output path ('-' for stdout)")
+		noServer = flag.Bool("no-server", false, "skip the keybin2d serving-path measurement")
+		srvPts   = flag.Int("server-points", 100000, "points driven through the in-process daemon")
+		srvDims  = flag.Int("server-dims", 16, "serving-path dimensionality")
 	)
 	flag.Parse()
 
@@ -52,6 +69,14 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
 		Kernels:    kt,
+	}
+	if !*noServer {
+		lr, err := measureServer(*srvPts, *srvDims, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: server:", err)
+			os.Exit(1)
+		}
+		rep.Server = &lr
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -69,4 +94,53 @@ func main() {
 	}
 	fmt.Printf("wrote %s: key-assign %.1f ns/pt, tuple-count %.1f ns/pt, fit %.1f ns/pt (%d×%d)\n",
 		*out, kt.KeyAssignNsPerPoint, kt.TupleCountNsPerPoint, kt.FitNsPerPoint, kt.Points, kt.Dims)
+	if rep.Server != nil {
+		fmt.Printf("server: %.0f pts/s ingest, /label p50 %.2f ms p99 %.2f ms (%d pts, %d refits, %d clusters)\n",
+			rep.Server.IngestPointsPerSec, rep.Server.QueryP50Ms, rep.Server.QueryP99Ms,
+			rep.Server.Points, rep.Server.FinalRefits, rep.Server.FinalClusters)
+	}
+}
+
+// measureServer boots an in-process keybin2d serving core on a loopback
+// socket and drives the client load generator through real HTTP — the
+// same path cmd/keybin2d serves, minus process startup.
+func measureServer(points, dims int, seed int64) (client.LoadReport, error) {
+	ranges := make([][2]float64, dims)
+	for i := range ranges {
+		ranges[i] = [2]float64{-12, 12}
+	}
+	srv, err := server.New(server.Config{
+		Stream: core.StreamConfig{
+			Config:    core.Config{Seed: seed + 3, Trials: 3},
+			Dims:      dims,
+			RawRanges: ranges,
+			Period:    5000,
+		},
+		QueueDepth: 256,
+		RetryAfter: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return client.LoadReport{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return client.LoadReport{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	srv.Start()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	rep, err := client.RunLoad(ctx, client.New("http://"+ln.Addr().String()), client.LoadConfig{
+		Points: points, Dims: dims, BatchSize: 1024,
+		Ingesters: 4, QueryWorkers: 2, Seed: seed + 4,
+	})
+	if err != nil {
+		return rep, err
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return rep, err
+	}
+	return rep, srv.Stop(ctx)
 }

@@ -1,0 +1,197 @@
+// Command keybin2d is the KeyBin2 in-situ clustering daemon: it owns a
+// streaming clusterer, ingests batched point traffic over HTTP with
+// backpressure, answers label/model/stats queries from an immutable model
+// snapshot while refits run underneath, and checkpoints its state to disk
+// so a restart resumes exactly where it stopped.
+//
+// Usage:
+//
+//	keybin2d -dims 16 [-addr :7420] [-trials 5] [-seed 1]
+//	         [-warmup 500] [-period 1000] [-decay 0] [-depth 0]
+//	         [-range lo,hi] [-queue-depth 64] [-max-batch 65536]
+//	         [-retry-after 250ms] [-checkpoint state.kb2s]
+//	         [-checkpoint-every 30s] [-drain-timeout 30s]
+//
+// API (binary batches are "KB2B" | dims u32 | count u32 | float64s, LE):
+//
+//	POST /ingest  → 202 accepted | 429 queue full (Retry-After)
+//	POST /label   → {"labels":[...],"model_gen":g,"clusters":k}
+//	GET  /model   → encoded model (keybin2.DecodeModel)
+//	GET  /stats   → ingest/refit/queue counters
+//	GET  /healthz → ok
+//
+// With -range the raw per-dimension bounds are predetermined (the paper's
+// in-situ assumption) and the daemon serves labels from the first refit
+// without a warmup buffer. SIGINT/SIGTERM drain gracefully: the listener
+// stops, every accepted batch is applied, and a final checkpoint is
+// written before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"keybin2/internal/core"
+	"keybin2/internal/server"
+)
+
+type daemonOpts struct {
+	addr       string
+	dims       int
+	trials     int
+	seed       int64
+	warmup     int
+	period     int
+	decay      float64
+	depth      int
+	rawRange   string
+	queueDepth int
+	maxBatch   int
+	retryAfter time.Duration
+	ckptPath   string
+	ckptEvery  time.Duration
+	drainAfter time.Duration
+}
+
+func main() {
+	var o daemonOpts
+	flag.StringVar(&o.addr, "addr", ":7420", "HTTP listen address")
+	flag.IntVar(&o.dims, "dims", 0, "raw input dimensionality (required)")
+	flag.IntVar(&o.trials, "trials", 5, "bootstrap projection trials")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed (must match across restarts of the same checkpoint)")
+	flag.IntVar(&o.warmup, "warmup", 0, "points buffered to establish ranges (0 = default 500; ignored with -range)")
+	flag.IntVar(&o.period, "period", 0, "points between refits (0 = default 1000)")
+	flag.Float64Var(&o.decay, "decay", 0, "exponential forgetting factor in (0,1); 0 disables")
+	flag.IntVar(&o.depth, "depth", 0, "binning tree depth (0 = stream default)")
+	flag.StringVar(&o.rawRange, "range", "", "predetermined per-dimension bounds 'lo,hi' applied to every raw dim (skips warmup)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 64, "pending ingest batches before backpressure")
+	flag.IntVar(&o.maxBatch, "max-batch", 65536, "max points per batch")
+	flag.DurationVar(&o.retryAfter, "retry-after", 250*time.Millisecond, "backoff hint on backpressure rejections")
+	flag.StringVar(&o.ckptPath, "checkpoint", "", "checkpoint file (enables periodic save + restore-on-start)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "checkpoint cadence")
+	flag.DurationVar(&o.drainAfter, "drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	flag.Parse()
+
+	if err := run(o, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "keybin2d:", err)
+		os.Exit(1)
+	}
+}
+
+// buildConfig validates the CLI knobs into a server.Config. Misconfigured
+// flag pairs fail here, before any socket is opened: in particular a refit
+// period shorter than the warmup (core's typed StreamConfigError) and a
+// malformed -range.
+func buildConfig(o daemonOpts) (server.Config, error) {
+	var cfg server.Config
+	if o.dims <= 0 {
+		return cfg, fmt.Errorf("-dims is required (got %d)", o.dims)
+	}
+	sc := core.StreamConfig{
+		Config:      core.Config{Trials: o.trials, Seed: o.seed, Depth: o.depth},
+		Dims:        o.dims,
+		Warmup:      o.warmup,
+		Period:      o.period,
+		DecayFactor: o.decay,
+	}
+	if o.rawRange != "" {
+		lohi := strings.SplitN(o.rawRange, ",", 2)
+		if len(lohi) != 2 {
+			return cfg, fmt.Errorf("-range wants 'lo,hi', got %q", o.rawRange)
+		}
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(lohi[0]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(lohi[1]), 64)
+		if err1 != nil || err2 != nil || lo >= hi {
+			return cfg, fmt.Errorf("-range wants numeric lo < hi, got %q", o.rawRange)
+		}
+		ranges := make([][2]float64, o.dims)
+		for i := range ranges {
+			ranges[i] = [2]float64{lo, hi}
+		}
+		sc.RawRanges = ranges
+	}
+	if err := sc.Validate(); err != nil {
+		var sce *core.StreamConfigError
+		if errors.As(err, &sce) {
+			return cfg, fmt.Errorf("bad flags: %w", err)
+		}
+		return cfg, err
+	}
+	cfg = server.Config{
+		Stream:          sc,
+		QueueDepth:      o.queueDepth,
+		MaxBatchPoints:  o.maxBatch,
+		RetryAfter:      o.retryAfter,
+		CheckpointPath:  o.ckptPath,
+		CheckpointEvery: o.ckptEvery,
+		Logf:            log.Printf,
+	}
+	return cfg, nil
+}
+
+// run starts the daemon and blocks until a signal (or a close of stop,
+// which tests use) triggers the graceful drain. When ready is non-nil it
+// receives the bound listen address once serving.
+func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	srv.Start()
+	log.Printf("keybin2d listening on %s (dims=%d queue=%d checkpoint=%q)",
+		ln.Addr(), o.dims, o.queueDepth, o.ckptPath)
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("signal %s: draining", s)
+	case <-stop:
+		log.Printf("stop requested: draining")
+	case err := <-httpErr:
+		srv.Stop(context.Background())
+		return err
+	}
+
+	// Graceful order: stop the listener first so no handler can enqueue
+	// behind the drain, then drain the queue and write the final
+	// checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainAfter)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Stop(ctx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	log.Printf("drained: %d points seen, %d refits, %d checkpoints", st.Seen, st.Refits, st.Checkpoints)
+	return nil
+}

@@ -1,0 +1,129 @@
+// Command keybin2load drives a running keybin2d daemon: it pushes
+// synthetic mixture traffic through concurrent ingesters while hammering
+// /label, then reports ingest throughput and query latency as JSON (the
+// measurement cmd/benchjson folds into BENCH_keybin2.json).
+//
+// Usage:
+//
+//	keybin2load -addr http://127.0.0.1:7420 [-points 100000] [-dims 16]
+//	            [-batch 512] [-ingesters 4] [-query-workers 2] [-seed 1]
+//	            [-o -] [-probe labels.json] [-no-load]
+//
+// -probe exercises restart consistency: it labels a deterministic probe
+// batch and writes the labels to the given file — or, when the file
+// already exists, compares against the stored labels and exits nonzero on
+// any mismatch. Run with -probe before killing the daemon and again (with
+// -no-load) after restarting from its checkpoint to assert the restored
+// model labels identically.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"keybin2/internal/client"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7420", "daemon base URL")
+		points   = flag.Int("points", 100000, "points to ingest")
+		dims     = flag.Int("dims", 16, "point dimensionality (must match daemon)")
+		batch    = flag.Int("batch", 512, "points per ingest batch")
+		ingest   = flag.Int("ingesters", 4, "concurrent ingest workers")
+		queryW   = flag.Int("query-workers", 2, "concurrent /label workers during ingest")
+		seed     = flag.Int64("seed", 1, "synthetic data seed")
+		out      = flag.String("o", "-", "load report JSON path ('-' for stdout)")
+		probe    = flag.String("probe", "", "probe-labels file: write if absent, compare if present")
+		noLoad   = flag.Bool("no-load", false, "skip the load phase (probe/stats only)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		probeN   = flag.Int("probe-points", 256, "points in the consistency probe")
+	)
+	flag.Parse()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c := client.New(*addr)
+	if !*noLoad {
+		rep, err := client.RunLoad(ctx, c, client.LoadConfig{
+			Points: *points, Dims: *dims, BatchSize: *batch,
+			Ingesters: *ingest, QueryWorkers: *queryW, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "keybin2load:", err)
+			os.Exit(1)
+		}
+		enc, _ := json.MarshalIndent(rep, "", "  ")
+		enc = append(enc, '\n')
+		if *out == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "keybin2load:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ingest %.0f pts/s, query p50 %.2f ms p99 %.2f ms, %d refits, %d clusters\n",
+			rep.IngestPointsPerSec, rep.QueryP50Ms, rep.QueryP99Ms, rep.FinalRefits, rep.FinalClusters)
+	}
+	if *probe != "" {
+		if err := runProbe(ctx, c, *probe, *dims, *probeN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "keybin2load:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// probeRecord pins a deterministic batch's labels to disk so a second run
+// can assert the daemon (possibly restarted from a checkpoint) still
+// labels the same points the same way.
+type probeRecord struct {
+	Seed     int64 `json:"seed"`
+	Dims     int   `json:"dims"`
+	Labels   []int `json:"labels"`
+	ModelGen int64 `json:"model_gen"`
+}
+
+func runProbe(ctx context.Context, c *client.Client, path string, dims, n int, seed int64) error {
+	// The probe batch is derived from the seed alone, so any invocation
+	// with equal flags regenerates identical points.
+	spec := synth.AutoMixture(4, dims, 6, 1, xrand.New(seed))
+	batch, _ := spec.Sample(n, xrand.New(seed+7))
+	res, err := c.Label(ctx, batch)
+	if err != nil {
+		return err
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var want probeRecord
+		if err := json.Unmarshal(prev, &want); err != nil {
+			return fmt.Errorf("probe file %s: %w", path, err)
+		}
+		if want.Seed != seed || want.Dims != dims || len(want.Labels) != len(res.Labels) {
+			return fmt.Errorf("probe file %s was written with different flags", path)
+		}
+		mismatch := 0
+		for i := range want.Labels {
+			if want.Labels[i] != res.Labels[i] {
+				mismatch++
+			}
+		}
+		if mismatch > 0 {
+			return fmt.Errorf("probe: %d of %d labels changed across restart (gen %d → %d)",
+				mismatch, len(want.Labels), want.ModelGen, res.ModelGen)
+		}
+		fmt.Fprintf(os.Stderr, "probe: %d labels consistent (gen %d → %d)\n",
+			len(want.Labels), want.ModelGen, res.ModelGen)
+		return nil
+	}
+	rec := probeRecord{Seed: seed, Dims: dims, Labels: res.Labels, ModelGen: res.ModelGen}
+	enc, _ := json.MarshalIndent(rec, "", "  ")
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "probe: wrote %d labels (gen %d) to %s\n", len(res.Labels), res.ModelGen, path)
+	return nil
+}

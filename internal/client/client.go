@@ -1,0 +1,200 @@
+// Package client is the Go client for keybin2d: binary batched ingest
+// with backpressure-aware retry, label and model queries served from the
+// daemon's live snapshot, and a load generator that measures ingest
+// throughput and query latency against a running daemon.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"keybin2/internal/core"
+	"keybin2/internal/linalg"
+	"keybin2/internal/server"
+)
+
+// ErrBackpressure reports an ingest batch the daemon refused because its
+// queue was full; RetryAfter carries the daemon's backoff hint.
+type ErrBackpressure struct {
+	RetryAfter time.Duration
+}
+
+func (e *ErrBackpressure) Error() string {
+	return fmt.Sprintf("client: daemon queue full, retry after %s", e.RetryAfter)
+}
+
+// Client talks to one keybin2d daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the daemon at base (e.g. "http://127.0.0.1:7420").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// NewWithHTTPClient injects a custom http.Client (tests, timeouts).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return c.hc.Do(req)
+}
+
+func httpError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+}
+
+// IngestOnce submits one batch without retrying. A full daemon queue
+// returns *ErrBackpressure.
+func (c *Client) IngestOnce(ctx context.Context, batch *linalg.Matrix) error {
+	resp, err := c.post(ctx, "/ingest", server.EncodeBatch(batch))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	case http.StatusTooManyRequests:
+		return &ErrBackpressure{RetryAfter: retryAfter(resp)}
+	default:
+		return httpError(resp)
+	}
+}
+
+// retryAfter extracts the daemon's backoff hint: the millisecond header
+// when present, else the RFC Retry-After seconds, else a fixed fallback.
+func retryAfter(resp *http.Response) time.Duration {
+	if ms, err := strconv.ParseInt(resp.Header.Get("X-Retry-After-Ms"), 10, 64); err == nil && ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return 250 * time.Millisecond
+}
+
+// Ingest submits one batch, sleeping out backpressure rejections until the
+// daemon accepts it or ctx expires. This is the in-situ producer loop in
+// miniature: the simulation yields for RetryAfter instead of stalling
+// inside a blocked send.
+func (c *Client) Ingest(ctx context.Context, batch *linalg.Matrix) error {
+	for {
+		err := c.IngestOnce(ctx, batch)
+		var bp *ErrBackpressure
+		if !errors.As(err, &bp) {
+			return err
+		}
+		select {
+		case <-time.After(bp.RetryAfter):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// LabelResult carries /label's reply: per-point labels and the generation
+// of the model that produced them (0 = warmup, all labels are noise).
+type LabelResult struct {
+	Labels   []int `json:"labels"`
+	ModelGen int64 `json:"model_gen"`
+	Clusters int   `json:"clusters"`
+}
+
+// Label asks the daemon to label a batch of raw points under its current
+// model snapshot.
+func (c *Client) Label(ctx context.Context, batch *linalg.Matrix) (LabelResult, error) {
+	var out LabelResult
+	resp, err := c.post(ctx, "/label", server.EncodeBatch(batch))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, err
+	}
+	if len(out.Labels) != batch.Rows {
+		return out, fmt.Errorf("client: %d labels for %d points", len(out.Labels), batch.Rows)
+	}
+	return out, nil
+}
+
+// Model fetches and decodes the daemon's current model snapshot.
+func (c *Client) Model(ctx context.Context) (*core.Model, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/model", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeModel(blob)
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
+	var out server.Stats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, httpError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// WaitSeen polls /stats until the daemon has applied at least n points or
+// ctx expires — how a producer confirms its acknowledged-but-queued
+// batches have landed in the model state.
+func (c *Client) WaitSeen(ctx context.Context, n int64) error {
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if st.Seen >= n {
+			return nil
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("client: daemon at %d of %d points: %w", st.Seen, n, ctx.Err())
+		}
+	}
+}

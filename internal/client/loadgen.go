@@ -1,0 +1,222 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// LoadConfig drives the load generator: concurrent ingesters pushing
+// synthetic mixture batches while query workers hammer /label, measuring
+// both sides of the single-writer/many-reader architecture at once.
+type LoadConfig struct {
+	// Points is the total ingest volume (default 100000).
+	Points int
+	// Dims must match the daemon's stream dimensionality (default 16).
+	Dims int
+	// BatchSize is points per ingest batch (default 512).
+	BatchSize int
+	// Ingesters is the number of concurrent ingest workers (default 4).
+	Ingesters int
+	// QueryWorkers label-query workers run for the whole ingest window
+	// (default 2); QueryBatch is points per query (default 64).
+	QueryWorkers int
+	QueryBatch   int
+	// Components is the synthetic mixture's cluster count (default 4).
+	Components int
+	// Seed drives the synthetic data (ingester i uses Seed+i).
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Points <= 0 {
+		c.Points = 100000
+	}
+	if c.Dims <= 0 {
+		c.Dims = 16
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.Ingesters <= 0 {
+		c.Ingesters = 4
+	}
+	if c.QueryWorkers < 0 {
+		c.QueryWorkers = 0
+	} else if c.QueryWorkers == 0 {
+		c.QueryWorkers = 2
+	}
+	if c.QueryBatch <= 0 {
+		c.QueryBatch = 64
+	}
+	if c.Components <= 0 {
+		c.Components = 4
+	}
+	return c
+}
+
+// LoadReport is the load generator's measurement, shaped for
+// BENCH_keybin2.json.
+type LoadReport struct {
+	Points    int `json:"points"`
+	Dims      int `json:"dims"`
+	BatchSize int `json:"batch_size"`
+	Ingesters int `json:"ingesters"`
+
+	IngestSeconds      float64 `json:"ingest_seconds"`
+	IngestPointsPerSec float64 `json:"ingest_points_per_sec"`
+	// Backpressure counts 429 rejections the ingesters absorbed by
+	// sleeping out the daemon's retry hint.
+	Backpressure int64 `json:"backpressure_rejections"`
+
+	QueryWorkers int     `json:"query_workers"`
+	Queries      int64   `json:"queries"`
+	QueryP50Ms   float64 `json:"query_p50_ms"`
+	QueryP95Ms   float64 `json:"query_p95_ms"`
+	QueryP99Ms   float64 `json:"query_p99_ms"`
+
+	FinalSeen     int64 `json:"final_seen"`
+	FinalRefits   int64 `json:"final_refits"`
+	FinalClusters int   `json:"final_clusters"`
+}
+
+// RunLoad ingests cfg.Points synthetic points through c while concurrently
+// querying labels, waits for the daemon to apply everything, and reports
+// throughput and latency. Queries run against the live snapshot for the
+// whole ingest window — the report's latency percentiles therefore include
+// queries answered while refits were happening underneath.
+func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	rep := LoadReport{
+		Points: cfg.Points, Dims: cfg.Dims, BatchSize: cfg.BatchSize,
+		Ingesters: cfg.Ingesters, QueryWorkers: cfg.QueryWorkers,
+	}
+	spec := synth.AutoMixture(cfg.Components, cfg.Dims, 6, 1, xrand.New(cfg.Seed))
+
+	var backpressure atomic.Int64
+	ingestCtx, stopQueries := context.WithCancel(ctx)
+	defer stopQueries()
+
+	// Query workers: label random mixture batches until ingest finishes.
+	var qwg sync.WaitGroup
+	latCh := make(chan []float64, cfg.QueryWorkers)
+	var queryErr atomic.Pointer[error]
+	for q := 0; q < cfg.QueryWorkers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			rng := xrand.New(cfg.Seed + 1000 + int64(q))
+			var lats []float64
+			for ingestCtx.Err() == nil {
+				batch, _ := spec.Sample(cfg.QueryBatch, rng)
+				t0 := time.Now()
+				if _, err := c.Label(ingestCtx, batch); err != nil {
+					if ingestCtx.Err() == nil {
+						queryErr.Store(&err)
+					}
+					break
+				}
+				lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+			}
+			latCh <- lats
+		}(q)
+	}
+
+	// Ingest workers: split the volume, absorb backpressure by sleeping
+	// out the daemon's hint (counted, not hidden).
+	start := time.Now()
+	var iwg sync.WaitGroup
+	var ingestErr atomic.Pointer[error]
+	for w := 0; w < cfg.Ingesters; w++ {
+		lo, hi := synth.Shard(cfg.Points, cfg.Ingesters, w)
+		if lo >= hi {
+			continue
+		}
+		iwg.Add(1)
+		go func(w, n int) {
+			defer iwg.Done()
+			rng := xrand.New(cfg.Seed + int64(w))
+			for n > 0 && ctx.Err() == nil {
+				sz := cfg.BatchSize
+				if sz > n {
+					sz = n
+				}
+				batch, _ := spec.Sample(sz, rng)
+				for {
+					err := c.IngestOnce(ctx, batch)
+					if err == nil {
+						break
+					}
+					var bp *ErrBackpressure
+					if !errors.As(err, &bp) {
+						ingestErr.Store(&err)
+						return
+					}
+					backpressure.Add(1)
+					select {
+					case <-time.After(bp.RetryAfter):
+					case <-ctx.Done():
+						return
+					}
+				}
+				n -= sz
+			}
+		}(w, hi-lo)
+	}
+	iwg.Wait()
+	ingestWall := time.Since(start)
+	stopQueries()
+	qwg.Wait()
+
+	if p := ingestErr.Load(); p != nil {
+		return rep, fmt.Errorf("load: ingest: %w", *p)
+	}
+	if p := queryErr.Load(); p != nil {
+		return rep, fmt.Errorf("load: query: %w", *p)
+	}
+
+	var lats []float64
+	for q := 0; q < cfg.QueryWorkers; q++ {
+		lats = append(lats, <-latCh...)
+	}
+	sort.Float64s(lats)
+	rep.Queries = int64(len(lats))
+	rep.QueryP50Ms = percentile(lats, 0.50)
+	rep.QueryP95Ms = percentile(lats, 0.95)
+	rep.QueryP99Ms = percentile(lats, 0.99)
+	rep.Backpressure = backpressure.Load()
+	rep.IngestSeconds = ingestWall.Seconds()
+	if rep.IngestSeconds > 0 {
+		rep.IngestPointsPerSec = float64(cfg.Points) / rep.IngestSeconds
+	}
+
+	// The daemon acknowledged every batch; wait until the writer has
+	// applied them so FinalSeen reflects the full volume.
+	if err := c.WaitSeen(ctx, int64(cfg.Points)); err != nil {
+		return rep, err
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return rep, err
+	}
+	rep.FinalSeen = st.Seen
+	rep.FinalRefits = st.Refits
+	rep.FinalClusters = st.Clusters
+	return rep, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -18,15 +18,22 @@ import (
 //	set frame (histogram.Set.Encode)
 //	ndims u32, per dim: collapsed u8, ncuts u32, cuts u32...
 //	trial u32
-//	nclusters u32, per cluster: mass u64, segments u16 × ndims
+//	nclusters u32, per cluster: mass u64, segments u16 × ndims, label u32 (v2)
 //	assessment: ch f64, within f64, between f64, clusters u32
 //
 // Encoding a model lets in-situ deployments checkpoint a fitted clustering
 // and ship it to late-joining workers, which can then label their local
 // points without refitting.
+//
+// Version 2 adds the per-cluster installed label. Stream-published models
+// carry remapped ids from label stabilization (ids follow clusters across
+// refits instead of mass order), and a decoded model must reproduce them —
+// otherwise labels silently change across a daemon checkpoint/restart or
+// between a daemon's /label and a client-side fetched model. Version 1
+// payloads are still decoded, with mass-order identity labels.
 
 const modelMagic = "KB2M"
-const modelVersion = 1
+const modelVersion = 2
 
 type wireWriter struct{ buf []byte }
 
@@ -115,11 +122,13 @@ func (m *Model) Encode() []byte {
 	}
 	w.u32(uint32(m.Trial))
 	w.u32(uint32(len(m.Clusters)))
-	for _, cl := range m.Clusters {
+	labels := m.installedLabels()
+	for i, cl := range m.Clusters {
 		w.u64(cl.Mass)
 		for _, s := range cl.Segments {
 			w.u32(uint32(s))
 		}
+		w.u32(uint32(labels[i]))
 	}
 	w.f64(m.Assessment.CH)
 	w.f64(m.Assessment.Within)
@@ -135,8 +144,9 @@ func DecodeModel(b []byte) (*Model, error) {
 		return nil, fmt.Errorf("core: not a model payload")
 	}
 	r := &wireReader{buf: b, off: 4}
-	if v := r.u32(); v != modelVersion {
-		return nil, fmt.Errorf("core: model version %d unsupported", v)
+	version := r.u32()
+	if version != 1 && version != modelVersion {
+		return nil, fmt.Errorf("core: model version %d unsupported", version)
 	}
 	m := &Model{}
 	if r.u8() == 1 {
@@ -186,6 +196,7 @@ func DecodeModel(b []byte) (*Model, error) {
 		return nil, fmt.Errorf("core: absurd cluster count %d", nclusters)
 	}
 	m.Clusters = make([]quality.Cluster, nclusters)
+	labels := identityLabels(nclusters)
 	for i := 0; i < nclusters; i++ {
 		mass := r.u64()
 		segs := make([]int, ndims)
@@ -193,17 +204,21 @@ func DecodeModel(b []byte) (*Model, error) {
 			segs[j] = int(r.u32())
 		}
 		m.Clusters[i] = quality.Cluster{Segments: segs, Mass: mass}
+		if version >= 2 {
+			labels[i] = int(r.u32())
+		}
 	}
 	// The wire format stores segments explicitly (it predates — and is
 	// unaffected by — the packed-uint64 tuple keys); the codec, fused
 	// labeling kernel, and tuple→label map are rebuilt from the decoded
 	// partitions so checkpoints from before the packing change label
-	// identically.
+	// identically. Version 1 payloads carry no labels, so mass-order
+	// identity ids stand in.
 	m.codec = newTupleCodec(m.Parts, m.Collapsed)
 	if m.codec.fits {
 		m.lab = newLabeler(m.Set, m.Parts, m.Collapsed, m.codec)
 	}
-	m.installLabels(identityLabels(nclusters))
+	m.installLabels(labels)
 	m.Assessment.CH = r.f64()
 	m.Assessment.Within = r.f64()
 	m.Assessment.Between = r.f64()

@@ -64,6 +64,93 @@ func TestModelEncodeNoProjection(t *testing.T) {
 	}
 }
 
+// TestModelEncodePreservesStabilizedLabels pins the v2 wire format against
+// the streaming daemon's failure mode: after enough refits the stream's
+// label stabilization installs ids that diverge from mass order, and a
+// model decoded from a checkpoint (or fetched over /model) must reproduce
+// them exactly — not silently fall back to identity ids.
+func TestModelEncodePreservesStabilizedLabels(t *testing.T) {
+	spec := synth.AutoMixture(3, 8, 6, 1, xrand.New(95))
+	data, _ := spec.Sample(3000, xrand.New(96))
+	model, _, err := Fit(data, Config{Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate stabilization: every cluster keeps an id that is neither its
+	// mass rank nor contiguous (reversed, offset by 10).
+	want := make([]int, model.K())
+	for i := range want {
+		want[i] = 10 + model.K() - 1 - i
+	}
+	model.installLabels(want)
+	decoded, err := DecodeModel(model.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded.installedLabels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cluster %d: decoded label %d, want %d", i, got[i], want[i])
+		}
+	}
+	for i := 0; i < data.Rows; i++ {
+		orig, err := model.Assign(data.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := decoded.Assign(data.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig != dec {
+			t.Fatalf("row %d: decoded model labels %d, original %d", i, dec, orig)
+		}
+	}
+}
+
+// TestDecodeModelV1 keeps pre-label checkpoints readable: stripping the v2
+// per-cluster labels and patching the version back to 1 must decode to
+// mass-order identity labels.
+func TestDecodeModelV1(t *testing.T) {
+	spec := synth.AutoMixture(2, 5, 6, 1, xrand.New(98))
+	data, _ := spec.Sample(2000, xrand.New(99))
+	model, labels, err := Fit(data, Config{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := model.Encode()
+	// v2 layout ends with nclusters × (mass u64, segments u32×ndims,
+	// label u32) followed by the 28-byte assessment tail; drop each label.
+	ndims := len(model.Set.Dims)
+	rec := 8 + 4*ndims + 4
+	tail := len(enc) - 28
+	start := tail - model.K()*rec
+	v1 := append([]byte(nil), enc[:start]...)
+	for i := 0; i < model.K(); i++ {
+		v1 = append(v1, enc[start+i*rec:start+(i+1)*rec-4]...)
+	}
+	v1 = append(v1, enc[tail:]...)
+	v1[4] = 1 // version
+	decoded, err := DecodeModel(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range decoded.installedLabels() {
+		if l != i {
+			t.Fatalf("v1 cluster %d decoded label %d, want identity", i, l)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		got, err := decoded.Assign(data.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[i] {
+			t.Fatalf("v1 row %d: %d vs %d", i, got, labels[i])
+		}
+	}
+}
+
 func TestDecodeModelCorrupt(t *testing.T) {
 	spec := synth.AutoMixture(2, 4, 6, 1, xrand.New(86))
 	data, _ := spec.Sample(1000, xrand.New(87))

@@ -221,6 +221,22 @@ func (m *Model) installLabels(labels []int) {
 	m.labelOf, m.labelOfStr = nil, sm
 }
 
+// installedLabels is the inverse of installLabels: the label currently
+// mapped to each cluster, in cluster order. For a freshly fitted model this
+// is [0, 1, …, n); stream-published models may carry remapped ids from
+// label stabilization.
+func (m *Model) installedLabels() []int {
+	out := make([]int, len(m.Clusters))
+	for i, cl := range m.Clusters {
+		if m.labelOf != nil {
+			out[i] = m.labelOf[m.codec.pack(cl.Segments)]
+		} else {
+			out[i] = m.labelOfStr[packSegments(cl.Segments)]
+		}
+	}
+	return out
+}
+
 // identityLabels returns [0, 1, …, n) — the label assignment buildLabels'
 // mass ordering implies.
 func identityLabels(n int) []int {

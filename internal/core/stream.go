@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"keybin2/internal/cluster"
 	"keybin2/internal/histogram"
@@ -51,6 +52,54 @@ func (c StreamConfig) withStreamDefaults() StreamConfig {
 	return c
 }
 
+// StreamConfigError reports a StreamConfig field that cannot run. It is a
+// typed error so services can distinguish operator misconfiguration (reject
+// the request / refuse to start) from runtime failures.
+type StreamConfigError struct {
+	Field  string // the offending StreamConfig field
+	Reason string
+}
+
+func (e *StreamConfigError) Error() string {
+	return fmt.Sprintf("core: stream config %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects stream configurations that cannot run or that silently
+// would not do what they say. NewStream calls it; CLIs and services should
+// call it before building a daemon around the config.
+//
+// DecayFactor outside [0, 1) used to silently disable forgetting; it is now
+// an error, because an operator writing -decay 1.5 wants forgetting and
+// must not get an accumulate-forever stream. Period < Warmup (with both
+// explicitly set and a warmup buffer in use) is rejected as a swapped-flags
+// misconfiguration: no refit can fire during warmup, so a period shorter
+// than the warmup cannot be honored as written.
+func (c StreamConfig) Validate() error {
+	if c.Dims <= 0 {
+		return &StreamConfigError{Field: "Dims", Reason: "stream needs Dims > 0"}
+	}
+	if f := c.DecayFactor; f != 0 && (f < 0 || f >= 1) {
+		return &StreamConfigError{Field: "DecayFactor",
+			Reason: fmt.Sprintf("%v outside [0, 1); use 0 to disable forgetting", f)}
+	}
+	if c.RawRanges != nil {
+		if len(c.RawRanges) != c.Dims {
+			return &StreamConfigError{Field: "RawRanges",
+				Reason: fmt.Sprintf("%d raw ranges for %d dims", len(c.RawRanges), c.Dims)}
+		}
+		for i, r := range c.RawRanges {
+			if r[0] > r[1] {
+				return &StreamConfigError{Field: "RawRanges",
+					Reason: fmt.Sprintf("dim %d range [%v, %v] reversed", i, r[0], r[1])}
+			}
+		}
+	} else if c.Warmup > 0 && c.Period > 0 && c.Period < c.Warmup {
+		return &StreamConfigError{Field: "Period",
+			Reason: fmt.Sprintf("refit period %d shorter than warmup %d: no refit can fire during warmup", c.Period, c.Warmup)}
+	}
+	return c.Config.Validate()
+}
+
 // Stream ingests points one at a time, maintaining per-trial hierarchical
 // histograms and key counters. Points are binned and discarded — memory is
 // bounded by the histogram and key-sketch sizes, never by the stream
@@ -69,11 +118,19 @@ type Stream struct {
 	batch       *projection.Batch
 	sets        []*histogram.Set
 	counter     []*keys.Counter
-	model       *Model
 	buffer      *linalg.Matrix // warmup rows (nil once live)
 	bufUsed     int
 	seen        int
 	nextID      int // next fresh stable cluster id
+	refits      int // completed refits (model publications)
+
+	// model is the published model. Refit builds each model fully —
+	// including a detached clone of its histograms — before storing it, and
+	// never mutates a model after the store, so the pointer read by
+	// Snapshot always refers to an immutable value. The atomic is what
+	// makes the single-writer/many-reader service pattern sound: one
+	// goroutine owns Ingest/Refit, any number may call Snapshot.
+	model atomic.Pointer[Model]
 
 	// State snapshot at the last SyncDistributed, so subsequent syncs ship
 	// only the delta (nil before the first sync).
@@ -84,10 +141,7 @@ type Stream struct {
 // NewStream creates a streaming clusterer. cfg.Dims must be set; all other
 // fields default sensibly.
 func NewStream(cfg StreamConfig) (*Stream, error) {
-	if cfg.Dims <= 0 {
-		return nil, fmt.Errorf("core: stream needs Dims > 0")
-	}
-	if err := cfg.Config.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withStreamDefaults()
@@ -116,9 +170,6 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		s.batch = batch
 	}
 	if cfg.RawRanges != nil {
-		if len(cfg.RawRanges) != cfg.Dims {
-			return nil, fmt.Errorf("core: %d raw ranges for %d dims", len(cfg.RawRanges), cfg.Dims)
-		}
 		if err := s.initSetsFromRawRanges(); err != nil {
 			return nil, err
 		}
@@ -309,10 +360,9 @@ func (s *Stream) Ingest(x []float64) (int, error) {
 	}
 	s.binProjected(row)
 	label := cluster.Noise
-	if s.model != nil {
+	if m := s.model.Load(); m != nil {
 		nrp := s.cfg.TargetDims
-		t := s.model.Trial
-		label = s.model.AssignProjected(row[t*nrp : (t+1)*nrp])
+		label = m.AssignProjected(row[m.Trial*nrp : (m.Trial+1)*nrp])
 	}
 	if s.seen%s.cfg.Period == 0 {
 		if err := s.Refit(); err != nil {
@@ -401,15 +451,24 @@ func (s *Stream) Refit() error {
 	// Hysteresis: once live, stay on the current projection unless a
 	// challenger clearly dominates — switching trials discards label
 	// continuity, so it must buy a real separability improvement.
-	if s.model != nil && best != s.model.Trial {
-		cur := assessments[s.model.Trial]
+	prev := s.model.Load()
+	if prev != nil && best != prev.Trial {
+		cur := assessments[prev.Trial]
 		if assessments[best].CH < 1.2*cur.CH {
-			best = s.model.Trial
+			best = prev.Trial
 		}
 	}
 	next := models[best]
-	s.stabilizeLabels(next)
-	s.model = next
+	// Detach the new model from the live histograms before publication:
+	// assembleModel aliased the trial's Set, which this stream keeps
+	// mutating (binProjected, Decay) after the refit. Snapshot readers may
+	// Encode or Describe the model concurrently, so the published model
+	// must own an immutable copy. The clone is bins-bounded (N_rp
+	// histograms of ≤ 2^depth cells), independent of stream length.
+	next.Set = next.Set.Clone()
+	s.stabilizeLabels(prev, next)
+	s.model.Store(next)
+	s.refits++
 	return nil
 }
 
@@ -419,11 +478,11 @@ func (s *Stream) Refit() error {
 // reused, otherwise a fresh id is allocated. Without this step every refit
 // would renumber clusters by mass and streamed labels would lose global
 // consistency.
-func (s *Stream) stabilizeLabels(next *Model) {
-	if s.model == nil || s.model.Trial != next.Trial {
+func (s *Stream) stabilizeLabels(prev, next *Model) {
+	if prev == nil || prev.Trial != next.Trial {
 		// First model, or a projection switch: labels start (over) fresh
 		// beyond any previously issued id so stale and new ids never mix.
-		if s.model != nil {
+		if prev != nil {
 			labels := make([]int, len(next.Clusters))
 			for i := range labels {
 				labels[i] = s.nextID + i
@@ -441,7 +500,7 @@ func (s *Stream) stabilizeLabels(next *Model) {
 	// old labels.
 	for i := range next.Clusters {
 		centroid := clusterCentroid(next, i)
-		old := s.model.AssignProjected(centroid)
+		old := prev.AssignProjected(centroid)
 		if old != cluster.Noise && !used[old] {
 			labels[i] = old
 			used[old] = true
@@ -495,11 +554,28 @@ func (s *Stream) minClusterSize() int {
 	return ms
 }
 
-// Model returns the current model (nil before the first refit).
-func (s *Stream) Model() *Model { return s.model }
+// Model returns the current model (nil before the first refit). It is an
+// alias for Snapshot and shares its concurrency contract.
+func (s *Stream) Model() *Model { return s.model.Load() }
 
-// Seen returns the number of ingested points.
+// Snapshot returns the most recently published model (nil before the first
+// refit). The returned Model is immutable: the stream never mutates a model
+// after publication, and its histograms are detached from the live ingest
+// state. Snapshot is safe to call from any goroutine concurrently with a
+// single writer running Ingest/Refit — the single-writer/many-reader
+// contract a serving layer builds on. Callers may Assign, Encode, and
+// Describe the snapshot freely while ingestion continues.
+//
+// Every other Stream method (Ingest, Refit, Encode, Seen, …) remains
+// writer-only: they read and mutate unsynchronized ingest state.
+func (s *Stream) Snapshot() *Model { return s.model.Load() }
+
+// Seen returns the number of ingested points. Writer-only.
 func (s *Stream) Seen() int { return s.seen }
+
+// Refits returns the number of completed refits (model publications) since
+// the stream was created or restored. Writer-only.
+func (s *Stream) Refits() int { return s.refits }
 
 // SketchSize reports the stream's state footprint: total histogram bins
 // across trials and dimensions, and distinct keys in the sketches. Both

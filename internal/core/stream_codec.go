@@ -42,9 +42,9 @@ func (s *Stream) Encode() ([]byte, error) {
 	w.u32(streamVersion)
 	w.u64(uint64(s.seen))
 	w.u32(uint32(s.nextID))
-	if s.model != nil {
+	if m := s.model.Load(); m != nil {
 		w.u8(1)
-		m := s.model.Encode()
+		m := m.Encode()
 		w.u32(uint32(len(m)))
 		w.buf = append(w.buf, m...)
 	} else {
@@ -103,7 +103,7 @@ func DecodeStream(cfg StreamConfig, b []byte) (*Stream, error) {
 			return nil, fmt.Errorf("core: checkpoint model: %w", err)
 		}
 		r.off += mlen
-		s.model = model
+		s.model.Store(model)
 	}
 	ntrials := int(r.u32())
 	if ntrials != s.cfg.Trials {

@@ -76,6 +76,57 @@ func TestStreamCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestStreamCheckpointStabilizedLabels runs a decaying stream through many
+// refits — enough label churn that the stabilized ids can diverge from mass
+// order — and asserts the restored model carries the live model's exact
+// cluster ids and labels a probe batch identically. Regression for restarts
+// silently renumbering clusters.
+func TestStreamCheckpointStabilizedLabels(t *testing.T) {
+	spec := synth.AutoMixture(4, 6, 6, 1, xrand.New(120))
+	cfg := StreamConfig{Config: Config{Seed: 121, Trials: 2}, Dims: 6,
+		RawRanges: fixedRanges(6, -12, 12), Period: 300, DecayFactor: 0.9}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStreamPoints(t, st, spec, 6000, 122)
+	live := st.Model()
+	if live == nil {
+		t.Fatal("no model after 6000 points")
+	}
+	snap, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeStream(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := live.installedLabels(), restored.Model().installedLabels()
+	if len(want) != len(got) {
+		t.Fatalf("cluster count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cluster %d: restored label %d, live %d", i, got[i], want[i])
+		}
+	}
+	probe, _ := spec.Sample(512, xrand.New(123))
+	for i := 0; i < probe.Rows; i++ {
+		a, err := live.Assign(probe.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Model().Assign(probe.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("probe %d: live %d vs restored %d", i, a, b)
+		}
+	}
+}
+
 func TestStreamCheckpointErrors(t *testing.T) {
 	cfg := StreamConfig{Config: Config{Seed: 1}, Dims: 4, Warmup: 100}
 	st, err := NewStream(cfg)

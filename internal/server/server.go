@@ -1,0 +1,435 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keybin2/internal/core"
+	"keybin2/internal/linalg"
+)
+
+// Config tunes a keybin2d serving core.
+type Config struct {
+	// Stream configures the owned core.Stream. Stream.Dims is required.
+	Stream core.StreamConfig
+	// QueueDepth bounds the number of pending ingest batches (default 64).
+	// A full queue rejects ingest with a retry-after hint instead of
+	// blocking the producer — the in-situ contract is that a slow analysis
+	// must never stall the simulation.
+	QueueDepth int
+	// MaxBatchPoints bounds the points accepted in one batch (default
+	// 65536); larger batches are rejected before decoding their payload.
+	MaxBatchPoints int
+	// RetryAfter is the backoff hint returned with backpressure
+	// rejections (default 250ms).
+	RetryAfter time.Duration
+	// CheckpointPath, when set, enables periodic stream checkpoints (and
+	// restore-on-start when the file exists).
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence (default 30s; used only
+	// when CheckpointPath is set). A final checkpoint is always written
+	// during graceful shutdown.
+	CheckpointEvery time.Duration
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatchPoints <= 0 {
+		c.MaxBatchPoints = 65536
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
+	return c
+}
+
+// Stats is the counter snapshot served at /stats.
+type Stats struct {
+	// Seen is the number of points applied to the stream (including any
+	// restored from a checkpoint).
+	Seen int64 `json:"seen"`
+	// Accepted / Rejected count ingest points admitted to the queue and
+	// batches refused for backpressure.
+	Accepted        int64 `json:"accepted"`
+	RejectedBatches int64 `json:"rejected_batches"`
+	Batches         int64 `json:"batches"`
+	// Labeled counts points answered by /label.
+	Labeled int64 `json:"labeled"`
+	// Refits is the model generation: how many models this process has
+	// published. 0 means /label still answers all-noise (warmup).
+	Refits   int64 `json:"refits"`
+	Clusters int   `json:"clusters"`
+	QueueLen int   `json:"queue_len"`
+	QueueCap int   `json:"queue_cap"`
+	// Checkpoints counts completed checkpoint writes; LastCheckpointUnix
+	// is the wall-clock second of the latest one (0 = never).
+	Checkpoints        int64   `json:"checkpoints"`
+	LastCheckpointUnix int64   `json:"last_checkpoint_unix"`
+	Draining           bool    `json:"draining"`
+	UptimeSec          float64 `json:"uptime_sec"`
+}
+
+// Server is the serving core: one writer goroutine owning a core.Stream,
+// a bounded ingest queue, and HTTP handlers that read only the stream's
+// atomically-published model snapshot plus the server's atomic counters.
+// Wire Handler() into an http.Server (or httptest) and call Start/Stop
+// around it.
+type Server struct {
+	cfg    Config
+	stream *core.Stream // owned by the writer goroutine after Start
+	queue  chan *linalg.Matrix
+	done   chan struct{}
+	wg     sync.WaitGroup
+	start  time.Time
+
+	// drainMu gates enqueues against shutdown: Stop takes the write lock
+	// to flip draining, after which no handler can be inside the enqueue
+	// critical section, so the writer's final drain sees every accepted
+	// batch.
+	drainMu  sync.RWMutex
+	draining bool
+
+	seen        atomic.Int64 // mirrors stream.Seen() after each batch
+	accepted    atomic.Int64
+	rejected    atomic.Int64
+	batches     atomic.Int64
+	labeled     atomic.Int64
+	refits      atomic.Int64 // model generation: refitBase + stream.Refits()
+	refitBase   int64        // 1 when a restored checkpoint carried a model
+	checkpoints atomic.Int64
+	lastCkpt    atomic.Int64
+	writerErr   atomic.Pointer[error]
+}
+
+// New builds a server around a fresh stream, or — when cfg.CheckpointPath
+// names an existing file — around the stream restored from it. A corrupt
+// or config-mismatched checkpoint is an error rather than a silent fresh
+// start: the operator must decide whether to delete state.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Stream.Validate(); err != nil {
+		return nil, err
+	}
+	var st *core.Stream
+	var err error
+	restored := false
+	if cfg.CheckpointPath != "" {
+		if blob, rerr := os.ReadFile(cfg.CheckpointPath); rerr == nil {
+			st, err = core.DecodeStream(cfg.Stream, blob)
+			if err != nil {
+				return nil, fmt.Errorf("server: restore %s: %w", cfg.CheckpointPath, err)
+			}
+			restored = true
+		} else if !errors.Is(rerr, os.ErrNotExist) {
+			return nil, fmt.Errorf("server: restore %s: %w", cfg.CheckpointPath, rerr)
+		}
+	}
+	if st == nil {
+		st, err = core.NewStream(cfg.Stream)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:    cfg,
+		stream: st,
+		queue:  make(chan *linalg.Matrix, cfg.QueueDepth),
+		done:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	s.seen.Store(int64(st.Seen()))
+	if restored && st.Snapshot() != nil {
+		// A restored model counts as generation 1: /label answers from it
+		// immediately, and clients comparing generations across a restart
+		// see a live model, not warmup.
+		s.refitBase = 1
+		s.refits.Store(1)
+		s.logf("restored %d points from %s", st.Seen(), cfg.CheckpointPath)
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Start launches the writer goroutine. Call exactly once.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop drains and shuts the serving core down: new ingests are refused,
+// every batch already accepted is applied, a final checkpoint is written,
+// and the writer exits. Callers must stop the HTTP listener first (so no
+// handler is blocked mid-request) — http.Server.Shutdown, then Stop.
+// The context bounds the drain; on expiry the writer is abandoned mid-
+// queue and its remaining batches are lost (they were acknowledged as
+// queued, so this is reported as an error).
+func (s *Server) Stop(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !already {
+		close(s.done)
+	}
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown timed out with %d batches undrained: %w", len(s.queue), ctx.Err())
+	}
+	if p := s.writerErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// run is the writer loop: the only goroutine that mutates the stream.
+func (s *Server) run() {
+	defer s.wg.Done()
+	var ckptC <-chan time.Time
+	if s.cfg.CheckpointPath != "" {
+		t := time.NewTicker(s.cfg.CheckpointEvery)
+		defer t.Stop()
+		ckptC = t.C
+	}
+	for {
+		select {
+		case b := <-s.queue:
+			s.apply(b)
+		case <-ckptC:
+			s.checkpoint()
+		case <-s.done:
+			// Drain: Stop flipped draining under the write lock first, so
+			// nothing is added behind this loop.
+			for {
+				select {
+				case b := <-s.queue:
+					s.apply(b)
+				default:
+					s.checkpoint()
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply feeds one batch into the stream and refreshes the mirrored
+// counters the read path serves.
+func (s *Server) apply(b *linalg.Matrix) {
+	for i := 0; i < b.Rows; i++ {
+		if _, err := s.stream.Ingest(b.Row(i)); err != nil {
+			// Dimensionality was validated at the HTTP edge, so an error
+			// here is a refit failure — record it; the daemon keeps
+			// serving the previous model.
+			e := fmt.Errorf("server: ingest: %w", err)
+			s.writerErr.Store(&e)
+			s.logf("ingest error: %v", err)
+		}
+	}
+	s.batches.Add(1)
+	s.seen.Store(int64(s.stream.Seen()))
+	s.refits.Store(s.refitBase + int64(s.stream.Refits()))
+}
+
+// checkpoint writes the stream state atomically (tmp + rename). Before
+// warmup there is no state worth saving; that case is skipped silently.
+func (s *Server) checkpoint() {
+	if s.cfg.CheckpointPath == "" {
+		return
+	}
+	blob, err := s.stream.Encode()
+	if err != nil {
+		return // pre-warmup: nothing to save yet
+	}
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		s.logf("checkpoint: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, s.cfg.CheckpointPath); err != nil {
+		s.logf("checkpoint: %v", err)
+		return
+	}
+	s.checkpoints.Add(1)
+	s.lastCkpt.Store(time.Now().Unix())
+	s.logf("checkpoint: %d points, %d bytes", s.stream.Seen(), len(blob))
+}
+
+// Stats returns the current counter snapshot. Safe from any goroutine.
+func (s *Server) Stats() Stats {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	st := Stats{
+		Seen:               s.seen.Load(),
+		Accepted:           s.accepted.Load(),
+		RejectedBatches:    s.rejected.Load(),
+		Batches:            s.batches.Load(),
+		Labeled:            s.labeled.Load(),
+		Refits:             s.refits.Load(),
+		QueueLen:           len(s.queue),
+		QueueCap:           cap(s.queue),
+		Checkpoints:        s.checkpoints.Load(),
+		LastCheckpointUnix: s.lastCkpt.Load(),
+		Draining:           draining,
+		UptimeSec:          time.Since(s.start).Seconds(),
+	}
+	if m := s.stream.Snapshot(); m != nil {
+		st.Clusters = m.K()
+	}
+	return st
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /ingest  binary batch → 202 {"queued":n} | 429 backpressure
+//	POST /label   binary batch → 200 {"labels":[...],"model_gen":g}
+//	GET  /model   → encoded model (Model.Encode) | 404 before first refit
+//	GET  /stats   → Stats JSON
+//	GET  /healthz → 200 "ok"
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/label", s.handleLabel)
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *linalg.Matrix {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(batchHeaderSize+8*s.cfg.MaxBatchPoints*s.cfg.Stream.Dims)+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil
+	}
+	b, err := DecodeBatch(body, s.cfg.MaxBatchPoints)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrBatchTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), code)
+		return nil
+	}
+	if b.Cols != s.cfg.Stream.Dims {
+		http.Error(w, fmt.Sprintf("batch has %d dims, stream expects %d", b.Cols, s.cfg.Stream.Dims), http.StatusBadRequest)
+		return nil
+	}
+	return b
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	b := s.readBatch(w, r)
+	if b == nil {
+		return
+	}
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.queue <- b:
+		s.drainMu.RUnlock()
+	default:
+		s.drainMu.RUnlock()
+		s.rejected.Add(1)
+		// Retry-After carries whole seconds per RFC 9110; the precise
+		// hint rides a dedicated header for the Go client.
+		secs := int(s.cfg.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(s.cfg.RetryAfter.Milliseconds(), 10))
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.accepted.Add(int64(b.Rows))
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]int{"queued": b.Rows})
+}
+
+// labelResponse is the /label reply. ModelGen 0 means no model has been
+// published yet (warmup) and every label is noise.
+type labelResponse struct {
+	Labels   []int `json:"labels"`
+	ModelGen int64 `json:"model_gen"`
+	Clusters int   `json:"clusters"`
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	b := s.readBatch(w, r)
+	if b == nil {
+		return
+	}
+	resp := labelResponse{Labels: make([]int, b.Rows)}
+	m := s.stream.Snapshot()
+	if m == nil {
+		for i := range resp.Labels {
+			resp.Labels[i] = -1
+		}
+	} else {
+		resp.ModelGen = s.refits.Load()
+		resp.Clusters = m.K()
+		for i := 0; i < b.Rows; i++ {
+			l, err := m.Assign(b.Row(i))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp.Labels[i] = l
+		}
+	}
+	s.labeled.Add(int64(b.Rows))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m := s.stream.Snapshot()
+	if m == nil {
+		http.Error(w, "no model yet (stream warming up)", http.StatusNotFound)
+		return
+	}
+	blob := m.Encode()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Model-Gen", strconv.FormatInt(s.refits.Load(), 10))
+	w.Write(blob)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

@@ -1,0 +1,76 @@
+// Package server implements keybin2d's serving core: a long-running
+// in-situ clustering service that owns one core.Stream behind a
+// single-writer/many-reader architecture. Ingest batches flow through a
+// bounded queue with backpressure; a dedicated writer goroutine applies
+// them (triggering the stream's periodic refits); label/model/stats
+// queries are answered from the stream's atomically-published immutable
+// model snapshot, so reads never block on a refit. The daemon periodically
+// checkpoints the stream to disk and restores from the checkpoint on
+// restart.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"keybin2/internal/linalg"
+)
+
+// ErrBatchTooLarge marks batches whose row count exceeds the decoder's
+// bound; the HTTP layer maps it to 413 instead of 400.
+var ErrBatchTooLarge = errors.New("server: batch exceeds point limit")
+
+// Batch wire format (little endian), following the stream codec
+// conventions (4-byte magic, fixed-width length prefixes):
+//
+//	magic "KB2B" | dims u32 | count u32 | count×dims float64
+//
+// A batch is a dense row-major block of points. The same format serves
+// ingest and label requests; it is self-describing enough for the server
+// to validate dimensionality before touching the queue.
+
+const batchMagic = "KB2B"
+
+// batchHeaderSize is magic + dims + count.
+const batchHeaderSize = 4 + 4 + 4
+
+// EncodeBatch serializes a row-major point matrix into the binary batch
+// format.
+func EncodeBatch(m *linalg.Matrix) []byte {
+	buf := make([]byte, batchHeaderSize, batchHeaderSize+8*len(m.Data))
+	copy(buf, batchMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Cols))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Rows))
+	for _, v := range m.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeBatch parses a binary batch. maxPoints bounds the accepted row
+// count (0 = no bound) so a malformed or hostile length prefix cannot
+// drive a huge allocation.
+func DecodeBatch(b []byte, maxPoints int) (*linalg.Matrix, error) {
+	if len(b) < batchHeaderSize || string(b[:4]) != batchMagic {
+		return nil, fmt.Errorf("server: not a point batch (missing %q header)", batchMagic)
+	}
+	dims := int(binary.LittleEndian.Uint32(b[4:]))
+	count := int(binary.LittleEndian.Uint32(b[8:]))
+	if dims <= 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("server: batch dims %d out of range", dims)
+	}
+	if count < 0 || (maxPoints > 0 && count > maxPoints) {
+		return nil, fmt.Errorf("%w: %d points, limit %d", ErrBatchTooLarge, count, maxPoints)
+	}
+	want := batchHeaderSize + 8*dims*count
+	if len(b) != want {
+		return nil, fmt.Errorf("server: batch is %d bytes, header implies %d", len(b), want)
+	}
+	m := linalg.NewMatrix(count, dims)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[batchHeaderSize+8*i:]))
+	}
+	return m, nil
+}
