@@ -40,8 +40,15 @@ type report struct {
 	Kernels    core.KernelTimings `json:"kernels"`
 	// Server is the keybin2d serving-path measurement: an in-process
 	// daemon under the client load generator (concurrent batched ingest +
-	// live /label queries).
+	// live /label queries), with the write-ahead log disabled.
 	Server *client.LoadReport `json:"server,omitempty"`
+	// ServerWALInterval / ServerWALNever repeat the measurement with a WAL
+	// in front of the ack under fsync=interval and fsync=never — the cost
+	// of the durability layer at its two batched settings. (fsync=always
+	// serializes on device flushes and is deliberately not part of the
+	// throughput trajectory; its cost is the device's, not the code's.)
+	ServerWALInterval *client.LoadReport `json:"server_wal_interval,omitempty"`
+	ServerWALNever    *client.LoadReport `json:"server_wal_never,omitempty"`
 }
 
 func main() {
@@ -52,6 +59,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "fixture + fit seed")
 		out      = flag.String("o", "BENCH_keybin2.json", "output path ('-' for stdout)")
 		noServer = flag.Bool("no-server", false, "skip the keybin2d serving-path measurement")
+		noWAL    = flag.Bool("no-wal", false, "skip the WAL-enabled serving-path measurements")
 		srvPts   = flag.Int("server-points", 100000, "points driven through the in-process daemon")
 		srvDims  = flag.Int("server-dims", 16, "serving-path dimensionality")
 	)
@@ -71,12 +79,26 @@ func main() {
 		Kernels:    kt,
 	}
 	if !*noServer {
-		lr, err := measureServer(*srvPts, *srvDims, *seed)
+		lr, err := measureServer(*srvPts, *srvDims, *seed, "")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: server:", err)
 			os.Exit(1)
 		}
 		rep.Server = &lr
+		if !*noWAL {
+			wi, err := measureServer(*srvPts, *srvDims, *seed, "interval")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: server wal=interval:", err)
+				os.Exit(1)
+			}
+			rep.ServerWALInterval = &wi
+			wn, err := measureServer(*srvPts, *srvDims, *seed, "never")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: server wal=never:", err)
+				os.Exit(1)
+			}
+			rep.ServerWALNever = &wn
+		}
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -99,17 +121,22 @@ func main() {
 			rep.Server.IngestPointsPerSec, rep.Server.QueryP50Ms, rep.Server.QueryP99Ms,
 			rep.Server.Points, rep.Server.FinalRefits, rep.Server.FinalClusters)
 	}
+	if rep.ServerWALInterval != nil && rep.ServerWALNever != nil {
+		fmt.Printf("server+wal: %.0f pts/s (fsync=interval), %.0f pts/s (fsync=never)\n",
+			rep.ServerWALInterval.IngestPointsPerSec, rep.ServerWALNever.IngestPointsPerSec)
+	}
 }
 
 // measureServer boots an in-process keybin2d serving core on a loopback
 // socket and drives the client load generator through real HTTP — the
-// same path cmd/keybin2d serves, minus process startup.
-func measureServer(points, dims int, seed int64) (client.LoadReport, error) {
+// same path cmd/keybin2d serves, minus process startup. A non-empty
+// fsync policy puts a write-ahead log in front of the ack.
+func measureServer(points, dims int, seed int64, fsync string) (client.LoadReport, error) {
 	ranges := make([][2]float64, dims)
 	for i := range ranges {
 		ranges[i] = [2]float64{-12, 12}
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Stream: core.StreamConfig{
 			Config:    core.Config{Seed: seed + 3, Trials: 3},
 			Dims:      dims,
@@ -118,7 +145,17 @@ func measureServer(points, dims int, seed int64) (client.LoadReport, error) {
 		},
 		QueueDepth: 256,
 		RetryAfter: 20 * time.Millisecond,
-	})
+	}
+	if fsync != "" {
+		dir, err := os.MkdirTemp("", "benchwal-*")
+		if err != nil {
+			return client.LoadReport{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
+		cfg.Fsync = fsync
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return client.LoadReport{}, err
 	}

@@ -11,20 +11,28 @@
 //	         [-range lo,hi] [-queue-depth 64] [-max-batch 65536]
 //	         [-retry-after 250ms] [-checkpoint state.kb2s]
 //	         [-checkpoint-every 30s] [-drain-timeout 30s]
+//	         [-wal-dir wal/] [-fsync always|interval|never]
+//	         [-fsync-interval 100ms] [-wal-segment-bytes 4194304]
 //
 // API (binary batches are "KB2B" | dims u32 | count u32 | float64s, LE):
 //
 //	POST /ingest  → 202 accepted | 429 queue full (Retry-After)
 //	POST /label   → {"labels":[...],"model_gen":g,"clusters":k}
 //	GET  /model   → encoded model (keybin2.DecodeModel)
-//	GET  /stats   → ingest/refit/queue counters
-//	GET  /healthz → ok
+//	GET  /stats   → ingest/refit/queue counters (+ WAL lag)
+//	GET  /healthz → ok (liveness)
+//	GET  /readyz  → 200 | 503 (draining or wedged WAL)
 //
 // With -range the raw per-dimension bounds are predetermined (the paper's
 // in-situ assumption) and the daemon serves labels from the first refit
 // without a warmup buffer. SIGINT/SIGTERM drain gracefully: the listener
 // stops, every accepted batch is applied, and a final checkpoint is
 // written before exit.
+//
+// With -wal-dir every accepted batch is logged (and under -fsync always,
+// fsynced) before the 202 ack, so even a kill -9 loses nothing that was
+// acknowledged: on restart the daemon restores the newest checkpoint and
+// replays the WAL tail past it.
 package main
 
 import (
@@ -62,6 +70,10 @@ type daemonOpts struct {
 	ckptPath   string
 	ckptEvery  time.Duration
 	drainAfter time.Duration
+	walDir     string
+	fsync      string
+	fsyncEvery time.Duration
+	walSegment int64
 }
 
 func main() {
@@ -81,6 +93,10 @@ func main() {
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "checkpoint file (enables periodic save + restore-on-start)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "checkpoint cadence")
 	flag.DurationVar(&o.drainAfter, "drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead-log directory (enables crash-safe acks + replay-on-start)")
+	flag.StringVar(&o.fsync, "fsync", "always", "WAL flush policy: always | interval | never")
+	flag.DurationVar(&o.fsyncEvery, "fsync-interval", 100*time.Millisecond, "flush cadence under -fsync interval")
+	flag.Int64Var(&o.walSegment, "wal-segment-bytes", 4<<20, "WAL segment rotation threshold")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -128,6 +144,9 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		}
 		return cfg, err
 	}
+	if _, err := server.ParseFsyncPolicy(o.fsync); err != nil {
+		return cfg, fmt.Errorf("bad flags: %w", err)
+	}
 	cfg = server.Config{
 		Stream:          sc,
 		QueueDepth:      o.queueDepth,
@@ -135,6 +154,10 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		RetryAfter:      o.retryAfter,
 		CheckpointPath:  o.ckptPath,
 		CheckpointEvery: o.ckptEvery,
+		WALDir:          o.walDir,
+		Fsync:           o.fsync,
+		FsyncInterval:   o.fsyncEvery,
+		WALSegmentBytes: o.walSegment,
 		Logf:            log.Printf,
 	}
 	return cfg, nil

@@ -15,6 +15,14 @@
 // any mismatch. Run with -probe before killing the daemon and again (with
 // -no-load) after restarting from its checkpoint to assert the restored
 // model labels identically.
+//
+// -crash-cycles N switches to chaos mode: the tool spawns its own
+// keybin2d process (-daemon path) with a WAL, kill -9s it mid-ingest N
+// times, and fails loudly if any acknowledged batch is lost across the
+// restarts or if a traffic-free restart changes probe labels:
+//
+//	keybin2load -crash-cycles 20 -daemon ./keybin2d [-fsync interval]
+//	            [-crash-dir dir] [-crash-batches 6]
 package main
 
 import (
@@ -32,22 +40,41 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:7420", "daemon base URL")
-		points   = flag.Int("points", 100000, "points to ingest")
-		dims     = flag.Int("dims", 16, "point dimensionality (must match daemon)")
-		batch    = flag.Int("batch", 512, "points per ingest batch")
-		ingest   = flag.Int("ingesters", 4, "concurrent ingest workers")
-		queryW   = flag.Int("query-workers", 2, "concurrent /label workers during ingest")
-		seed     = flag.Int64("seed", 1, "synthetic data seed")
-		out      = flag.String("o", "-", "load report JSON path ('-' for stdout)")
-		probe    = flag.String("probe", "", "probe-labels file: write if absent, compare if present")
-		noLoad   = flag.Bool("no-load", false, "skip the load phase (probe/stats only)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
-		probeN   = flag.Int("probe-points", 256, "points in the consistency probe")
+		addr    = flag.String("addr", "http://127.0.0.1:7420", "daemon base URL")
+		points  = flag.Int("points", 100000, "points to ingest")
+		dims    = flag.Int("dims", 16, "point dimensionality (must match daemon)")
+		batch   = flag.Int("batch", 512, "points per ingest batch")
+		ingest  = flag.Int("ingesters", 4, "concurrent ingest workers")
+		queryW  = flag.Int("query-workers", 2, "concurrent /label workers during ingest")
+		seed    = flag.Int64("seed", 1, "synthetic data seed")
+		out     = flag.String("o", "-", "load report JSON path ('-' for stdout)")
+		probe   = flag.String("probe", "", "probe-labels file: write if absent, compare if present")
+		noLoad  = flag.Bool("no-load", false, "skip the load phase (probe/stats only)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		probeN  = flag.Int("probe-points", 256, "points in the consistency probe")
+
+		crashCycles  = flag.Int("crash-cycles", 0, "chaos mode: kill -9 the daemon this many times mid-ingest")
+		daemonPath   = flag.String("daemon", "./keybin2d", "keybin2d binary for -crash-cycles")
+		crashDir     = flag.String("crash-dir", "", "chaos workdir (default: fresh temp dir, removed after)")
+		crashBatches = flag.Int("crash-batches", 6, "batches acked per chaos cycle before the kill")
+		fsync        = flag.String("fsync", "always", "WAL fsync policy for the chaos daemon")
 	)
 	flag.Parse()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *crashCycles > 0 {
+		err := runCrashCycles(ctx, crashConfig{
+			daemon: *daemonPath, cycles: *crashCycles, dims: *dims,
+			batch: *batch, perCycle: *crashBatches, seed: *seed,
+			dir: *crashDir, fsync: *fsync,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "keybin2load:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	c := client.New(*addr)
 	if !*noLoad {

@@ -1,7 +1,8 @@
 // Package client is the Go client for keybin2d: binary batched ingest
-// with backpressure-aware retry, label and model queries served from the
-// daemon's live snapshot, and a load generator that measures ingest
-// throughput and query latency against a running daemon.
+// with bounded, jittered backpressure retry, producer-tagged idempotent
+// batches, label and model queries served from the daemon's live
+// snapshot, and a load generator that measures ingest throughput and
+// query latency against a running daemon.
 package client
 
 import (
@@ -14,11 +15,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"keybin2/internal/core"
 	"keybin2/internal/linalg"
 	"keybin2/internal/server"
+	"keybin2/internal/xrand"
 )
 
 // ErrBackpressure reports an ingest batch the daemon refused because its
@@ -31,10 +34,77 @@ func (e *ErrBackpressure) Error() string {
 	return fmt.Sprintf("client: daemon queue full, retry after %s", e.RetryAfter)
 }
 
+// ErrRetriesExhausted reports an Ingest that gave up after
+// RetryPolicy.MaxAttempts backpressure rejections. Unwrap yields the
+// final *ErrBackpressure, so errors.As sees both.
+type ErrRetriesExhausted struct {
+	Attempts int
+	Last     error
+}
+
+func (e *ErrRetriesExhausted) Error() string {
+	return fmt.Sprintf("client: gave up after %d attempts: %v", e.Attempts, e.Last)
+}
+
+func (e *ErrRetriesExhausted) Unwrap() error { return e.Last }
+
+// RetryPolicy bounds Ingest's backpressure retry loop. The zero value
+// means defaults: 8 attempts, backoff starting at the daemon's hint and
+// doubling to a 5s cap, ±20% jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 8). Negative means retry until ctx expires — the old
+	// unbounded behavior, now opt-in.
+	MaxAttempts int
+	// BaseBackoff floors the first retry wait (default: the daemon's
+	// Retry-After hint, or 50ms when the hint is missing). Each further
+	// rejection doubles the wait.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling (default 5s).
+	MaxBackoff time.Duration
+	// Jitter is the ± fraction applied to each wait (default 0.2) so a
+	// fleet of producers rejected together doesn't retry together.
+	Jitter float64
+	// OnRetry, when set, observes each scheduled retry.
+	OnRetry func(attempt int, wait time.Duration, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// IngestAck is the daemon's reply to an accepted batch.
+type IngestAck struct {
+	// Queued is the number of points admitted (0 for a duplicate).
+	Queued int `json:"queued"`
+	// Seq is the daemon-side WAL sequence (0 when the WAL is disabled or
+	// the batch was a duplicate).
+	Seq uint64 `json:"seq"`
+	// Duplicate reports a batch the daemon had already acknowledged under
+	// this producer sequence — a retry whose original ack was lost.
+	Duplicate bool `json:"duplicate"`
+}
+
 // Client talks to one keybin2d daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base     string
+	hc       *http.Client
+	retry    RetryPolicy
+	producer string
+	pseq     atomic.Uint64
+	rng      atomic.Pointer[xrand.Stream] // jitter source (nil → seeded lazily)
 }
 
 // New builds a client for the daemon at base (e.g. "http://127.0.0.1:7420").
@@ -47,12 +117,33 @@ func NewWithHTTPClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
-func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+// SetRetryPolicy replaces the backpressure retry policy used by Ingest
+// and IngestTracked. Call before issuing requests.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// SetProducer arms idempotent ingest: every tracked batch carries this
+// producer id plus a monotonically increasing batch sequence, letting
+// the daemon drop retries whose original ack was lost instead of
+// double-counting their points. Call before issuing requests.
+func (c *Client) SetProducer(id string) { c.producer = id }
+
+// Producer returns the idempotency id set with SetProducer ("" = off).
+func (c *Client) Producer() string { return c.producer }
+
+// NextBatchSeq issues the next producer batch sequence. Ingest and
+// IngestTracked call it implicitly; use it directly only with IngestSeq.
+func (c *Client) NextBatchSeq() uint64 { return c.pseq.Add(1) }
+
+func (c *Client) post(ctx context.Context, path string, body []byte, pseq uint64) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.producer != "" && pseq > 0 {
+		req.Header.Set("X-Producer", c.producer)
+		req.Header.Set("X-Batch-Seq", strconv.FormatUint(pseq, 10))
+	}
 	return c.hc.Do(req)
 }
 
@@ -62,21 +153,41 @@ func httpError(resp *http.Response) error {
 }
 
 // IngestOnce submits one batch without retrying. A full daemon queue
-// returns *ErrBackpressure.
+// returns *ErrBackpressure. When a producer id is set, the batch gets a
+// fresh sequence — so calling IngestOnce again with the same data is a
+// NEW batch, not an idempotent retry; retries that must dedupe go
+// through Ingest/IngestTracked or IngestSeq.
 func (c *Client) IngestOnce(ctx context.Context, batch *linalg.Matrix) error {
-	resp, err := c.post(ctx, "/ingest", server.EncodeBatch(batch))
+	var pseq uint64
+	if c.producer != "" {
+		pseq = c.NextBatchSeq()
+	}
+	_, err := c.IngestSeq(ctx, batch, pseq)
+	return err
+}
+
+// IngestSeq submits one batch tagged with an explicit producer sequence
+// (0 = untagged), without retrying. Re-sending the same seq after a lost
+// ack is safe: the daemon re-acks it as a duplicate.
+func (c *Client) IngestSeq(ctx context.Context, batch *linalg.Matrix, pseq uint64) (IngestAck, error) {
+	var ack IngestAck
+	resp, err := c.post(ctx, "/ingest", server.EncodeBatch(batch), pseq)
 	if err != nil {
-		return err
+		return ack, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusAccepted:
-		io.Copy(io.Discard, resp.Body)
-		return nil
+		if derr := json.NewDecoder(resp.Body).Decode(&ack); derr != nil {
+			// The batch WAS accepted; a malformed ack body shouldn't turn
+			// success into a retry (which would re-send the batch).
+			ack = IngestAck{Queued: batch.Rows}
+		}
+		return ack, nil
 	case http.StatusTooManyRequests:
-		return &ErrBackpressure{RetryAfter: retryAfter(resp)}
+		return ack, &ErrBackpressure{RetryAfter: retryAfter(resp)}
 	default:
-		return httpError(resp)
+		return ack, httpError(resp)
 	}
 }
 
@@ -92,21 +203,73 @@ func retryAfter(resp *http.Response) time.Duration {
 	return 250 * time.Millisecond
 }
 
-// Ingest submits one batch, sleeping out backpressure rejections until the
-// daemon accepts it or ctx expires. This is the in-situ producer loop in
-// miniature: the simulation yields for RetryAfter instead of stalling
-// inside a blocked send.
+// jitter scales wait by 1±policy.Jitter.
+func (c *Client) jitter(wait time.Duration, frac float64) time.Duration {
+	rng := c.rng.Load()
+	if rng == nil {
+		rng = xrand.New(time.Now().UnixNano())
+		if !c.rng.CompareAndSwap(nil, rng) {
+			rng = c.rng.Load()
+		}
+	}
+	f := 1 + frac*(2*rng.Float64()-1)
+	return time.Duration(float64(wait) * f)
+}
+
+// Ingest submits one batch, absorbing backpressure with bounded, jittered
+// exponential backoff (see RetryPolicy). Every retry re-sends the SAME
+// producer sequence, so a daemon that accepted the batch but lost the ack
+// dedupes the re-send. This is the in-situ producer loop in miniature:
+// the simulation yields for the backoff instead of stalling inside a
+// blocked send — and gives up, loudly, instead of spinning forever
+// against a wedged daemon.
 func (c *Client) Ingest(ctx context.Context, batch *linalg.Matrix) error {
-	for {
-		err := c.IngestOnce(ctx, batch)
+	_, err := c.IngestTracked(ctx, batch)
+	return err
+}
+
+// IngestTracked is Ingest returning the daemon's ack (WAL sequence,
+// duplicate flag).
+func (c *Client) IngestTracked(ctx context.Context, batch *linalg.Matrix) (IngestAck, error) {
+	var pseq uint64
+	if c.producer != "" {
+		pseq = c.NextBatchSeq()
+	}
+	return c.ingestRetry(ctx, batch, pseq, c.retry.withDefaults())
+}
+
+// ingestRetry is the bounded-backoff send loop shared by IngestTracked
+// and the load generator. p must already have defaults applied.
+func (c *Client) ingestRetry(ctx context.Context, batch *linalg.Matrix, pseq uint64, p RetryPolicy) (IngestAck, error) {
+	wait := time.Duration(0)
+	for attempt := 1; ; attempt++ {
+		ack, err := c.IngestSeq(ctx, batch, pseq)
 		var bp *ErrBackpressure
 		if !errors.As(err, &bp) {
-			return err
+			return ack, err
+		}
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return ack, &ErrRetriesExhausted{Attempts: attempt, Last: err}
+		}
+		if wait == 0 {
+			wait = bp.RetryAfter
+			if wait < p.BaseBackoff {
+				wait = p.BaseBackoff
+			}
+		} else {
+			wait *= 2
+		}
+		if wait > p.MaxBackoff {
+			wait = p.MaxBackoff
+		}
+		sleep := c.jitter(wait, p.Jitter)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, sleep, err)
 		}
 		select {
-		case <-time.After(bp.RetryAfter):
+		case <-time.After(sleep):
 		case <-ctx.Done():
-			return ctx.Err()
+			return ack, ctx.Err()
 		}
 	}
 }
@@ -123,7 +286,7 @@ type LabelResult struct {
 // model snapshot.
 func (c *Client) Label(ctx context.Context, batch *linalg.Matrix) (LabelResult, error) {
 	var out LabelResult
-	resp, err := c.post(ctx, "/label", server.EncodeBatch(batch))
+	resp, err := c.post(ctx, "/label", server.EncodeBatch(batch), 0)
 	if err != nil {
 		return out, err
 	}
@@ -177,6 +340,25 @@ func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
 		return out, httpError(resp)
 	}
 	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Ready reports the daemon's /readyz verdict: nil when ready, an error
+// describing why not (draining, wedged WAL) otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }
 
 // WaitSeen polls /stats until the daemon has applied at least n points or

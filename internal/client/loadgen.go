@@ -2,7 +2,6 @@ package client
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -129,8 +128,14 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 		}(q)
 	}
 
-	// Ingest workers: split the volume, absorb backpressure by sleeping
-	// out the daemon's hint (counted, not hidden).
+	// Ingest workers: split the volume, absorb backpressure through the
+	// client's bounded jittered retry loop (each rejection counted, not
+	// hidden). Retries reuse the batch's producer sequence, so even under
+	// heavy backpressure no batch can be double-applied.
+	pol := RetryPolicy{
+		MaxAttempts: 50, // load runs saturate on purpose; be patient, not infinite
+		OnRetry:     func(int, time.Duration, error) { backpressure.Add(1) },
+	}.withDefaults()
 	start := time.Now()
 	var iwg sync.WaitGroup
 	var ingestErr atomic.Pointer[error]
@@ -149,22 +154,15 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 					sz = n
 				}
 				batch, _ := spec.Sample(sz, rng)
-				for {
-					err := c.IngestOnce(ctx, batch)
-					if err == nil {
-						break
-					}
-					var bp *ErrBackpressure
-					if !errors.As(err, &bp) {
+				var pseq uint64
+				if c.Producer() != "" {
+					pseq = c.NextBatchSeq()
+				}
+				if _, err := c.ingestRetry(ctx, batch, pseq, pol); err != nil {
+					if ctx.Err() == nil {
 						ingestErr.Store(&err)
-						return
 					}
-					backpressure.Add(1)
-					select {
-					case <-time.After(bp.RetryAfter):
-					case <-ctx.Done():
-						return
-					}
+					return
 				}
 				n -= sz
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"keybin2/internal/synth"
@@ -165,5 +166,61 @@ func TestStreamCheckpointErrors(t *testing.T) {
 	}
 	if _, err := DecodeStream(good, append(snap, 1)); err == nil {
 		t.Fatal("trailing bytes must fail")
+	}
+}
+
+// TestStreamCheckpointMeta pins the v2 metadata section: an opaque blob
+// attached at encode time comes back verbatim, a metadata-free encode
+// stays byte-identical to v1 (so pre-v2 readers keep working), and the
+// metadata length is bounds-checked against truncation.
+func TestStreamCheckpointMeta(t *testing.T) {
+	cfg := StreamConfig{Config: Config{Seed: 5, Trials: 2}, Dims: 3,
+		RawRanges: fixedRanges(3, -2, 2), Period: 200}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := synth.AutoMixture(2, 3, 6, 1, xrand.New(50))
+	runStreamPoints(t, st, spec, 600, 51)
+
+	meta := []byte("wal-position: 42")
+	blob, err := st.EncodeWithMeta(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, gotMeta, err := DecodeStreamMeta(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotMeta) != string(meta) {
+		t.Fatalf("meta roundtrip: %q != %q", gotMeta, meta)
+	}
+	if restored.Seen() != st.Seen() {
+		t.Fatalf("restored seen %d, want %d", restored.Seen(), st.Seen())
+	}
+	// DecodeStream must also accept a v2 blob (discarding the meta).
+	if _, err := DecodeStream(cfg, blob); err != nil {
+		t.Fatalf("DecodeStream on v2: %v", err)
+	}
+
+	// No meta → v1 wire version, and DecodeStreamMeta reports nil meta.
+	v1, err := st.EncodeWithMeta(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(v1[4:]); v != 1 {
+		t.Fatalf("meta-free encode stamped version %d, want 1", v)
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != 2 {
+		t.Fatalf("meta encode stamped version %d, want 2", v)
+	}
+	if _, m, err := DecodeStreamMeta(cfg, v1); err != nil || m != nil {
+		t.Fatalf("v1 decode: meta=%v err=%v", m, err)
+	}
+
+	// A truncated v2 blob (cut inside the meta section) must fail loudly.
+	cut := len("KB2S") + 4 + 8 + 4 + 4 + 2 // magic|ver|seen|nextID|metaLen|2 meta bytes
+	if _, _, err := DecodeStreamMeta(cfg, blob[:cut]); err == nil {
+		t.Fatal("truncated metadata accepted")
 	}
 }

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The durability layer talks to disk only through the FS interface, so
+// tests can inject short writes, fsync failures, and ENOSPC without a
+// real faulty disk (see FaultFS). The contract mirrors the subset of the
+// os package the WAL and checkpoint writer need — including directory
+// fsync, which os.File exposes only implicitly and which both tmp+rename
+// checkpointing and WAL segment rotation require for power-loss safety:
+// a rename or create is durable only once its parent directory entry is.
+type FS interface {
+	// OpenFile opens name with os-style flags. The returned File is
+	// append- or write-only from the WAL's perspective; reads go through
+	// ReadFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDirNames returns the sorted file names (not paths) in dir.
+	ReadDirNames(dir string) ([]string, error)
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making completed renames,
+	// creates, and removes inside it durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file subset the durability layer uses.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real-disk FS.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (osFS) ReadDirNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// writeFileDurable writes data to path via tmp + fsync + rename + parent
+// directory fsync — the full sequence after which the file survives power
+// loss with either the old content or the new, never a torn mix and never
+// a "completed" write that vanishes. This is the checkpoint writer; plain
+// os.WriteFile+os.Rename leaves both the data and the rename un-fsynced.
+func writeFileDurable(fs FS, path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if n, err := f.Write(data); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	} else if n != len(data) {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("fsio: short write: %d of %d bytes to %s", n, len(data), tmp)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}

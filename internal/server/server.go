@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +40,23 @@ type Config struct {
 	// when CheckpointPath is set). A final checkpoint is always written
 	// during graceful shutdown.
 	CheckpointEvery time.Duration
+	// WALDir, when set, enables the write-ahead log: every accepted batch
+	// is appended (and, per Fsync, flushed) before the 202 ack, and on
+	// restart the tail past the newest checkpoint is replayed, so a
+	// kill -9 loses nothing that was acknowledged.
+	WALDir string
+	// Fsync is the WAL flush policy: "always" (default — ack implies
+	// stable storage), "interval" (flush every FsyncInterval), or
+	// "never" (leave flushing to the OS).
+	Fsync string
+	// FsyncInterval is the flush cadence under Fsync="interval"
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes triggers WAL segment rotation (default 4 MiB).
+	WALSegmentBytes int64
+	// FS is the filesystem the WAL and checkpoints write through
+	// (default OSFS; tests inject faults).
+	FS FS
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -56,19 +74,40 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 30 * time.Second
 	}
+	if c.FS == nil {
+		c.FS = OSFS
+	}
 	return c
+}
+
+// WALInfo is the durability block served inside Stats.
+type WALInfo struct {
+	WALStats
+	// CoveredSeq is the newest WAL sequence a durable checkpoint covers;
+	// LagRecords is how many acknowledged batches a crash right now would
+	// have to replay (LastSeq - CoveredSeq).
+	CoveredSeq uint64 `json:"covered_seq"`
+	LagRecords uint64 `json:"lag_records"`
+	Policy     string `json:"policy"`
+	// ReplayedBatches/Points count what recovery replayed at startup.
+	ReplayedBatches int64 `json:"replayed_batches"`
+	ReplayedPoints  int64 `json:"replayed_points"`
 }
 
 // Stats is the counter snapshot served at /stats.
 type Stats struct {
 	// Seen is the number of points applied to the stream (including any
-	// restored from a checkpoint).
+	// restored from a checkpoint or replayed from the WAL).
 	Seen int64 `json:"seen"`
 	// Accepted / Rejected count ingest points admitted to the queue and
 	// batches refused for backpressure.
 	Accepted        int64 `json:"accepted"`
 	RejectedBatches int64 `json:"rejected_batches"`
 	Batches         int64 `json:"batches"`
+	// DuplicateBatches counts ingests acknowledged without re-applying
+	// because their producer sequence was already accepted (client
+	// retries after a lost ack).
+	DuplicateBatches int64 `json:"duplicate_batches"`
 	// Labeled counts points answered by /label.
 	Labeled int64 `json:"labeled"`
 	// Refits is the model generation: how many models this process has
@@ -83,6 +122,22 @@ type Stats struct {
 	LastCheckpointUnix int64   `json:"last_checkpoint_unix"`
 	Draining           bool    `json:"draining"`
 	UptimeSec          float64 `json:"uptime_sec"`
+	// Producers maps each producer id to its highest acknowledged batch
+	// sequence — the client-visible half of the idempotency contract,
+	// and what the chaos harness audits after a kill -9.
+	Producers map[string]uint64 `json:"producers,omitempty"`
+	// WAL is nil when the write-ahead log is disabled.
+	WAL *WALInfo `json:"wal,omitempty"`
+}
+
+// ingestItem is one accepted batch in flight between the HTTP edge and
+// the writer goroutine, tagged with its WAL sequence and the producer's
+// idempotency key so apply() can track both.
+type ingestItem struct {
+	b        *linalg.Matrix
+	seq      uint64
+	producer string
+	pseq     uint64
 }
 
 // Server is the serving core: one writer goroutine owning a core.Stream,
@@ -90,10 +145,21 @@ type Stats struct {
 // atomically-published model snapshot plus the server's atomic counters.
 // Wire Handler() into an http.Server (or httptest) and call Start/Stop
 // around it.
+//
+// Durability: with WALDir set, the ack path is WAL-append → (fsync per
+// policy) → enqueue → 202, all inside one critical section, so the WAL
+// order equals the apply order and nothing is acknowledged before it is
+// logged. Checkpoints record the WAL position they cover (via the v2
+// stream-checkpoint metadata); restart restores the checkpoint and
+// replays only the uncovered tail.
 type Server struct {
-	cfg    Config
+	cfg   Config
+	fs    FS
+	wal   *WAL
+	fsync FsyncPolicy
+
 	stream *core.Stream // owned by the writer goroutine after Start
-	queue  chan *linalg.Matrix
+	queue  chan ingestItem
 	done   chan struct{}
 	wg     sync.WaitGroup
 	start  time.Time
@@ -105,33 +171,65 @@ type Server struct {
 	drainMu  sync.RWMutex
 	draining bool
 
+	// ingestMu serializes the accept path: duplicate check, WAL append,
+	// and queue insert happen atomically, which (a) makes WAL order the
+	// apply order and (b) lets the queue-full check be exact — enqueuers
+	// all hold this lock, so a passed check cannot be invalidated before
+	// the insert.
+	ingestMu sync.Mutex
+	lastSeen map[string]uint64 // producer → highest acked sequence
+	nextSeq  uint64            // last issued batch sequence (mirrors WAL)
+
+	// Writer-goroutine state (touched only by run()/apply()/checkpoint()
+	// and by New before Start): the WAL position applied to the stream
+	// and the per-producer sequences those applies carried. Checkpoint
+	// metadata snapshots both.
+	appliedSeq       uint64
+	appliedProducers map[string]uint64
+
 	seen        atomic.Int64 // mirrors stream.Seen() after each batch
 	accepted    atomic.Int64
 	rejected    atomic.Int64
 	batches     atomic.Int64
+	duplicates  atomic.Int64
 	labeled     atomic.Int64
 	refits      atomic.Int64 // model generation: refitBase + stream.Refits()
 	refitBase   int64        // 1 when a restored checkpoint carried a model
 	checkpoints atomic.Int64
 	lastCkpt    atomic.Int64
+	coveredSeq  atomic.Uint64 // newest WAL seq covered by a durable checkpoint
+	replayedB   int64         // batches replayed from the WAL at startup
+	replayedP   int64         // points replayed
 	writerErr   atomic.Pointer[error]
 }
 
 // New builds a server around a fresh stream, or — when cfg.CheckpointPath
-// names an existing file — around the stream restored from it. A corrupt
-// or config-mismatched checkpoint is an error rather than a silent fresh
-// start: the operator must decide whether to delete state.
+// names an existing file — around the stream restored from it, replaying
+// the WAL tail past the checkpoint when cfg.WALDir is set. A corrupt or
+// config-mismatched checkpoint, a corrupt WAL body, or a WAL that lost
+// acknowledged history (WALStaleError) is an error rather than a silent
+// fresh start: the operator must decide whether to delete state.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Stream.Validate(); err != nil {
 		return nil, err
 	}
+	fsyncPolicy, err := ParseFsyncPolicy(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+
 	var st *core.Stream
-	var err error
+	var ckptMeta walCkptMeta
 	restored := false
 	if cfg.CheckpointPath != "" {
-		if blob, rerr := os.ReadFile(cfg.CheckpointPath); rerr == nil {
-			st, err = core.DecodeStream(cfg.Stream, blob)
+		if blob, rerr := cfg.FS.ReadFile(cfg.CheckpointPath); rerr == nil {
+			var metaBytes []byte
+			st, metaBytes, err = core.DecodeStreamMeta(cfg.Stream, blob)
+			if err != nil {
+				return nil, fmt.Errorf("server: restore %s: %w", cfg.CheckpointPath, err)
+			}
+			ckptMeta, err = decodeWALCkptMeta(metaBytes)
 			if err != nil {
 				return nil, fmt.Errorf("server: restore %s: %w", cfg.CheckpointPath, err)
 			}
@@ -147,22 +245,117 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:    cfg,
-		stream: st,
-		queue:  make(chan *linalg.Matrix, cfg.QueueDepth),
-		done:   make(chan struct{}),
-		start:  time.Now(),
+		cfg:              cfg,
+		fs:               cfg.FS,
+		fsync:            fsyncPolicy,
+		stream:           st,
+		queue:            make(chan ingestItem, cfg.QueueDepth),
+		done:             make(chan struct{}),
+		start:            time.Now(),
+		lastSeen:         make(map[string]uint64),
+		appliedProducers: make(map[string]uint64),
 	}
+	s.appliedSeq = ckptMeta.coveredSeq
+	s.nextSeq = ckptMeta.coveredSeq
+	s.coveredSeq.Store(ckptMeta.coveredSeq)
+	for p, q := range ckptMeta.producers {
+		s.appliedProducers[p] = q
+		s.lastSeen[p] = q
+	}
+
+	if cfg.WALDir != "" {
+		wcfg := WALConfig{
+			Dir:          cfg.WALDir,
+			FS:           cfg.FS,
+			Fsync:        fsyncPolicy,
+			FsyncEvery:   cfg.FsyncInterval,
+			SegmentBytes: cfg.WALSegmentBytes,
+			Logf:         cfg.Logf,
+		}
+		wal, werr := OpenWAL(wcfg)
+		if werr != nil {
+			return nil, werr
+		}
+		if !wal.WasEmpty() && wal.LastSeq() < s.appliedSeq {
+			// The checkpoint is newer than the log: the WAL lost
+			// acknowledged history. Refuse — replaying a hole is silent
+			// data loss.
+			wal.Close()
+			return nil, &WALStaleError{LastSeq: wal.LastSeq(), CoveredSeq: s.appliedSeq}
+		}
+		if wal.WasEmpty() && s.appliedSeq > 0 {
+			// Fresh log attached to an existing checkpoint (WAL enabled
+			// after the fact, or truncation removed everything): continue
+			// the checkpoint's numbering.
+			wal.ForwardTo(s.appliedSeq)
+		}
+		if err := s.replayWAL(wal); err != nil {
+			wal.Close()
+			return nil, err
+		}
+		s.wal = wal
+		s.nextSeq = wal.LastSeq()
+	}
+
 	s.seen.Store(int64(st.Seen()))
 	if restored && st.Snapshot() != nil {
 		// A restored model counts as generation 1: /label answers from it
 		// immediately, and clients comparing generations across a restart
 		// see a live model, not warmup.
 		s.refitBase = 1
-		s.refits.Store(1)
 		s.logf("restored %d points from %s", st.Seen(), cfg.CheckpointPath)
 	}
+	s.refits.Store(s.refitBase + int64(st.Refits()))
 	return s, nil
+}
+
+// replayWAL applies every WAL record past the checkpoint's covered
+// sequence to the freshly-restored stream, skipping producer-sequence
+// duplicates (a batch can appear twice when a client retried after a
+// lost ack). Runs before Start, so the stream is still single-owner.
+func (s *Server) replayWAL(wal *WAL) error {
+	from := s.appliedSeq
+	err := wal.Replay(from, func(seq uint64, entry []byte) error {
+		producer, pseq, raw, err := decodeWALEntry(entry)
+		if err != nil {
+			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
+		}
+		s.appliedSeq = seq
+		if producer != "" && pseq > 0 {
+			if last, ok := s.appliedProducers[producer]; ok && pseq <= last {
+				return nil // duplicate append; first copy already applied
+			}
+		}
+		b, err := DecodeBatch(raw, 0)
+		if err != nil {
+			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
+		}
+		if b.Cols != s.cfg.Stream.Dims {
+			return fmt.Errorf("server: wal replay seq %d: batch has %d dims, stream expects %d", seq, b.Cols, s.cfg.Stream.Dims)
+		}
+		for i := 0; i < b.Rows; i++ {
+			if _, err := s.stream.Ingest(b.Row(i)); err != nil {
+				return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
+			}
+		}
+		if producer != "" && pseq > 0 {
+			s.appliedProducers[producer] = pseq
+			if s.lastSeen[producer] < pseq {
+				s.lastSeen[producer] = pseq
+			}
+		}
+		s.replayedB++
+		s.replayedP += int64(b.Rows)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if s.replayedB > 0 {
+		s.logf("wal: replayed %d batches (%d points) past checkpoint seq %d",
+			s.replayedB, s.replayedP, from)
+	}
+	return nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -179,11 +372,13 @@ func (s *Server) Start() {
 
 // Stop drains and shuts the serving core down: new ingests are refused,
 // every batch already accepted is applied, a final checkpoint is written,
-// and the writer exits. Callers must stop the HTTP listener first (so no
-// handler is blocked mid-request) — http.Server.Shutdown, then Stop.
-// The context bounds the drain; on expiry the writer is abandoned mid-
-// queue and its remaining batches are lost (they were acknowledged as
-// queued, so this is reported as an error).
+// the WAL is closed, and the writer exits. Callers must stop the HTTP
+// listener first (so no handler is blocked mid-request) —
+// http.Server.Shutdown, then Stop. The context bounds the drain; on
+// expiry the writer is abandoned mid-queue and its remaining batches are
+// lost from the live stream (they were acknowledged as queued — with a
+// WAL they are still durable and will be replayed on the next start, so
+// the timeout is reported as an error but not as data loss).
 func (s *Server) Stop(ctx context.Context) error {
 	s.drainMu.Lock()
 	already := s.draining
@@ -199,10 +394,14 @@ func (s *Server) Stop(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown timed out with %d batches undrained: %w", len(s.queue), ctx.Err())
 	}
+	var walErr error
+	if s.wal != nil {
+		walErr = s.wal.Close()
+	}
 	if p := s.writerErr.Load(); p != nil {
 		return *p
 	}
-	return nil
+	return walErr
 }
 
 // run is the writer loop: the only goroutine that mutates the stream.
@@ -216,8 +415,8 @@ func (s *Server) run() {
 	}
 	for {
 		select {
-		case b := <-s.queue:
-			s.apply(b)
+		case it := <-s.queue:
+			s.apply(it)
 		case <-ckptC:
 			s.checkpoint()
 		case <-s.done:
@@ -225,8 +424,8 @@ func (s *Server) run() {
 			// nothing is added behind this loop.
 			for {
 				select {
-				case b := <-s.queue:
-					s.apply(b)
+				case it := <-s.queue:
+					s.apply(it)
 				default:
 					s.checkpoint()
 					return
@@ -238,7 +437,8 @@ func (s *Server) run() {
 
 // apply feeds one batch into the stream and refreshes the mirrored
 // counters the read path serves.
-func (s *Server) apply(b *linalg.Matrix) {
+func (s *Server) apply(it ingestItem) {
+	b := it.b
 	for i := 0; i < b.Rows; i++ {
 		if _, err := s.stream.Ingest(b.Row(i)); err != nil {
 			// Dimensionality was validated at the HTTP edge, so an error
@@ -249,33 +449,44 @@ func (s *Server) apply(b *linalg.Matrix) {
 			s.logf("ingest error: %v", err)
 		}
 	}
+	s.appliedSeq = it.seq
+	if it.producer != "" && it.pseq > 0 {
+		s.appliedProducers[it.producer] = it.pseq
+	}
 	s.batches.Add(1)
 	s.seen.Store(int64(s.stream.Seen()))
 	s.refits.Store(s.refitBase + int64(s.stream.Refits()))
 }
 
-// checkpoint writes the stream state atomically (tmp + rename). Before
-// warmup there is no state worth saving; that case is skipped silently.
+// checkpoint writes the stream state durably (tmp + fsync + rename +
+// parent-dir fsync) with the covered WAL position in its metadata, then
+// truncates WAL segments the checkpoint covers. Before warmup there is
+// no state worth saving; that case is skipped silently.
 func (s *Server) checkpoint() {
 	if s.cfg.CheckpointPath == "" {
 		return
 	}
-	blob, err := s.stream.Encode()
+	var meta []byte
+	if s.wal != nil || len(s.appliedProducers) > 0 {
+		meta = encodeWALCkptMeta(s.appliedSeq, s.appliedProducers)
+	}
+	blob, err := s.stream.EncodeWithMeta(meta)
 	if err != nil {
 		return // pre-warmup: nothing to save yet
 	}
-	tmp := s.cfg.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := writeFileDurable(s.fs, s.cfg.CheckpointPath, blob, 0o644); err != nil {
 		s.logf("checkpoint: %v", err)
 		return
 	}
-	if err := os.Rename(tmp, s.cfg.CheckpointPath); err != nil {
-		s.logf("checkpoint: %v", err)
-		return
+	s.coveredSeq.Store(s.appliedSeq)
+	if s.wal != nil {
+		if err := s.wal.TruncateThrough(s.appliedSeq); err != nil {
+			s.logf("checkpoint: wal truncation: %v", err)
+		}
 	}
 	s.checkpoints.Add(1)
 	s.lastCkpt.Store(time.Now().Unix())
-	s.logf("checkpoint: %d points, %d bytes", s.stream.Seen(), len(blob))
+	s.logf("checkpoint: %d points, %d bytes, covers wal seq %d", s.stream.Seen(), len(blob), s.appliedSeq)
 }
 
 // Stats returns the current counter snapshot. Safe from any goroutine.
@@ -288,6 +499,7 @@ func (s *Server) Stats() Stats {
 		Accepted:           s.accepted.Load(),
 		RejectedBatches:    s.rejected.Load(),
 		Batches:            s.batches.Load(),
+		DuplicateBatches:   s.duplicates.Load(),
 		Labeled:            s.labeled.Load(),
 		Refits:             s.refits.Load(),
 		QueueLen:           len(s.queue),
@@ -297,6 +509,27 @@ func (s *Server) Stats() Stats {
 		Draining:           draining,
 		UptimeSec:          time.Since(s.start).Seconds(),
 	}
+	s.ingestMu.Lock()
+	if len(s.lastSeen) > 0 {
+		st.Producers = make(map[string]uint64, len(s.lastSeen))
+		for p, q := range s.lastSeen {
+			st.Producers[p] = q
+		}
+	}
+	s.ingestMu.Unlock()
+	if s.wal != nil {
+		info := &WALInfo{
+			WALStats:        s.wal.Stats(),
+			CoveredSeq:      s.coveredSeq.Load(),
+			Policy:          string(s.fsync),
+			ReplayedBatches: s.replayedB,
+			ReplayedPoints:  s.replayedP,
+		}
+		if info.LastSeq > info.CoveredSeq {
+			info.LagRecords = info.LastSeq - info.CoveredSeq
+		}
+		st.WAL = info
+	}
 	if m := s.stream.Snapshot(); m != nil {
 		st.Clusters = m.K()
 	}
@@ -305,11 +538,17 @@ func (s *Server) Stats() Stats {
 
 // Handler returns the HTTP API:
 //
-//	POST /ingest  binary batch → 202 {"queued":n} | 429 backpressure
+//	POST /ingest  binary batch → 202 {"queued":n,"seq":s} | 429 backpressure
 //	POST /label   binary batch → 200 {"labels":[...],"model_gen":g}
 //	GET  /model   → encoded model (Model.Encode) | 404 before first refit
 //	GET  /stats   → Stats JSON
-//	GET  /healthz → 200 "ok"
+//	GET  /healthz → 200 "ok" (liveness)
+//	GET  /readyz  → 200 | 503 readiness: draining or a wedged WAL → 503
+//
+// Ingest requests may carry X-Producer and X-Batch-Seq headers; a batch
+// whose producer sequence was already acknowledged is re-acked as a
+// duplicate without being applied, making retries after a lost ack
+// idempotent.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
@@ -319,18 +558,48 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
-func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *linalg.Matrix {
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+		WALLag uint64 `json:"wal_lag_records,omitempty"`
+	}
+	resp := readiness{Ready: true}
+	s.drainMu.RLock()
+	if s.draining {
+		resp = readiness{Reason: "draining"}
+	}
+	s.drainMu.RUnlock()
+	if resp.Ready && s.wal != nil {
+		ws := s.wal.Stats()
+		if ws.Err != "" {
+			resp = readiness{Reason: "wal wedged: " + ws.Err}
+		} else if cov := s.coveredSeq.Load(); ws.LastSeq > cov {
+			resp.WALLag = ws.LastSeq - cov
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// readBatch validates and decodes the request body, returning the raw
+// wire bytes (what the WAL stores) alongside the decoded matrix.
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) ([]byte, *linalg.Matrix) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return nil
+		return nil, nil
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, int64(batchHeaderSize+8*s.cfg.MaxBatchPoints*s.cfg.Stream.Dims)+1))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
-		return nil
+		return nil, nil
 	}
 	b, err := DecodeBatch(body, s.cfg.MaxBatchPoints)
 	if err != nil {
@@ -339,30 +608,52 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *linalg.Matri
 			code = http.StatusRequestEntityTooLarge
 		}
 		http.Error(w, err.Error(), code)
-		return nil
+		return nil, nil
 	}
 	if b.Cols != s.cfg.Stream.Dims {
 		http.Error(w, fmt.Sprintf("batch has %d dims, stream expects %d", b.Cols, s.cfg.Stream.Dims), http.StatusBadRequest)
-		return nil
+		return nil, nil
 	}
-	return b
+	return body, b
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	b := s.readBatch(w, r)
+	raw, b := s.readBatch(w, r)
 	if b == nil {
 		return
 	}
+	producer := r.Header.Get("X-Producer")
+	var pseq uint64
+	if v := r.Header.Get("X-Batch-Seq"); v != "" {
+		var err error
+		pseq, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad X-Batch-Seq: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
 		return
 	}
-	select {
-	case s.queue <- b:
+	s.ingestMu.Lock()
+	if producer != "" && pseq > 0 && pseq <= s.lastSeen[producer] {
+		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
-	default:
+		s.duplicates.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"queued": 0, "duplicate": true})
+		return
+	}
+	// Exact queue-full check: every enqueue holds ingestMu, so a passing
+	// check cannot be invalidated before the insert below. Checking
+	// before the WAL append means a backpressure rejection writes
+	// nothing — no orphan records for unacknowledged batches.
+	if len(s.queue) == cap(s.queue) {
+		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
 		s.rejected.Add(1)
 		// Retry-After carries whole seconds per RFC 9110; the precise
@@ -376,9 +667,41 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
+	seq := s.nextSeq + 1
+	if s.wal != nil {
+		wseq, err := s.wal.Append(encodeWALEntry(producer, pseq, raw))
+		if err != nil {
+			s.ingestMu.Unlock()
+			s.drainMu.RUnlock()
+			// The batch was NOT acknowledged and is not in the queue;
+			// the contract holds. The WAL is wedged, so /readyz now
+			// fails and every further ingest lands here until the
+			// operator intervenes.
+			s.logf("ingest: %v", err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		seq = wseq
+	}
+	s.nextSeq = seq
+	if producer != "" && pseq > 0 {
+		s.lastSeen[producer] = pseq
+	}
+	// Guaranteed not to block: the capacity check above is exact under
+	// ingestMu. The select is a belt-and-braces fallback.
+	select {
+	case s.queue <- ingestItem{b: b, seq: seq, producer: producer, pseq: pseq}:
+	default:
+		s.ingestMu.Unlock()
+		s.drainMu.RUnlock()
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.ingestMu.Unlock()
+	s.drainMu.RUnlock()
 	s.accepted.Add(int64(b.Rows))
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]int{"queued": b.Rows})
+	json.NewEncoder(w).Encode(map[string]any{"queued": b.Rows, "seq": seq})
 }
 
 // labelResponse is the /label reply. ModelGen 0 means no model has been
@@ -390,7 +713,7 @@ type labelResponse struct {
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
-	b := s.readBatch(w, r)
+	_, b := s.readBatch(w, r)
 	if b == nil {
 		return
 	}
@@ -432,4 +755,92 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// --- WAL entry / checkpoint-metadata codecs -------------------------------
+
+// WAL entry (little endian): producerLen u16 | producer | producerSeq u64
+// | raw KB2B batch bytes. The batch rides in its wire form so replay goes
+// through the same DecodeBatch validation as live traffic.
+func encodeWALEntry(producer string, pseq uint64, raw []byte) []byte {
+	out := make([]byte, 2+len(producer)+8+len(raw))
+	binary.LittleEndian.PutUint16(out, uint16(len(producer)))
+	copy(out[2:], producer)
+	binary.LittleEndian.PutUint64(out[2+len(producer):], pseq)
+	copy(out[2+len(producer)+8:], raw)
+	return out
+}
+
+func decodeWALEntry(entry []byte) (producer string, pseq uint64, raw []byte, err error) {
+	if len(entry) < 2 {
+		return "", 0, nil, fmt.Errorf("wal entry truncated")
+	}
+	plen := int(binary.LittleEndian.Uint16(entry))
+	if len(entry) < 2+plen+8 {
+		return "", 0, nil, fmt.Errorf("wal entry truncated (producer len %d)", plen)
+	}
+	producer = string(entry[2 : 2+plen])
+	pseq = binary.LittleEndian.Uint64(entry[2+plen:])
+	raw = entry[2+plen+8:]
+	return producer, pseq, raw, nil
+}
+
+// Checkpoint metadata (the v2 stream-checkpoint meta section): version u8
+// | coveredSeq u64 | nproducers u32 | per producer: len u16 | id | seq
+// u64. coveredSeq is the newest WAL sequence whose batch is contained in
+// the checkpointed stream; the producer map restores the idempotency
+// horizon so replayed or retried duplicates stay deduplicated across
+// restarts.
+const walCkptMetaVersion = 1
+
+type walCkptMeta struct {
+	coveredSeq uint64
+	producers  map[string]uint64
+}
+
+func encodeWALCkptMeta(coveredSeq uint64, producers map[string]uint64) []byte {
+	out := make([]byte, 0, 1+8+4+len(producers)*24)
+	out = append(out, walCkptMetaVersion)
+	out = binary.LittleEndian.AppendUint64(out, coveredSeq)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(producers)))
+	for p, q := range producers {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(p)))
+		out = append(out, p...)
+		out = binary.LittleEndian.AppendUint64(out, q)
+	}
+	return out
+}
+
+func decodeWALCkptMeta(meta []byte) (walCkptMeta, error) {
+	m := walCkptMeta{producers: map[string]uint64{}}
+	if len(meta) == 0 {
+		return m, nil // v1 checkpoint: no durability metadata
+	}
+	if meta[0] != walCkptMetaVersion {
+		return m, fmt.Errorf("checkpoint meta version %d unsupported", meta[0])
+	}
+	if len(meta) < 1+8+4 {
+		return m, fmt.Errorf("checkpoint meta truncated")
+	}
+	m.coveredSeq = binary.LittleEndian.Uint64(meta[1:])
+	n := int(binary.LittleEndian.Uint32(meta[9:]))
+	off := 13
+	for i := 0; i < n; i++ {
+		if len(meta) < off+2 {
+			return m, fmt.Errorf("checkpoint meta truncated at producer %d", i)
+		}
+		plen := int(binary.LittleEndian.Uint16(meta[off:]))
+		off += 2
+		if len(meta) < off+plen+8 {
+			return m, fmt.Errorf("checkpoint meta truncated at producer %d", i)
+		}
+		p := string(meta[off : off+plen])
+		off += plen
+		m.producers[p] = binary.LittleEndian.Uint64(meta[off:])
+		off += 8
+	}
+	if off != len(meta) {
+		return m, fmt.Errorf("checkpoint meta has %d trailing bytes", len(meta)-off)
+	}
+	return m, nil
 }

@@ -1,0 +1,650 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Write-ahead log: the durability half of keybin2d's ack contract. Every
+// accepted ingest batch is framed, checksummed, and appended to a segment
+// file *before* the 2xx acknowledgment leaves the server; on restart the
+// daemon restores the newest checkpoint and replays the WAL tail past the
+// checkpoint's covered sequence, so a kill -9 loses nothing that was
+// acknowledged (under fsync=always; see the policy matrix in DESIGN.md).
+//
+// On-disk layout: a directory of segments named wal-<firstseq-hex>.seg.
+//
+//	segment: magic "KB2W" | version u32 | firstSeq u64
+//	record:  len u32 | crc32c u32 | payload(len)
+//	payload: seq u64 | entry bytes (opaque to the WAL)
+//
+// CRC32C (Castagnoli) covers the payload. Sequence numbers are assigned
+// by Append, start at 1, and are contiguous across segments — recovery
+// verifies continuity, so a missing or reordered segment is detected as
+// corruption rather than silently skipped.
+//
+// Torn-write semantics: a decode failure at the *tail of the last
+// segment* is the expected signature of a crash mid-append — the file is
+// truncated back to the last clean record and appends continue there. A
+// decode failure anywhere else (an earlier segment, or a non-final
+// record) means the log was damaged at rest; recovery refuses with a
+// typed *WALCorruptError* instead of guessing which records to keep.
+//
+// Checkpoint-coordinated truncation: a successful checkpoint records the
+// WAL sequence it covers; TruncateThrough then deletes every segment
+// whose records are all covered, bounding the log to roughly one
+// checkpoint interval of traffic.
+
+const (
+	walMagic      = "KB2W"
+	walVersion    = 1
+	walHeaderSize = 4 + 4 + 8 // magic | version | firstSeq
+	walRecHdrSize = 4 + 4     // len | crc32c
+	// walMaxRecord bounds a single record; a length prefix beyond it is
+	// treated as corruption, not an allocation request.
+	walMaxRecord = 64 << 20
+)
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WALCorruptError reports damage in the log body that recovery must not
+// repair by guessing: a bad checksum, broken sequence continuity, or a
+// torn record that is not the final one.
+type WALCorruptError struct {
+	Segment string // file name
+	Offset  int64
+	Reason  string
+}
+
+func (e *WALCorruptError) Error() string {
+	return fmt.Sprintf("wal: %s corrupt at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// WALWriteError reports a failed append, sync, or rotation. Once one
+// occurs the WAL is wedged: every later Append fails fast with the same
+// error, because the tail of the log can no longer be trusted and acking
+// writes against it would be silent data loss.
+type WALWriteError struct {
+	Op  string
+	Err error
+}
+
+func (e *WALWriteError) Error() string { return fmt.Sprintf("wal: %s: %v", e.Op, e.Err) }
+func (e *WALWriteError) Unwrap() error { return e.Err }
+
+// WALStaleError reports a WAL that ends before the checkpoint's covered
+// sequence even though it is not empty: the log lost acknowledged
+// history (replaced, rolled back, or partially deleted). Starting anyway
+// would silently drop whatever the missing tail held, so the operator
+// must decide (usually: delete the stale WAL directory).
+type WALStaleError struct {
+	LastSeq    uint64 // newest sequence the WAL holds
+	CoveredSeq uint64 // sequence the checkpoint claims to cover
+}
+
+func (e *WALStaleError) Error() string {
+	return fmt.Sprintf("wal: log ends at seq %d but checkpoint covers seq %d: WAL lost acknowledged history", e.LastSeq, e.CoveredSeq)
+}
+
+// FsyncPolicy selects when appended records are flushed to stable
+// storage — the durability/throughput dial.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs before every acknowledgment: an acked batch
+	// survives kill -9 and power loss.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a timer: acked batches survive kill -9
+	// (the OS has the data) but up to one interval is exposed to power
+	// loss / kernel crash.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves flushing to the OS entirely.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates an operator-supplied policy string.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncAlways, nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// WALConfig tunes a write-ahead log.
+type WALConfig struct {
+	Dir string
+	// FS is the filesystem the log writes through (default OSFS).
+	FS FS
+	// Fsync is the flush policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the flush cadence under FsyncInterval (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes triggers rotation once the active segment exceeds it
+	// (default 4 MiB).
+	SegmentBytes int64
+	Logf         func(format string, args ...any)
+}
+
+func (c WALConfig) withDefaults() WALConfig {
+	if c.FS == nil {
+		c.FS = OSFS
+	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncAlways
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 100 * time.Millisecond
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	return c
+}
+
+// walSegment is one on-disk segment: its file name and the sequence range
+// it holds. lastSeq is firstSeq-1 for a segment with no records yet.
+type walSegment struct {
+	name     string
+	firstSeq uint64
+	lastSeq  uint64
+}
+
+// WALStats is the log's health snapshot, served under /stats.
+type WALStats struct {
+	LastSeq  uint64 `json:"last_seq"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	// Err is the sticky write-path error ("" = healthy). A wedged WAL
+	// fails every ingest until the operator intervenes.
+	Err string `json:"err,omitempty"`
+}
+
+// WAL is a segmented, checksummed write-ahead log. Append/Sync/Close are
+// safe for one caller at a time per method but the WAL serializes
+// internally, so concurrent HTTP handlers may Append directly.
+type WAL struct {
+	cfg WALConfig
+
+	mu        sync.Mutex
+	segments  []walSegment // oldest..newest; the last one is active
+	cur       File         // active segment, open for append
+	curSize   int64
+	totalSize int64 // closed segments + active
+	lastSeq   uint64
+	dirty     bool  // unsynced appends (interval/never policy)
+	wedged    error // sticky write-path failure
+	wasEmpty  bool  // no segments existed at Open
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+func walSegmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstSeq)
+}
+
+func parseWALSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+	return seq, err == nil
+}
+
+// OpenWAL opens (or creates) the log in cfg.Dir, scans and validates
+// every existing segment, repairs a torn final record, and leaves the
+// log ready to append after the newest valid sequence. Mid-log damage
+// returns *WALCorruptError.
+func OpenWAL(cfg WALConfig) (*WAL, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("wal: Dir is required")
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, &WALWriteError{Op: "mkdir " + cfg.Dir, Err: err}
+	}
+	w := &WAL{cfg: cfg}
+
+	names, err := cfg.FS.ReadDirNames(cfg.Dir)
+	if err != nil {
+		return nil, &WALWriteError{Op: "scan " + cfg.Dir, Err: err}
+	}
+	var firsts []uint64
+	for _, n := range names {
+		if seq, ok := parseWALSegmentName(n); ok {
+			firsts = append(firsts, seq)
+		}
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	w.wasEmpty = len(firsts) == 0
+
+	expect := uint64(0) // last validated seq so far
+	for i, first := range firsts {
+		if i == 0 {
+			// Truncation deletes covered prefixes, so the oldest
+			// surviving segment may start anywhere; continuity is only
+			// enforced between consecutive segments.
+			expect = first - 1
+		}
+		last := i == len(firsts)-1
+		seg := walSegment{name: walSegmentName(first), firstSeq: first}
+		size, lastSeq, err := w.scanSegment(seg, expect, last)
+		if err != nil {
+			return nil, err
+		}
+		if size < 0 {
+			// Unsalvageable final segment (torn header): drop it; its
+			// first record never completed, so nothing acked is inside.
+			w.cfg.FS.Remove(filepath.Join(cfg.Dir, seg.name))
+			w.cfg.FS.SyncDir(cfg.Dir)
+			continue
+		}
+		seg.lastSeq = lastSeq
+		w.segments = append(w.segments, seg)
+		w.totalSize += size
+		if lastSeq > expect {
+			expect = lastSeq
+		}
+	}
+	w.lastSeq = expect
+
+	// Open (or create) the active segment for appends.
+	if len(w.segments) > 0 {
+		act := w.segments[len(w.segments)-1]
+		path := filepath.Join(cfg.Dir, act.name)
+		f, err := cfg.FS.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, &WALWriteError{Op: "open " + act.name, Err: err}
+		}
+		w.cur = f
+		// scanSegment accounted the active segment's size into totalSize;
+		// track it separately for rotation.
+		blob, _ := cfg.FS.ReadFile(path)
+		w.curSize = int64(len(blob))
+	} else {
+		if err := w.rotateLocked(w.lastSeq + 1); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Fsync == FsyncInterval {
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// scanSegment validates one segment, repairing a torn tail when last is
+// true. Returns the post-repair byte size and the segment's last seq, or
+// size -1 when the final segment should be discarded entirely.
+func (w *WAL) scanSegment(seg walSegment, prevSeq uint64, last bool) (int64, uint64, error) {
+	path := filepath.Join(w.cfg.Dir, seg.name)
+	blob, err := w.cfg.FS.ReadFile(path)
+	if err != nil {
+		return 0, 0, &WALWriteError{Op: "read " + seg.name, Err: err}
+	}
+	corrupt := func(off int64, reason string) error {
+		return &WALCorruptError{Segment: seg.name, Offset: off, Reason: reason}
+	}
+	if len(blob) < walHeaderSize {
+		if last {
+			return -1, 0, nil // crash during rotation: header never landed
+		}
+		return 0, 0, corrupt(0, "truncated header in non-final segment")
+	}
+	if string(blob[:4]) != walMagic {
+		return 0, 0, corrupt(0, "bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != walVersion {
+		return 0, 0, corrupt(4, fmt.Sprintf("unsupported version %d", v))
+	}
+	if hdrFirst := binary.LittleEndian.Uint64(blob[8:]); hdrFirst != seg.firstSeq {
+		return 0, 0, corrupt(8, fmt.Sprintf("header firstSeq %d != name %d", hdrFirst, seg.firstSeq))
+	}
+	if seg.firstSeq != prevSeq+1 {
+		return 0, 0, corrupt(0, fmt.Sprintf("segment starts at seq %d, previous ended at %d", seg.firstSeq, prevSeq))
+	}
+
+	off := int64(walHeaderSize)
+	seq := prevSeq
+	torn := func(reason string) (int64, uint64, error) {
+		if !last {
+			return 0, 0, corrupt(off, reason+" in non-final segment")
+		}
+		// Expected crash signature: truncate back to the clean prefix.
+		if err := w.cfg.FS.Truncate(path, off); err != nil {
+			return 0, 0, &WALWriteError{Op: "truncate " + seg.name, Err: err}
+		}
+		w.logf("wal: %s: %s at offset %d, truncated torn tail (%d bytes dropped)",
+			seg.name, reason, off, int64(len(blob))-off)
+		return off, seq, nil
+	}
+	for off < int64(len(blob)) {
+		rest := blob[off:]
+		if len(rest) < walRecHdrSize {
+			return torn("partial record header")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if n == 0 || n > walMaxRecord {
+			return torn(fmt.Sprintf("implausible record length %d", n))
+		}
+		if int64(len(rest)) < walRecHdrSize+int64(n) {
+			return torn("record extends past end of file")
+		}
+		payload := rest[walRecHdrSize : walRecHdrSize+int64(n)]
+		if crc := binary.LittleEndian.Uint32(rest[4:]); crc != crc32.Checksum(payload, walCRCTable) {
+			return torn("checksum mismatch")
+		}
+		if n < 8 {
+			return 0, 0, corrupt(off, "record too short for sequence")
+		}
+		recSeq := binary.LittleEndian.Uint64(payload)
+		if recSeq != seq+1 {
+			return 0, 0, corrupt(off, fmt.Sprintf("sequence %d after %d", recSeq, seq))
+		}
+		seq = recSeq
+		off += walRecHdrSize + int64(n)
+	}
+	return off, seq, nil
+}
+
+func (w *WAL) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// WasEmpty reports whether the directory held no segments at Open — a
+// fresh log, as opposed to one that has lost history (see WALStaleError).
+func (w *WAL) WasEmpty() bool { return w.wasEmpty }
+
+// LastSeq returns the newest appended (or recovered) sequence.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// ForwardTo advances the sequence counter without writing, so a fresh WAL
+// attached to an existing checkpoint continues the checkpoint's numbering
+// instead of reissuing covered sequences.
+func (w *WAL) ForwardTo(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq > w.lastSeq {
+		w.lastSeq = seq
+		// The active (empty) segment was named for the old next-seq;
+		// rotating on the next append would be wasteful, so rename lazily:
+		// the segment header's firstSeq only matters once a record lands,
+		// and appendLocked rotates if the header would lie.
+	}
+}
+
+// Append frames entry, assigns it the next sequence, writes it to the
+// active segment, and — under FsyncAlways — syncs before returning. The
+// returned sequence is what a checkpoint later covers. After any write
+// or sync failure the WAL wedges: the caller must stop acking.
+func (w *WAL) Append(entry []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.wedged != nil {
+		return 0, &WALWriteError{Op: "append (wedged)", Err: w.wedged}
+	}
+	seq := w.lastSeq + 1
+
+	// Rotate when the active segment is over budget, or when ForwardTo
+	// skipped it past the active segment's declared firstSeq range.
+	act := &w.segments[len(w.segments)-1]
+	if w.curSize >= w.cfg.SegmentBytes || (act.lastSeq+1 != seq && act.firstSeq != seq && w.curSize == int64(walHeaderSize)) {
+		if err := w.rotateLocked(seq); err != nil {
+			w.wedged = err
+			return 0, err
+		}
+		act = &w.segments[len(w.segments)-1]
+	}
+
+	payload := make([]byte, 8+len(entry))
+	binary.LittleEndian.PutUint64(payload, seq)
+	copy(payload[8:], entry)
+	rec := make([]byte, walRecHdrSize+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, walCRCTable))
+	copy(rec[walRecHdrSize:], payload)
+
+	n, err := w.cur.Write(rec)
+	w.curSize += int64(n)
+	w.totalSize += int64(n)
+	if err == nil && n != len(rec) {
+		err = fmt.Errorf("short write: %d of %d bytes", n, len(rec))
+	}
+	if err != nil {
+		werr := &WALWriteError{Op: "append seq " + strconv.FormatUint(seq, 10), Err: err}
+		w.wedged = werr
+		return 0, werr
+	}
+	if w.cfg.Fsync == FsyncAlways {
+		if err := w.cur.Sync(); err != nil {
+			werr := &WALWriteError{Op: "fsync", Err: err}
+			w.wedged = werr
+			return 0, werr
+		}
+	} else {
+		w.dirty = true
+	}
+	w.lastSeq = seq
+	act.lastSeq = seq
+	return seq, nil
+}
+
+// rotateLocked finalizes the active segment (sync + close) and starts a
+// new one whose first record will be firstSeq, fsyncing the directory so
+// the new file survives power loss. Callers hold w.mu.
+func (w *WAL) rotateLocked(firstSeq uint64) error {
+	if w.cur != nil {
+		if err := w.cur.Sync(); err != nil {
+			return &WALWriteError{Op: "fsync on rotation", Err: err}
+		}
+		if err := w.cur.Close(); err != nil {
+			return &WALWriteError{Op: "close on rotation", Err: err}
+		}
+		w.cur = nil
+		// An empty active segment (rotation crash leftover / ForwardTo
+		// skip) would break the continuity scan; drop it.
+		if act := &w.segments[len(w.segments)-1]; act.lastSeq < act.firstSeq {
+			w.cfg.FS.Remove(filepath.Join(w.cfg.Dir, act.name))
+			w.totalSize -= int64(walHeaderSize)
+			w.segments = w.segments[:len(w.segments)-1]
+		}
+	}
+	name := walSegmentName(firstSeq)
+	path := filepath.Join(w.cfg.Dir, name)
+	f, err := w.cfg.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return &WALWriteError{Op: "create " + name, Err: err}
+	}
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], firstSeq)
+	if n, err := f.Write(hdr); err != nil || n != len(hdr) {
+		f.Close()
+		if err == nil {
+			err = fmt.Errorf("short header write: %d of %d bytes", n, len(hdr))
+		}
+		return &WALWriteError{Op: "write header " + name, Err: err}
+	}
+	if w.cfg.Fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return &WALWriteError{Op: "fsync header " + name, Err: err}
+		}
+	}
+	// The directory entry for the new segment must be durable before any
+	// record inside it is trusted.
+	if err := w.cfg.FS.SyncDir(w.cfg.Dir); err != nil {
+		f.Close()
+		return &WALWriteError{Op: "fsync dir", Err: err}
+	}
+	w.cur = f
+	w.curSize = int64(walHeaderSize)
+	w.totalSize += int64(walHeaderSize)
+	w.segments = append(w.segments, walSegment{name: name, firstSeq: firstSeq, lastSeq: firstSeq - 1})
+	return nil
+}
+
+// Sync flushes unsynced appends to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.wedged != nil {
+		return w.wedged
+	}
+	if !w.dirty || w.cur == nil {
+		return nil
+	}
+	if err := w.cur.Sync(); err != nil {
+		werr := &WALWriteError{Op: "fsync", Err: err}
+		w.wedged = werr
+		return werr
+	}
+	w.dirty = false
+	return nil
+}
+
+func (w *WAL) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.cfg.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := w.Sync(); err != nil {
+				w.logf("wal: interval fsync: %v", err)
+				return // wedged; appends now fail fast
+			}
+		case <-w.flushStop:
+			return
+		}
+	}
+}
+
+// Replay streams every record with seq > fromSeq, oldest first, to fn.
+// Called once at recovery, after OpenWAL validated (and repaired) the
+// log; fn receives the entry bytes exactly as Append stored them.
+func (w *WAL) Replay(fromSeq uint64, fn func(seq uint64, entry []byte) error) error {
+	w.mu.Lock()
+	segs := append([]walSegment(nil), w.segments...)
+	w.mu.Unlock()
+	for _, seg := range segs {
+		if seg.lastSeq <= fromSeq || seg.lastSeq < seg.firstSeq {
+			continue
+		}
+		blob, err := w.cfg.FS.ReadFile(filepath.Join(w.cfg.Dir, seg.name))
+		if err != nil {
+			return &WALWriteError{Op: "replay read " + seg.name, Err: err}
+		}
+		off := int64(walHeaderSize)
+		for off < int64(len(blob)) {
+			rest := blob[off:]
+			if len(rest) < walRecHdrSize {
+				return &WALCorruptError{Segment: seg.name, Offset: off, Reason: "replay: partial record header"}
+			}
+			n := binary.LittleEndian.Uint32(rest)
+			if int64(len(rest)) < walRecHdrSize+int64(n) || n < 8 {
+				return &WALCorruptError{Segment: seg.name, Offset: off, Reason: "replay: truncated record"}
+			}
+			payload := rest[walRecHdrSize : walRecHdrSize+int64(n)]
+			if crc := binary.LittleEndian.Uint32(rest[4:]); crc != crc32.Checksum(payload, walCRCTable) {
+				return &WALCorruptError{Segment: seg.name, Offset: off, Reason: "replay: checksum mismatch"}
+			}
+			seq := binary.LittleEndian.Uint64(payload)
+			if seq > fromSeq {
+				if err := fn(seq, payload[8:]); err != nil {
+					return err
+				}
+			}
+			off += walRecHdrSize + int64(n)
+		}
+	}
+	return nil
+}
+
+// TruncateThrough deletes every segment whose records are all covered by
+// a durable checkpoint at throughSeq. The active segment survives even
+// when fully covered — appends continue into it. The directory is
+// fsynced after removals so a crash cannot resurrect a deleted segment
+// and present recovery with a log longer than the checkpoint believes.
+func (w *WAL) TruncateThrough(throughSeq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	for len(w.segments) > 1 && w.segments[0].lastSeq <= throughSeq {
+		seg := w.segments[0]
+		path := filepath.Join(w.cfg.Dir, seg.name)
+		blob, _ := w.cfg.FS.ReadFile(path)
+		if err := w.cfg.FS.Remove(path); err != nil {
+			return &WALWriteError{Op: "remove " + seg.name, Err: err}
+		}
+		w.totalSize -= int64(len(blob))
+		w.segments = w.segments[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := w.cfg.FS.SyncDir(w.cfg.Dir); err != nil {
+			return &WALWriteError{Op: "fsync dir after truncation", Err: err}
+		}
+		w.logf("wal: truncated %d segment(s) through seq %d", removed, throughSeq)
+	}
+	return nil
+}
+
+// Stats returns the log's health snapshot. Safe from any goroutine.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WALStats{LastSeq: w.lastSeq, Segments: len(w.segments), Bytes: w.totalSize}
+	if w.wedged != nil {
+		st.Err = w.wedged.Error()
+	}
+	return st
+}
+
+// Close stops the flusher, syncs outstanding appends, and closes the
+// active segment. The WAL must not be used afterwards.
+func (w *WAL) Close() error {
+	if w.flushStop != nil {
+		close(w.flushStop)
+		<-w.flushDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.wedged == nil && w.dirty && w.cur != nil {
+		if serr := w.cur.Sync(); serr != nil {
+			err = &WALWriteError{Op: "fsync on close", Err: serr}
+		}
+	}
+	if w.cur != nil {
+		if cerr := w.cur.Close(); cerr != nil && err == nil {
+			err = &WALWriteError{Op: "close", Err: cerr}
+		}
+		w.cur = nil
+	}
+	return err
+}

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestWAL(t *testing.T, dir string, mut func(*WALConfig)) *WAL {
+	t.Helper()
+	cfg := WALConfig{Dir: dir, Fsync: FsyncAlways}
+	if mut != nil {
+		mut(&cfg)
+	}
+	w, err := OpenWAL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func appendN(t *testing.T, w *WAL, n int, tag string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("%s-%04d", tag, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func collectReplay(t *testing.T, w *WAL, from uint64) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	if err := w.Replay(from, func(seq uint64, entry []byte) error {
+		got[seq] = string(entry)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, nil)
+	appendN(t, w, 25, "batch")
+	if w.LastSeq() != 25 {
+		t.Fatalf("lastSeq %d, want 25", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTestWAL(t, dir, nil)
+	defer w2.Close()
+	if w2.LastSeq() != 25 {
+		t.Fatalf("recovered lastSeq %d, want 25", w2.LastSeq())
+	}
+	if w2.WasEmpty() {
+		t.Fatal("reopened WAL claims it was empty")
+	}
+	got := collectReplay(t, w2, 0)
+	if len(got) != 25 {
+		t.Fatalf("replayed %d records, want 25", len(got))
+	}
+	if got[7] != "batch-0006" {
+		t.Fatalf("seq 7 = %q", got[7])
+	}
+	// Partial replay honors fromSeq.
+	if tail := collectReplay(t, w2, 20); len(tail) != 5 {
+		t.Fatalf("tail replay %d records, want 5", len(tail))
+	}
+	// Appends continue after recovery with contiguous sequences.
+	seq, err := w2.Append([]byte("post-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 26 {
+		t.Fatalf("post-recovery seq %d, want 26", seq)
+	}
+}
+
+// TestWALRotationAndTruncation forces tiny segments, checks rotation
+// produces a multi-segment log that recovers, and that checkpoint-
+// coordinated truncation deletes only fully-covered segments.
+func TestWALRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, func(c *WALConfig) { c.SegmentBytes = 256 })
+	appendN(t, w, 40, "rot")
+	st := w.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("only %d segments after 40 appends with 256-byte segments", st.Segments)
+	}
+	if err := w.TruncateThrough(20); err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats()
+	if after.Segments >= st.Segments {
+		t.Fatalf("truncation removed nothing: %d → %d segments", st.Segments, after.Segments)
+	}
+	// Everything past the covered seq must still replay.
+	got := collectReplay(t, w, 20)
+	for seq := uint64(21); seq <= 40; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("seq %d lost by truncation", seq)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A reopened truncated log (first segment no longer starts at 1)
+	// must pass the continuity scan.
+	w2 := openTestWAL(t, dir, func(c *WALConfig) { c.SegmentBytes = 256 })
+	defer w2.Close()
+	if w2.LastSeq() != 40 {
+		t.Fatalf("reopened truncated log at seq %d, want 40", w2.LastSeq())
+	}
+}
+
+// TestWALTornTailTruncated simulates a crash mid-append: bytes missing
+// from the final record must be repaired by truncation, keeping every
+// complete record and accepting new appends.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, nil)
+	appendN(t, w, 10, "torn")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := OSFS.ReadDirNames(dir)
+	if len(names) != 1 {
+		t.Fatalf("want 1 segment, got %v", names)
+	}
+	path := filepath.Join(dir, names[0])
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged bool
+	w2 := openTestWAL(t, dir, func(c *WALConfig) {
+		c.Logf = func(string, ...any) { logged = true }
+	})
+	defer w2.Close()
+	if w2.LastSeq() != 9 {
+		t.Fatalf("torn-tail recovery at seq %d, want 9", w2.LastSeq())
+	}
+	if !logged {
+		t.Fatal("torn-tail repair was silent")
+	}
+	if got := collectReplay(t, w2, 0); len(got) != 9 {
+		t.Fatalf("replayed %d records, want 9", len(got))
+	}
+	if seq, err := w2.Append([]byte("after-repair")); err != nil || seq != 10 {
+		t.Fatalf("append after repair: seq %d err %v", seq, err)
+	}
+}
+
+// TestWALMidLogCorruptionRefused: damage that is not a torn tail — a
+// flipped byte in an earlier segment — must refuse recovery with a typed
+// WALCorruptError instead of quietly dropping records.
+func TestWALMidLogCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, func(c *WALConfig) { c.SegmentBytes = 256 })
+	appendN(t, w, 40, "mid")
+	if w.Stats().Segments < 2 {
+		t.Fatal("need at least two segments")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := OSFS.ReadDirNames(dir)
+	path := filepath.Join(dir, names[0]) // oldest (non-final) segment
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[walHeaderSize+walRecHdrSize+3] ^= 0xff // flip a payload byte
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenWAL(WALConfig{Dir: dir})
+	var ce *WALCorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want WALCorruptError, got %v", err)
+	}
+	if ce.Segment != names[0] {
+		t.Fatalf("corruption attributed to %s, want %s", ce.Segment, names[0])
+	}
+}
+
+// TestWALForwardTo: a fresh WAL attached to an existing checkpoint must
+// continue the checkpoint's numbering, and the renumbered log must
+// survive a reopen.
+func TestWALForwardTo(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, nil)
+	if !w.WasEmpty() {
+		t.Fatal("fresh WAL not reported empty")
+	}
+	w.ForwardTo(100)
+	seq, err := w.Append([]byte("first-after-forward"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 101 {
+		t.Fatalf("seq %d after ForwardTo(100), want 101", seq)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, dir, nil)
+	defer w2.Close()
+	if w2.LastSeq() != 101 {
+		t.Fatalf("reopened forwarded log at %d, want 101", w2.LastSeq())
+	}
+	if got := collectReplay(t, w2, 100); len(got) != 1 || got[101] != "first-after-forward" {
+		t.Fatalf("forwarded replay: %v", got)
+	}
+}
+
+// TestWALWriteFaults: injected ENOSPC, fsync failure, and short writes
+// must surface typed WALWriteErrors and wedge the log — never ack-and-
+// lose.
+func TestWALWriteFaults(t *testing.T) {
+	t.Run("enospc", func(t *testing.T) {
+		ffs := &FaultFS{Inner: OSFS}
+		w := openTestWAL(t, t.TempDir(), func(c *WALConfig) { c.FS = ffs })
+		defer w.Close()
+		appendN(t, w, 3, "pre")
+		ffs.SetWriteBudget(10) // next record is torn mid-write
+		_, err := w.Append([]byte("doomed-batch-payload-well-over-budget"))
+		var we *WALWriteError
+		if !errors.As(err, &we) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("want WALWriteError wrapping ErrInjected, got %v", err)
+		}
+		// Wedged: later appends fail fast even though space "returned".
+		ffs.SetWriteBudget(-1)
+		if _, err := w.Append([]byte("after")); !errors.As(err, &we) {
+			t.Fatalf("wedged WAL accepted an append: %v", err)
+		}
+		if w.Stats().Err == "" {
+			t.Fatal("stats hide the wedged state")
+		}
+	})
+	t.Run("fsync-error", func(t *testing.T) {
+		ffs := &FaultFS{Inner: OSFS}
+		w := openTestWAL(t, t.TempDir(), func(c *WALConfig) { c.FS = ffs })
+		defer w.Close()
+		appendN(t, w, 2, "pre")
+		ffs.FailSyncs(1)
+		_, err := w.Append([]byte("unsynced"))
+		var we *WALWriteError
+		if !errors.As(err, &we) {
+			t.Fatalf("fsync failure not surfaced: %v", err)
+		}
+		if _, err := w.Append([]byte("after")); err == nil {
+			t.Fatal("WAL kept acking after a failed fsync")
+		}
+	})
+	t.Run("short-write", func(t *testing.T) {
+		ffs := &FaultFS{Inner: OSFS}
+		w := openTestWAL(t, t.TempDir(), func(c *WALConfig) { c.FS = ffs })
+		defer w.Close()
+		appendN(t, w, 2, "pre")
+		ffs.TearNextWrite()
+		_, err := w.Append([]byte("torn-entry"))
+		var we *WALWriteError
+		if !errors.As(err, &we) {
+			t.Fatalf("short write not surfaced: %v", err)
+		}
+	})
+}
