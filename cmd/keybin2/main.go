@@ -28,6 +28,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,7 @@ type runOpts struct {
 	depth        int
 	minCluster   int
 	describe     bool
+	commStats    bool
 
 	commTimeout time.Duration // per-Recv backstop for distributed runs
 	tcpAddrs    string        // comma-separated rank addresses; enables TCP transport
@@ -76,6 +78,7 @@ func main() {
 	flag.IntVar(&o.depth, "depth", 0, "binning tree depth (0 = auto from data size)")
 	flag.IntVar(&o.minCluster, "min-cluster", 0, "minimum cluster size (0 = auto)")
 	flag.BoolVar(&o.describe, "describe", false, "print the fitted model's structure to stderr")
+	flag.BoolVar(&o.commStats, "comm-stats", false, "print per-rank communication counters (messages, bytes, collectives) to stderr")
 	flag.DurationVar(&o.commTimeout, "comm-timeout", 0, "per-receive timeout in distributed runs (0 = block; backstop against dead peers)")
 	flag.StringVar(&o.tcpAddrs, "tcp-addrs", "", "comma-separated host:port per rank; run over the TCP transport")
 	flag.IntVar(&o.tcpRank, "tcp-rank", 0, "this process's rank within -tcp-addrs")
@@ -122,11 +125,16 @@ func run(o runOpts) error {
 	start := time.Now()
 	var model *core.Model
 	var labels []int
+	var commSnaps []mpi.StatsSnapshot // per rank; empty on single-process fits
 	switch {
 	case o.tcpAddrs != "":
-		model, labels, err = runTCPFit(o, data, cfg)
+		var snap *mpi.StatsSnapshot
+		model, labels, snap, err = runTCPFit(o, data, cfg)
 		if err != nil {
 			return err
+		}
+		if snap != nil {
+			printCommStats(o, []mpi.StatsSnapshot{*snap}, o.tcpRank)
 		}
 		if model == nil {
 			return nil // non-root TCP rank: labels were gathered at rank 0
@@ -140,6 +148,7 @@ func run(o runOpts) error {
 		type rankOut struct {
 			labels []int
 			model  *core.Model
+			stats  mpi.StatsSnapshot
 		}
 		results, rerr := mpi.RunCollect(o.ranks, func(c *mpi.Comm) (rankOut, error) {
 			c.SetRecvTimeout(o.commTimeout)
@@ -147,7 +156,7 @@ func run(o runOpts) error {
 			local := linalg.NewMatrix(hi-lo, data.Cols)
 			copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
 			m, l, err := core.FitDistributed(c, local, cfg)
-			return rankOut{labels: l, model: m}, err
+			return rankOut{labels: l, model: m, stats: c.Stats().Snapshot()}, err
 		})
 		if rerr != nil {
 			return rerr
@@ -155,9 +164,11 @@ func run(o runOpts) error {
 		model = results[0].model
 		for _, r := range results {
 			labels = append(labels, r.labels...)
+			commSnaps = append(commSnaps, r.stats)
 		}
 	}
 	elapsed := time.Since(start)
+	printCommStats(o, commSnaps, 0)
 
 	fmt.Fprintf(os.Stderr, "points=%d dims=%d clusters=%d trial=%d CH=%.2f time=%s\n",
 		data.Rows, data.Cols, model.K(), model.Trial, model.Assessment.CH, elapsed)
@@ -193,14 +204,14 @@ func run(o runOpts) error {
 // runTCPFit runs the distributed fit over the TCP transport. Every process
 // shards the (identical) input by its rank, and rank 0 gathers the label
 // shards back. Non-root ranks return a nil model after contributing.
-func runTCPFit(o runOpts, data *linalg.Matrix, cfg core.Config) (*core.Model, []int, error) {
+func runTCPFit(o runOpts, data *linalg.Matrix, cfg core.Config) (*core.Model, []int, *mpi.StatsSnapshot, error) {
 	addrs := strings.Split(o.tcpAddrs, ",")
 	comm, cleanup, err := mpi.DialTCPOpts(addrs, o.tcpRank, o.dialTimeout, mpi.TCPOptions{
 		MaxFrame:    o.maxFrame,
 		RecvTimeout: o.commTimeout,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer cleanup()
 
@@ -210,23 +221,42 @@ func runTCPFit(o runOpts, data *linalg.Matrix, cfg core.Config) (*core.Model, []
 	copy(local.Data, data.Data[lo*data.Cols:hi*data.Cols])
 	model, localLabels, err := core.FitDistributed(comm, local, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	parts, err := comm.Gather(0, encodeLabels(localLabels))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	snap := comm.Stats().Snapshot()
 	if comm.Rank() != 0 {
-		return nil, nil, nil
+		return nil, nil, &snap, nil
 	}
 	var labels []int
 	for _, p := range parts {
 		labels = append(labels, decodeLabels(p)...)
 	}
 	if len(labels) != data.Rows {
-		return nil, nil, fmt.Errorf("gathered %d labels for %d rows", len(labels), data.Rows)
+		return nil, nil, nil, fmt.Errorf("gathered %d labels for %d rows", len(labels), data.Rows)
 	}
-	return model, labels, nil
+	return model, labels, &snap, nil
+}
+
+// printCommStats writes one JSON line per rank with the communication
+// counters (messages, bytes, per-collective calls/bytes) to stderr. The
+// per-peer breakdown is omitted — it grows with world size and the
+// per-collective view is what the paper's volume argument needs.
+func printCommStats(o runOpts, snaps []mpi.StatsSnapshot, firstRank int) {
+	if !o.commStats {
+		return
+	}
+	for i, snap := range snaps {
+		snap.Peers = nil
+		blob, err := json.Marshal(snap)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "comm rank %d: %s\n", firstRank+i, blob)
+	}
 }
 
 // Labels travel as little-endian int64s (noise is negative).

@@ -13,15 +13,25 @@
 //	         [-checkpoint-every 30s] [-drain-timeout 30s]
 //	         [-wal-dir wal/] [-fsync always|interval|never]
 //	         [-fsync-interval 100ms] [-wal-segment-bytes 4194304]
+//	         [-log-level info] [-trace-log traces.jsonl] [-pprof]
 //
 // API (binary batches are "KB2B" | dims u32 | count u32 | float64s, LE):
 //
 //	POST /ingest  → 202 accepted | 429 queue full (Retry-After)
 //	POST /label   → {"labels":[...],"model_gen":g,"clusters":k}
 //	GET  /model   → encoded model (keybin2.DecodeModel)
-//	GET  /stats   → ingest/refit/queue counters (+ WAL lag)
+//	GET  /stats   → ingest/refit/queue counters (+ WAL lag, run_id)
+//	GET  /metrics → Prometheus text exposition
+//	GET  /trace   → recent pipeline traces as JSON
 //	GET  /healthz → ok (liveness)
 //	GET  /readyz  → 200 | 503 (draining or wedged WAL)
+//	GET  /debug/pprof/* → runtime profiles (only with -pprof)
+//
+// Logs are leveled key=value lines; every line carries a run_id unique to
+// this daemon incarnation, which also appears in /stats and the
+// keybin2d_build_info metric, so logs, scrapes, and crash-cycle restarts
+// correlate. -trace-log additionally appends every finished pipeline
+// trace as one JSON line to the named file.
 //
 // With -range the raw per-dimension bounds are predetermined (the paper's
 // in-situ assumption) and the daemon serves labels from the first refit
@@ -51,6 +61,7 @@ import (
 	"time"
 
 	"keybin2/internal/core"
+	"keybin2/internal/obs"
 	"keybin2/internal/server"
 )
 
@@ -74,6 +85,9 @@ type daemonOpts struct {
 	fsync      string
 	fsyncEvery time.Duration
 	walSegment int64
+	logLevel   string
+	traceLog   string
+	pprof      bool
 }
 
 func main() {
@@ -97,6 +111,9 @@ func main() {
 	flag.StringVar(&o.fsync, "fsync", "always", "WAL flush policy: always | interval | never")
 	flag.DurationVar(&o.fsyncEvery, "fsync-interval", 100*time.Millisecond, "flush cadence under -fsync interval")
 	flag.Int64Var(&o.walSegment, "wal-segment-bytes", 4<<20, "WAL segment rotation threshold")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
+	flag.StringVar(&o.traceLog, "trace-log", "", "append finished pipeline traces as JSON lines to this file")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -147,6 +164,9 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 	if _, err := server.ParseFsyncPolicy(o.fsync); err != nil {
 		return cfg, fmt.Errorf("bad flags: %w", err)
 	}
+	if _, err := obs.ParseLevel(o.logLevel); err != nil {
+		return cfg, fmt.Errorf("bad flags: %w", err)
+	}
 	cfg = server.Config{
 		Stream:          sc,
 		QueueDepth:      o.queueDepth,
@@ -158,6 +178,8 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		Fsync:           o.fsync,
 		FsyncInterval:   o.fsyncEvery,
 		WALSegmentBytes: o.walSegment,
+		RunID:           obs.NewRunID(),
+		EnablePprof:     o.pprof,
 		Logf:            log.Printf,
 	}
 	return cfg, nil
@@ -171,6 +193,21 @@ func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	if err != nil {
 		return err
 	}
+	lvl, _ := obs.ParseLevel(o.logLevel) // validated by buildConfig
+	logger := obs.NewLogger(os.Stderr, lvl, obs.KV("run_id", cfg.RunID))
+	cfg.Logf = logger.Logf
+
+	cfg.Tracer = obs.NewTracer(256)
+	cfg.Tracer.SetRunID(cfg.RunID)
+	if o.traceLog != "" {
+		f, err := os.OpenFile(o.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace log: %w", err)
+		}
+		defer f.Close()
+		cfg.Tracer.SetLogSink(func(line []byte) { f.Write(line) })
+	}
+
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -185,8 +222,9 @@ func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	srv.Start()
-	log.Printf("keybin2d listening on %s (dims=%d queue=%d checkpoint=%q)",
-		ln.Addr(), o.dims, o.queueDepth, o.ckptPath)
+	logger.Info("listening",
+		obs.KV("addr", ln.Addr()), obs.KV("dims", o.dims), obs.KV("queue", o.queueDepth),
+		obs.KV("checkpoint", o.ckptPath), obs.KV("wal_dir", o.walDir), obs.KV("pprof", o.pprof))
 
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(ln) }()
@@ -195,9 +233,9 @@ func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("signal %s: draining", s)
+		logger.Info("draining", obs.KV("signal", s))
 	case <-stop:
-		log.Printf("stop requested: draining")
+		logger.Info("draining", obs.KV("signal", "stop requested"))
 	case err := <-httpErr:
 		srv.Stop(context.Background())
 		return err
@@ -215,6 +253,7 @@ func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 		return err
 	}
 	st := srv.Stats()
-	log.Printf("drained: %d points seen, %d refits, %d checkpoints", st.Seen, st.Refits, st.Checkpoints)
+	logger.Info("drained",
+		obs.KV("seen", st.Seen), obs.KV("refits", st.Refits), obs.KV("checkpoints", st.Checkpoints))
 	return nil
 }

@@ -100,13 +100,10 @@ func startDaemon(cc crashConfig, logW *os.File) (*daemonProc, error) {
 		for sc.Scan() {
 			line := sc.Text()
 			fmt.Fprintln(logW, line)
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				rest := line[i+len("listening on "):]
-				if f := strings.Fields(rest); len(f) > 0 {
-					select {
-					case addrCh <- f[0]:
-					default:
-					}
+			if addr := listenAddr(line); addr != "" {
+				select {
+				case addrCh <- addr:
+				default:
 				}
 			}
 		}
@@ -121,6 +118,25 @@ func startDaemon(cc crashConfig, logW *os.File) (*daemonProc, error) {
 		return nil, fmt.Errorf("daemon never reported its listen address")
 	}
 	return dp, nil
+}
+
+// listenAddr extracts the daemon's bound address from its startup log
+// line. It understands both the structured form (msg=listening
+// addr=127.0.0.1:7420) and the legacy "listening on ADDR" prose.
+func listenAddr(line string) string {
+	if strings.Contains(line, "msg=listening") {
+		for _, f := range strings.Fields(line) {
+			if a, ok := strings.CutPrefix(f, "addr="); ok {
+				return strings.Trim(a, `"`)
+			}
+		}
+	}
+	if i := strings.Index(line, "listening on "); i >= 0 {
+		if f := strings.Fields(line[i+len("listening on "):]); len(f) > 0 {
+			return f[0]
+		}
+	}
+	return ""
 }
 
 // kill is the chaos event: SIGKILL, no drain, no goodbye.
@@ -219,11 +235,19 @@ func runCrashCycles(ctx context.Context, cc crashConfig) error {
 	}
 	// audit asserts the durability invariants against a just-restarted
 	// daemon: the producer high-water mark covers every ack, and the
-	// applied point count catches up to the acked volume.
+	// applied point count catches up to the acked volume. Each recovery is
+	// logged with the incarnation's run-ID and what its WAL replay did, so
+	// a failure here can be matched to the exact daemon log/trace stream.
 	audit := func(c *client.Client, cycle int) error {
 		st, err := c.Stats(ctx)
 		if err != nil {
 			return err
+		}
+		if st.WAL != nil {
+			fmt.Fprintf(os.Stderr, "crash: cycle %d recovered run_id=%s replayed_batches=%d replayed_points=%d last_seq=%d\n",
+				cycle, st.RunID, st.WAL.ReplayedBatches, st.WAL.ReplayedPoints, st.WAL.LastSeq)
+		} else {
+			fmt.Fprintf(os.Stderr, "crash: cycle %d recovered run_id=%s (no wal)\n", cycle, st.RunID)
 		}
 		if st.Producers[producer] < acked {
 			return fmt.Errorf("cycle %d: ACKED BATCH LOST: daemon recovered producer seq %d, harness holds ack for %d",

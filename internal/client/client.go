@@ -20,6 +20,7 @@ import (
 
 	"keybin2/internal/core"
 	"keybin2/internal/linalg"
+	"keybin2/internal/obs"
 	"keybin2/internal/server"
 	"keybin2/internal/xrand"
 )
@@ -340,6 +341,27 @@ func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
 		return out, httpError(resp)
 	}
 	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Metrics scrapes the daemon's /metrics endpoint and returns the parsed
+// sample values keyed by series identity — e.g.
+// "keybin2d_ingest_accepted_points_total" or
+// `keybin2d_ingest_batches_total{result="accepted"}`. Histograms appear
+// expanded as their _bucket/_sum/_count series.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	return obs.ParseExposition(resp.Body)
 }
 
 // Ready reports the daemon's /readyz verdict: nil when ready, an error

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,13 @@ type LoadReport struct {
 	FinalSeen     int64 `json:"final_seen"`
 	FinalRefits   int64 `json:"final_refits"`
 	FinalClusters int   `json:"final_clusters"`
+
+	// MetricsDelta holds, for every monotone (_total) series on /metrics,
+	// the increase observed across the load run — the daemon's own account
+	// of what the run did (batches by outcome, WAL appends/fsyncs, refit
+	// activity). Nil when the daemon predates /metrics or a scrape failed;
+	// the load numbers above are measured client-side and stand alone.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // RunLoad ingests cfg.Points synthetic points through c while concurrently
@@ -98,6 +106,10 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 		Ingesters: cfg.Ingesters, QueryWorkers: cfg.QueryWorkers,
 	}
 	spec := synth.AutoMixture(cfg.Components, cfg.Dims, 6, 1, xrand.New(cfg.Seed))
+
+	// Tolerant pre-scrape: metric deltas are a bonus, never a reason to
+	// fail a load run against an older or metrics-less daemon.
+	before, _ := c.Metrics(ctx)
 
 	var backpressure atomic.Int64
 	ingestCtx, stopQueries := context.WithCancel(ctx)
@@ -207,7 +219,32 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 	rep.FinalSeen = st.Seen
 	rep.FinalRefits = st.Refits
 	rep.FinalClusters = st.Clusters
+	if before != nil {
+		if after, err := c.Metrics(ctx); err == nil {
+			rep.MetricsDelta = metricsDelta(before, after)
+		}
+	}
 	return rep, nil
+}
+
+// metricsDelta keeps the increase of every counter (_total-suffixed)
+// series between two scrapes. Gauges and histogram buckets are skipped:
+// their point-in-time values don't subtract meaningfully.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	d := make(map[string]float64)
+	for k, v := range after {
+		name := k
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		if dv := v - before[k]; dv > 0 {
+			d[k] = dv
+		}
+	}
+	return d
 }
 
 // percentile returns the p-quantile of sorted values (nearest-rank).

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"keybin2/internal/cluster"
 	"keybin2/internal/histogram"
 	"keybin2/internal/keys"
 	"keybin2/internal/linalg"
 	"keybin2/internal/mpi"
+	"keybin2/internal/obs"
 	"keybin2/internal/partition"
 	"keybin2/internal/projection"
 	"keybin2/internal/quality"
@@ -121,8 +123,9 @@ type Stream struct {
 	buffer      *linalg.Matrix // warmup rows (nil once live)
 	bufUsed     int
 	seen        int
-	nextID      int // next fresh stable cluster id
-	refits      int // completed refits (model publications)
+	nextID      int          // next fresh stable cluster id
+	refits      int          // completed refits (model publications)
+	rec         obs.Recorder // stage-timing sink (nil = off); writer-only
 
 	// model is the published model. Refit builds each model fully —
 	// including a detached clone of its histograms — before storing it, and
@@ -345,8 +348,12 @@ func (s *Stream) Ingest(x []float64) (int, error) {
 		copy(s.buffer.Row(s.bufUsed), x)
 		s.bufUsed++
 		if s.bufUsed == s.cfg.Warmup {
+			start := time.Now()
 			if err := s.initSetsFromBuffer(); err != nil {
 				return cluster.Noise, err
+			}
+			if s.rec != nil {
+				s.rec.RecordStage("warmup_init", time.Since(start))
 			}
 			if err := s.Refit(); err != nil {
 				return cluster.Noise, err
@@ -380,6 +387,10 @@ func (s *Stream) Ingest(x []float64) (int, error) {
 func (s *Stream) Refit() error {
 	if s.sets == nil {
 		return nil // still warming up
+	}
+	if s.rec != nil {
+		start := time.Now()
+		defer func() { s.rec.RecordStage("refit", time.Since(start)) }()
 	}
 	if f := s.cfg.DecayFactor; f > 0 && f < 1 {
 		for t := range s.sets {
@@ -553,6 +564,12 @@ func (s *Stream) minClusterSize() int {
 	}
 	return ms
 }
+
+// SetRecorder installs a pipeline-stage timing sink: Refit reports
+// "refit" and the warmup-range initialization reports "warmup_init".
+// Writer-only, like Ingest/Refit — install it before serving begins. A
+// nil Recorder disables reporting.
+func (s *Stream) SetRecorder(r obs.Recorder) { s.rec = r }
 
 // Model returns the current model (nil before the first refit). It is an
 // alias for Snapshot and shares its concurrency contract.

@@ -75,6 +75,7 @@ func MinMaxFloat64s(acc, in []byte) ([]byte, error) {
 // Bcast distributes root's payload to all ranks along a binomial tree and
 // returns it. Non-root ranks pass their (ignored) data as nil.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	defer c.enterCollective(collBcast)()
 	tag := c.nextCollTag()
 	if c.size == 1 {
 		return data, nil
@@ -112,6 +113,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // returned at root (nil elsewhere). The reduction runs along a binomial
 // tree, so each rank sends at most one message of the payload size.
 func (c *Comm) Reduce(root int, data []byte, op Combine) ([]byte, error) {
+	defer c.enterCollective(collReduce)()
 	tag := c.nextCollTag()
 	if c.size == 1 {
 		return data, nil
@@ -144,6 +146,7 @@ func (c *Comm) Reduce(root int, data []byte, op Combine) ([]byte, error) {
 // Allreduce combines every rank's payload and returns the result on all
 // ranks (Reduce to rank 0 followed by Bcast).
 func (c *Comm) Allreduce(data []byte, op Combine) ([]byte, error) {
+	defer c.enterCollective(collAllreduce)()
 	red, err := c.Reduce(0, data, op)
 	if err != nil {
 		return nil, err
@@ -157,6 +160,7 @@ func (c *Comm) Allreduce(data []byte, op Combine) ([]byte, error) {
 // consolidation "works as well for a ring topology" — no central authority
 // is required. Message count is 2(K-1) with payload-size messages.
 func (c *Comm) RingAllreduce(data []byte, op Combine) ([]byte, error) {
+	defer c.enterCollective(collRingAllreduce)()
 	tag := c.nextCollTag()
 	if c.size == 1 {
 		return data, nil
@@ -211,6 +215,7 @@ func (c *Comm) RingAllreduce(data []byte, op Combine) ([]byte, error) {
 // Gather collects every rank's payload at root, indexed by rank. Non-root
 // ranks receive nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	defer c.enterCollective(collGather)()
 	tag := c.nextCollTag()
 	if c.rank != root {
 		if err := c.sendRaw(root, tag, data); err != nil {
@@ -233,6 +238,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 // Allgather collects every rank's payload on all ranks (Gather + Bcast of
 // the concatenated frames).
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	defer c.enterCollective(collAllgather)()
 	parts, err := c.Gather(0, data)
 	if err != nil {
 		return nil, err
@@ -254,6 +260,7 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 // part. Only root's parts argument is consulted; it must have exactly Size
 // entries.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	defer c.enterCollective(collScatter)()
 	tag := c.nextCollTag()
 	if c.rank == root {
 		if len(parts) != c.size {
@@ -278,6 +285,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
+	defer c.enterCollective(collBarrier)()
 	if _, err := c.Allreduce(EncodeUint64s([]uint64{1}), SumUint64s); err != nil {
 		return fmt.Errorf("mpi: barrier: %w", err)
 	}

@@ -199,7 +199,56 @@ type Comm struct {
 	box         *mailbox
 	stats       *Stats
 	collSeq     int // per-rank collective sequence, advances in lockstep
+	collDepth   int // >0 while inside a collective; guards nested accounting
+	collObs     func(CollectiveEvent)
 	recvTimeout time.Duration
+}
+
+// CollectiveEvent describes one completed top-level collective on this
+// rank, delivered to the observer installed with SetCollectiveObserver.
+// Bytes counts only cross-rank payload sent by this rank during the
+// collective (the same accounting as Stats).
+type CollectiveEvent struct {
+	Name  string // "allreduce", "gather", ...
+	Rank  int
+	Tag   int // internal collective tag of the operation's first phase
+	Bytes int64
+	Dur   time.Duration
+}
+
+// SetCollectiveObserver installs fn to be called after every top-level
+// collective completes (successfully or not). Nested constituents — the
+// Reduce+Bcast inside an Allreduce, the Allreduce inside a Barrier — do
+// not produce events. fn runs on the rank's own goroutine; keep it cheap.
+// Pass nil to remove the observer.
+func (c *Comm) SetCollectiveObserver(fn func(CollectiveEvent)) { c.collObs = fn }
+
+// enterCollective begins accounting for one collective of the given kind
+// and returns the closure that ends it. Only the outermost collective on
+// the (single-goroutine) Comm records stats and fires the observer, so
+// composite collectives count once under their own name.
+func (c *Comm) enterCollective(kind int) func() {
+	c.collDepth++
+	if c.collDepth > 1 {
+		return func() { c.collDepth-- }
+	}
+	start := time.Now()
+	startBytes := c.stats.bytes.Load()
+	tag := collectiveTagBase + c.collSeq
+	return func() {
+		c.collDepth--
+		sent := c.stats.bytes.Load() - startBytes
+		c.stats.recordCollective(kind, sent)
+		if c.collObs != nil {
+			c.collObs(CollectiveEvent{
+				Name:  collNames[kind],
+				Rank:  c.rank,
+				Tag:   tag,
+				Bytes: sent,
+				Dur:   time.Since(start),
+			})
+		}
+	}
 }
 
 // Rank returns this process's rank in [0, Size).

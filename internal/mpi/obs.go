@@ -1,0 +1,50 @@
+package mpi
+
+import (
+	"strconv"
+	"time"
+
+	"keybin2/internal/obs"
+)
+
+// RegisterStatsMetrics mirrors a rank's communication counters into reg
+// at scrape time: total messages/bytes sent, and per-collective call and
+// byte counts. Values are exposed as gauges because the Stats owns the
+// counters; they are monotone while the Stats is not Reset. Safe to call
+// for many ranks against one registry — series are split by the rank
+// label.
+func RegisterStatsMetrics(reg *obs.Registry, rank int, s *Stats) {
+	r := strconv.Itoa(rank)
+	msgs := reg.GaugeVec("mpi_sent_messages",
+		"Cross-rank point-to-point messages sent by the rank.", "rank").With(r)
+	bytes := reg.GaugeVec("mpi_sent_bytes",
+		"Cross-rank payload bytes sent by the rank.", "rank").With(r)
+	collCalls := reg.GaugeVec("mpi_collective_calls",
+		"Completed top-level collectives by kind.", "rank", "collective")
+	collBytes := reg.GaugeVec("mpi_collective_bytes",
+		"Cross-rank payload bytes sent inside top-level collectives, by kind.", "rank", "collective")
+	reg.OnCollect(func() {
+		snap := s.Snapshot()
+		msgs.SetInt(snap.Messages)
+		bytes.SetInt(snap.Bytes)
+		for name, cs := range snap.Collectives {
+			collCalls.With(r, name).SetInt(cs.Calls)
+			collBytes.With(r, name).SetInt(cs.Bytes)
+		}
+	})
+}
+
+// TraceCollectives installs a collective observer on c that publishes one
+// finished trace per top-level collective, carrying the rank, internal
+// tag, and cross-rank payload bytes — the paper's communication-volume
+// axis made visible per operation. The trace's start/duration reflect the
+// collective's actual wall-clock window.
+func TraceCollectives(c *Comm, t *obs.Tracer) {
+	c.SetCollectiveObserver(func(ev CollectiveEvent) {
+		tr := t.Start("mpi_"+ev.Name,
+			obs.KV("rank", ev.Rank), obs.KV("tag", ev.Tag), obs.KV("bytes", ev.Bytes))
+		tr.Begin = time.Now().Add(-ev.Dur)
+		tr.AddSpan(ev.Name, tr.Begin, ev.Dur)
+		tr.Finish()
+	})
+}

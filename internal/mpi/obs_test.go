@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"keybin2/internal/obs"
+)
+
+// TestRegisterStatsMetrics: per-rank communication counters surface as
+// mpi_* families in a Prometheus scrape, with per-collective series split
+// by the collective label.
+func TestRegisterStatsMetrics(t *testing.T) {
+	const size = 3
+	reg := obs.NewRegistry()
+
+	err := Run(size, func(c *Comm) error {
+		RegisterStatsMetrics(reg, c.Rank(), c.Stats())
+		payload := EncodeFloat64s(make([]float64, 16))
+		if _, err := c.Allreduce(payload, SumFloat64s); err != nil {
+			return err
+		}
+		if _, err := c.Gather(0, payload); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("scrape does not parse back: %v\n%s", err, buf.String())
+	}
+
+	var msgs, collBytes float64
+	for rank := 0; rank < size; rank++ {
+		msgs += m[fmt.Sprintf(`mpi_sent_messages{rank="%d"}`, rank)]
+		for _, coll := range []string{"allreduce", "gather", "barrier"} {
+			series := fmt.Sprintf(`mpi_collective_calls{rank="%d",collective="%s"}`, rank, coll)
+			if got := m[series]; got != 1 {
+				t.Errorf("%s = %v, want 1", series, got)
+			}
+			collBytes += m[fmt.Sprintf(`mpi_collective_bytes{rank="%d",collective="%s"}`, rank, coll)]
+		}
+	}
+	if msgs == 0 {
+		t.Error("no cross-rank messages recorded across any rank")
+	}
+	if collBytes == 0 {
+		t.Error("collective byte series all zero despite traffic")
+	}
+	// Nested phases must not mint series of their own.
+	for series := range m {
+		if series == `mpi_collective_calls{rank="0",collective="reduce"}` {
+			t.Errorf("nested reduce leaked into exposition: %s", series)
+		}
+	}
+}
+
+// TestTraceCollectivesPublishes: each top-level collective lands in the
+// tracer's ring as one finished trace with rank/tag/bytes attributes.
+func TestTraceCollectivesPublishes(t *testing.T) {
+	tracer := obs.NewTracer(64)
+
+	err := Run(2, func(c *Comm) error {
+		TraceCollectives(c, tracer)
+		payload := EncodeUint64s([]uint64{uint64(c.Rank())})
+		if _, err := c.Allreduce(payload, SumUint64s); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := make(map[string]int)
+	for _, tr := range tracer.Snapshot() {
+		byName[tr.Name]++
+		if tr.Attrs["rank"] == nil || tr.Attrs["bytes"] == nil || tr.Attrs["tag"] == nil {
+			t.Errorf("trace %s missing rank/tag/bytes attrs: %v", tr.Name, tr.Attrs)
+		}
+		if len(tr.Spans) != 1 {
+			t.Errorf("trace %s has %d spans, want 1", tr.Name, len(tr.Spans))
+		}
+	}
+	if byName["mpi_allreduce"] != 2 || byName["mpi_barrier"] != 2 {
+		t.Errorf("trace counts per name = %v, want 2 mpi_allreduce + 2 mpi_barrier", byName)
+	}
+	if byName["mpi_reduce"] != 0 || byName["mpi_bcast"] != 0 {
+		t.Errorf("nested collective traced: %v", byName)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel maps an operator-supplied string to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Logger emits leveled, structured key=value lines:
+//
+//	ts=2026-08-05T10:00:00.000Z level=info run_id=3f9a12cc41de msg="listening" addr=127.0.0.1:7420
+//
+// Base attributes (typically run_id) are rendered into every line, which
+// is what makes logs from different daemon incarnations correlatable
+// after a crash/restart cycle. All methods are safe for concurrent use.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	base  string // pre-rendered " key=value" pairs
+}
+
+// NewLogger builds a logger writing lines at or above lvl to w, with base
+// attributes stamped on every line.
+func NewLogger(w io.Writer, lvl Level, base ...Attr) *Logger {
+	l := &Logger{w: w, base: renderAttrs(base)}
+	l.level.Store(int32(lvl))
+	return l
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(lvl Level) { l.level.Store(int32(lvl)) }
+
+// Enabled reports whether lines at lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool { return int32(lvl) >= l.level.Load() }
+
+// With returns a child logger whose lines carry the additional base
+// attributes.
+func (l *Logger) With(attrs ...Attr) *Logger {
+	child := &Logger{w: l.w, base: l.base + renderAttrs(attrs)}
+	child.level.Store(l.level.Load())
+	return child
+}
+
+// Debug emits a debug-level line.
+func (l *Logger) Debug(msg string, attrs ...Attr) { l.log(LevelDebug, msg, attrs) }
+
+// Info emits an info-level line.
+func (l *Logger) Info(msg string, attrs ...Attr) { l.log(LevelInfo, msg, attrs) }
+
+// Warn emits a warn-level line.
+func (l *Logger) Warn(msg string, attrs ...Attr) { l.log(LevelWarn, msg, attrs) }
+
+// Error emits an error-level line.
+func (l *Logger) Error(msg string, attrs ...Attr) { l.log(LevelError, msg, attrs) }
+
+// Logf adapts the printf-style log hooks used across the repo
+// (server.Config.Logf, mpi's fault logging) onto this logger at info
+// level: the formatted string becomes the msg attribute.
+func (l *Logger) Logf(format string, args ...any) {
+	l.log(LevelInfo, fmt.Sprintf(format, args...), nil)
+}
+
+func (l *Logger) log(lvl Level, msg string, attrs []Attr) {
+	if !l.Enabled(lvl) || l.w == nil {
+		return
+	}
+	var b strings.Builder
+	b.Grow(96 + len(msg))
+	b.WriteString("ts=")
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lvl.String())
+	b.WriteString(l.base)
+	b.WriteString(" msg=")
+	b.WriteString(renderValue(msg))
+	b.WriteString(renderAttrs(attrs))
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func renderAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(renderValue(a.Value))
+	}
+	return b.String()
+}
+
+// renderValue formats a value for a key=value line, quoting strings that
+// contain whitespace, quotes, or equals signs so lines stay one-token-
+// per-pair parseable.
+func renderValue(v any) string {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = x
+	case time.Duration:
+		s = x.String()
+	case error:
+		s = x.Error()
+	case fmt.Stringer:
+		s = x.String()
+	default:
+		s = fmt.Sprint(x)
+	}
+	if strings.ContainsAny(s, " \t\"'=\n") || s == "" {
+		return strconv.Quote(s)
+	}
+	return s
+}

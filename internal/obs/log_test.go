@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, KV("run_id", "abc123"))
+
+	l.Debug("hidden")
+	l.Info("listening", KV("addr", "127.0.0.1:7420"))
+	l.Warn("queue full", KV("depth", 256))
+	l.Error("wal wedged", KV("err", "disk gone bad"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (debug suppressed):\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "level=info") ||
+		!strings.Contains(lines[0], "run_id=abc123") ||
+		!strings.Contains(lines[0], "msg=listening") ||
+		!strings.Contains(lines[0], "addr=127.0.0.1:7420") {
+		t.Errorf("info line malformed: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[0], "ts=") {
+		t.Errorf("line missing ts prefix: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "level=warn") || !strings.Contains(lines[1], "depth=256") {
+		t.Errorf("warn line malformed: %s", lines[1])
+	}
+	// Values with spaces are quoted so lines remain one-token-per-pair.
+	if !strings.Contains(lines[2], `err="disk gone bad"`) {
+		t.Errorf("error line not quoted: %s", lines[2])
+	}
+
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "msg="+`"now visible"`) {
+		t.Errorf("debug line missing after SetLevel: %s", buf.String())
+	}
+}
+
+func TestLoggerWithAndLogf(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, KV("run_id", "r1"))
+	child := l.With(KV("component", "wal"))
+	child.Info("rotated", KV("segment", 3))
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{"run_id=r1", "component=wal", "msg=rotated", "segment=3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("child line missing %q: %s", want, line)
+		}
+	}
+
+	buf.Reset()
+	l.Logf("checkpoint %d done in %s", 4, 250*time.Millisecond)
+	line = strings.TrimSpace(buf.String())
+	if !strings.Contains(line, `msg="checkpoint 4 done in 250ms"`) {
+		t.Errorf("Logf line malformed: %s", line)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Info("tick", KV("worker", w), KV("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("interleaved/corrupt line: %q", line)
+		}
+	}
+}
+
+func TestNewRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("run IDs %q/%q not 12 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("run IDs collided: %q", a)
+	}
+}

@@ -1,0 +1,58 @@
+// Package obs is keybin2's dependency-free observability substrate: a
+// Prometheus-text-format metrics registry (atomic counters, gauges, and
+// fixed-bucket histograms), a lightweight ring-buffer span tracer, and a
+// leveled structured (key=value) logger with run-ID correlation.
+//
+// The package uses only the standard library and exports nothing heavier
+// than atomics on the hot path, so instrumented components (the keybin2d
+// serving core, the WAL, the MPI runtime, core.Stream) stay import-light
+// and fast. The paper's evaluation axis is measurable stage cost and
+// communication volume (PAPER.md §3, Table 2); this package is how the
+// runtime reports both continuously instead of through one-off benchmark
+// harnesses.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// Attr is one key/value annotation on a log line or trace span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// NewRunID returns a fresh 12-hex-digit process run identifier. Every
+// daemon start mints one; logs, /stats, and the build-info metric carry
+// it, so lines and scrapes from different incarnations of the same
+// daemon (e.g. across crash/restart cycles) are distinguishable.
+func NewRunID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: time-derived, still unique enough to correlate runs.
+		return fmt.Sprintf("%012x", uint64(time.Now().UnixNano())&0xffffffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Recorder receives pipeline-stage timings from instrumented components.
+// core.Stream reports its refit and warmup-initialization stages through
+// this interface so the serving layer can fold them into histograms and
+// traces without core importing any serving code.
+type Recorder interface {
+	// RecordStage observes one completed pipeline stage (e.g. "refit",
+	// "warmup_init") with its wall-clock duration.
+	RecordStage(stage string, d time.Duration)
+}
+
+// NopRecorder is a Recorder that discards everything.
+type NopRecorder struct{}
+
+// RecordStage implements Recorder.
+func (NopRecorder) RecordStage(string, time.Duration) {}

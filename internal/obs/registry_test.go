@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text rendering byte-for-byte:
+// family ordering, HELP/TYPE comments, label escaping, histogram
+// expansion with cumulative buckets. A scrape of the rendered text must
+// parse back to the registered values.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_queue_depth", "Pending batches.")
+	g.Set(7)
+	cv := r.CounterVec("test_batches_total", "Batches by result.", "result")
+	cv.With("accepted").Add(3)
+	cv.With("rejected").Add(1)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2.0)
+	r.GaugeVec("test_escaped", `Help with \ backslash`, "path").With(`a"b\c`).Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP test_batches_total Batches by result.
+# TYPE test_batches_total counter
+test_batches_total{result="accepted"} 3
+test_batches_total{result="rejected"} 1
+# HELP test_escaped Help with \\ backslash
+# TYPE test_escaped gauge
+test_escaped{path="a\"b\\c"} 1
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 2.55
+test_latency_seconds_count 3
+# HELP test_queue_depth Pending batches.
+# TYPE test_queue_depth gauge
+test_queue_depth 7
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 42
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Round trip: the scrape parses back to the registered families.
+	parsed, err := ParseExposition(strings.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"test_requests_total":                    42,
+		"test_queue_depth":                       7,
+		`test_batches_total{result="accepted"}`:  3,
+		`test_batches_total{result="rejected"}`:  1,
+		`test_latency_seconds_bucket{le="+Inf"}`: 3,
+		"test_latency_seconds_count":             3,
+		"test_latency_seconds_sum":               2.55,
+	}
+	for k, want := range checks {
+		if got, ok := parsed[k]; !ok || got != want {
+			t.Errorf("parsed[%q] = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins which bucket an observation exactly
+// on a boundary lands in: Prometheus buckets are le (less-or-equal), so a
+// value equal to a bound counts in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 4.9, 5.0, 5.0001, 100} {
+		h.Observe(v)
+	}
+	// Raw (non-cumulative) per-bucket counts: (-inf,1] (1,2] (2,5] (5,inf)
+	wantRaw := []int64{2, 2, 2, 2}
+	for i, want := range wantRaw {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d: got %d observations, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	wantSum := 0.5 + 1.0 + 1.0001 + 2.0 + 4.9 + 5.0 + 5.0001 + 100
+	if diff := h.Sum() - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+
+	// Cumulative rendering: le="1" holds 2, le="2" holds 4, le="5" holds
+	// 6, +Inf holds all 8.
+	r := NewRegistry()
+	rh := r.Histogram("bounds_seconds", "x", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 2.0, 4.9, 5.0, 5.0001, 100} {
+		rh.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for le, want := range map[string]float64{"1": 2, "2": 4, "5": 6, "+Inf": 8} {
+		key := fmt.Sprintf(`bounds_seconds_bucket{le="%s"}`, le)
+		if parsed[key] != want {
+			t.Errorf("%s = %v, want %v", key, parsed[key], want)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers registration, mutation, and scraping
+// from many goroutines; run under -race this is the registry's thread-
+// safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	depth := r.Gauge("conc_depth", "gauge under OnCollect")
+	r.OnCollect(func() { depth.Set(3) })
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cv := r.CounterVec("conc_ops_total", "ops", "worker")
+			h := r.Histogram("conc_lat_seconds", "lat", nil)
+			mine := cv.With(fmt.Sprintf("w%d", w%4))
+			for i := 0; i < iters; i++ {
+				mine.Inc()
+				r.Counter("conc_shared_total", "shared").Inc()
+				h.Observe(float64(i) / iters)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed["conc_shared_total"]; got != workers*iters {
+		t.Errorf("shared counter = %v, want %d", got, workers*iters)
+	}
+	var perWorker float64
+	for w := 0; w < 4; w++ {
+		perWorker += parsed[fmt.Sprintf(`conc_ops_total{worker="w%d"}`, w)]
+	}
+	if perWorker != workers*iters {
+		t.Errorf("summed labeled counters = %v, want %d", perWorker, workers*iters)
+	}
+	if got := parsed["conc_lat_seconds_count"]; got != workers*iters {
+		t.Errorf("histogram count = %v, want %d", got, workers*iters)
+	}
+	if got := parsed["conc_depth"]; got != 3 {
+		t.Errorf("OnCollect gauge = %v, want 3", got)
+	}
+}
+
+// TestRegistryReRegistrationIdempotent: same (name, kind, labels) returns
+// the same underlying instrument; a kind mismatch panics.
+func TestRegistryReRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("idem_total", "x")
+	b := r.Counter("idem_total", "different help is fine")
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("instruments not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("idem_total", "now a gauge")
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer keeps a ring buffer of recently finished traces and optionally
+// appends each one as a JSON line to a log writer. A trace is a named
+// unit of work (one ingest batch, one MPI collective) carrying an ID and
+// an ordered list of spans; spans are stages inside the trace (WAL
+// append, fsync, apply, refit). Traces are cheap — a few small
+// allocations per trace, atomics elsewhere — so stamping every ingest
+// batch is affordable at production rates.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	full bool
+
+	logMu sync.Mutex
+	logW  func([]byte) // sink for finished traces (nil = off)
+
+	seq atomic.Uint64
+	run string // run-ID prefix for trace IDs
+}
+
+// NewTracer builds a tracer retaining the last capacity finished traces
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{ring: make([]*Trace, capacity), run: NewRunID()}
+}
+
+// SetRunID replaces the run-ID prefix stamped on trace IDs (by default a
+// fresh NewRunID), aligning traces with the owner's log/metric identity.
+// Call before the first Start; the prefix is read without locking.
+func (t *Tracer) SetRunID(id string) {
+	if id != "" {
+		t.run = id
+	}
+}
+
+// SetLogSink directs every finished trace, marshaled as one JSON line
+// (newline included), to fn. Pass nil to disable. fn is called outside
+// the tracer's ring lock but serialized, so a plain file writer is safe.
+func (t *Tracer) SetLogSink(fn func(line []byte)) {
+	t.logMu.Lock()
+	t.logW = fn
+	t.logMu.Unlock()
+}
+
+// Start begins a trace. The caller must Finish it; until then it is not
+// visible in the ring.
+func (t *Tracer) Start(name string, attrs ...Attr) *Trace {
+	return &Trace{
+		tr:    t,
+		ID:    fmt.Sprintf("%s-%06d", t.run, t.seq.Add(1)),
+		Name:  name,
+		Begin: time.Now(),
+		attrs: attrs,
+	}
+}
+
+// Trace is one in-flight or finished unit of work. Its methods are safe
+// for concurrent use: a trace may be handed between goroutines (e.g. from
+// an HTTP handler to the writer goroutine).
+type Trace struct {
+	tr    *Tracer
+	ID    string
+	Name  string
+	Begin time.Time
+
+	mu    sync.Mutex
+	spans []SpanData
+	attrs []Attr
+	dur   time.Duration
+	done  bool
+}
+
+// SpanData is one completed stage inside a trace.
+type SpanData struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Span is an open stage; End closes it.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// Span opens a stage. Stages are recorded in completion order.
+func (t *Trace) Span(name string, attrs ...Attr) *Span {
+	return &Span{t: t, name: name, start: time.Now(), attrs: attrs}
+}
+
+// End closes the span, appending any extra attributes.
+func (s *Span) End(attrs ...Attr) {
+	d := time.Since(s.start)
+	s.t.AddSpan(s.name, s.start, d, append(s.attrs, attrs...)...)
+}
+
+// AddSpan records an already-timed stage.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	t.mu.Lock()
+	if !t.done {
+		t.spans = append(t.spans, SpanData{Name: name, Start: start, Dur: d, Attrs: attrs})
+	}
+	t.mu.Unlock()
+}
+
+// AddAttrs appends trace-level attributes (e.g. the WAL sequence learned
+// mid-flight).
+func (t *Trace) AddAttrs(attrs ...Attr) {
+	t.mu.Lock()
+	if !t.done {
+		t.attrs = append(t.attrs, attrs...)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded stages so far.
+func (t *Trace) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanData(nil), t.spans...)
+}
+
+// Finish seals the trace and publishes it into the tracer's ring (and the
+// trace log, when one is configured). Finish is idempotent; spans added
+// after it are dropped.
+func (t *Trace) Finish() {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.dur = time.Since(t.Begin)
+	t.mu.Unlock()
+
+	tr := t.tr
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+
+	tr.logMu.Lock()
+	sink := tr.logW
+	if sink != nil {
+		line, err := json.Marshal(t.export())
+		if err == nil {
+			sink(append(line, '\n'))
+		}
+	}
+	tr.logMu.Unlock()
+}
+
+// TraceJSON is the wire shape of one finished trace, served by the /trace
+// handler and written to the trace log.
+type TraceJSON struct {
+	ID    string         `json:"id"`
+	Name  string         `json:"name"`
+	Start string         `json:"start"` // RFC3339Nano
+	DurUs float64        `json:"dur_us"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	Spans []SpanJSON     `json:"spans,omitempty"`
+}
+
+// SpanJSON is one stage in TraceJSON. OffsetUs is the span start relative
+// to the trace start.
+type SpanJSON struct {
+	Name     string         `json:"name"`
+	OffsetUs float64        `json:"offset_us"`
+	DurUs    float64        `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func (t *Trace) export() TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceJSON{
+		ID:    t.ID,
+		Name:  t.Name,
+		Start: t.Begin.Format(time.RFC3339Nano),
+		DurUs: float64(t.dur.Microseconds()),
+		Attrs: attrMap(t.attrs),
+	}
+	for _, sp := range t.spans {
+		out.Spans = append(out.Spans, SpanJSON{
+			Name:     sp.Name,
+			OffsetUs: float64(sp.Start.Sub(t.Begin).Microseconds()),
+			DurUs:    float64(sp.Dur.Microseconds()),
+			Attrs:    attrMap(sp.Attrs),
+		})
+	}
+	return out
+}
+
+// Snapshot returns the finished traces currently retained, oldest first.
+func (t *Tracer) Snapshot() []TraceJSON {
+	t.mu.Lock()
+	var traces []*Trace
+	if t.full {
+		traces = append(traces, t.ring[t.next:]...)
+		traces = append(traces, t.ring[:t.next]...)
+	} else {
+		traces = append(traces, t.ring[:t.next]...)
+	}
+	t.mu.Unlock()
+	out := make([]TraceJSON, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.export())
+	}
+	return out
+}
+
+// Handler serves GET /trace: {"traces":[...]} newest first. Any other
+// method gets 405.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := t.Snapshot()
+		// Newest first: the interesting trace is usually the latest.
+		for i, j := 0, len(snap)-1; i < j; i, j = i+1, j-1 {
+			snap[i], snap[j] = snap[j], snap[i]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"traces": snap})
+	})
+}

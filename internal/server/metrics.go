@@ -1,0 +1,148 @@
+package server
+
+import (
+	"time"
+
+	"keybin2/internal/obs"
+)
+
+// telemetry bundles the serving core's instruments. Event-driven counters
+// (accepted points, WAL appends, fsyncs) are incremented at the event
+// site; externally-owned values (queue depth, stream state, WAL health)
+// are copied into gauges by a scrape-time OnCollect hook, keeping the hot
+// path free of anything but atomic adds.
+type telemetry struct {
+	reg *obs.Registry
+
+	acceptedPoints *obs.Counter
+	labeledPoints  *obs.Counter
+	batchAccepted  *obs.Counter
+	batchRejected  *obs.Counter
+	batchDuplicate *obs.Counter
+	batchError     *obs.Counter
+	queueDepth     *obs.Gauge
+	queueCap       *obs.Gauge
+	pointsSeen     *obs.Gauge
+	modelVersion   *obs.Gauge
+	modelClusters  *obs.Gauge
+
+	walAppends     *obs.Counter
+	walAppendBytes *obs.Counter
+	walFsyncs      *obs.Counter
+	walFsyncSec    *obs.Histogram
+	walRotations   *obs.Counter
+	walLastSeq     *obs.Gauge
+	walCoveredSeq  *obs.Gauge
+	walSegments    *obs.Gauge
+	walBytes       *obs.Gauge
+	walReplayedB   *obs.Counter
+	walReplayedP   *obs.Counter
+
+	ckpts    *obs.Counter
+	ckptSec  *obs.Histogram
+	stageSec obs.HistogramVec
+	httpSec  obs.HistogramVec
+}
+
+// fsyncBuckets resolve the latency band that matters for the durability
+// dial: sub-100µs (battery-backed / fast NVMe) through tens of ms
+// (contended spinning disk).
+var fsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+}
+
+func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy) *telemetry {
+	batches := reg.CounterVec("keybin2d_ingest_batches_total",
+		"Ingest batches by outcome: accepted, rejected_backpressure, duplicate, or error.", "result")
+	t := &telemetry{
+		reg: reg,
+		acceptedPoints: reg.Counter("keybin2d_ingest_accepted_points_total",
+			"Points admitted to the ingest queue (WAL-logged when durability is on)."),
+		labeledPoints: reg.Counter("keybin2d_label_points_total",
+			"Points answered by /label."),
+		batchAccepted:  batches.With("accepted"),
+		batchRejected:  batches.With("rejected_backpressure"),
+		batchDuplicate: batches.With("duplicate"),
+		batchError:     batches.With("error"),
+		queueDepth: reg.Gauge("keybin2d_ingest_queue_depth",
+			"Batches waiting for the writer goroutine."),
+		queueCap: reg.Gauge("keybin2d_ingest_queue_capacity",
+			"Ingest queue capacity; depth at capacity means backpressure."),
+		pointsSeen: reg.Gauge("keybin2d_points_seen",
+			"Points applied to the stream, including checkpoint restore and WAL replay."),
+		modelVersion: reg.Gauge("keybin2d_model_version",
+			"Model generation (refit count); 0 means warmup, /label answers all-noise."),
+		modelClusters: reg.Gauge("keybin2d_model_clusters",
+			"Clusters in the currently published model."),
+		walAppends: reg.Counter("keybin2d_wal_appends_total",
+			"Records appended to the write-ahead log."),
+		walAppendBytes: reg.Counter("keybin2d_wal_appended_bytes_total",
+			"Framed bytes appended to the write-ahead log."),
+		walFsyncs: reg.Counter("keybin2d_wal_fsyncs_total",
+			"File data syncs performed by the WAL (appends, interval flushes, rotations)."),
+		walFsyncSec: reg.Histogram("keybin2d_wal_fsync_seconds",
+			"WAL fsync latency.", fsyncBuckets),
+		walRotations: reg.Counter("keybin2d_wal_rotations_total",
+			"WAL segment rotations."),
+		walLastSeq: reg.Gauge("keybin2d_wal_last_seq",
+			"Newest appended (or recovered) WAL sequence."),
+		walCoveredSeq: reg.Gauge("keybin2d_wal_covered_seq",
+			"Newest WAL sequence covered by a durable checkpoint."),
+		walSegments: reg.Gauge("keybin2d_wal_segments",
+			"Live WAL segment files."),
+		walBytes: reg.Gauge("keybin2d_wal_bytes",
+			"Total bytes across live WAL segments."),
+		walReplayedB: reg.Counter("keybin2d_wal_replayed_batches_total",
+			"Batches replayed from the WAL at startup."),
+		walReplayedP: reg.Counter("keybin2d_wal_replayed_points_total",
+			"Points replayed from the WAL at startup."),
+		ckpts: reg.Counter("keybin2d_checkpoints_total",
+			"Completed checkpoint writes."),
+		ckptSec: reg.Histogram("keybin2d_checkpoint_seconds",
+			"Checkpoint write duration (encode, durable write, WAL truncation).", nil),
+		stageSec: reg.HistogramVec("keybin2d_stage_seconds",
+			"Pipeline stage durations reported by the stream (refit, warmup_init).", nil, "stage"),
+		httpSec: reg.HistogramVec("keybin2d_http_request_seconds",
+			"HTTP request latency by endpoint.", nil, "endpoint"),
+	}
+	reg.GaugeVec("keybin2d_build_info",
+		"Constant 1; labels identify this daemon incarnation.", "run_id", "fsync").
+		With(runID, string(fsync)).Set(1)
+	return t
+}
+
+// installCollect registers the scrape-time hook that mirrors server state
+// into gauges. Called once the Server exists; safe against concurrent
+// scrapes because everything read here is atomic or internally locked.
+func (t *telemetry) installCollect(s *Server) {
+	t.queueCap.SetInt(int64(cap(s.queue)))
+	t.reg.OnCollect(func() {
+		t.queueDepth.SetInt(int64(len(s.queue)))
+		t.pointsSeen.SetInt(s.seen.Load())
+		t.modelVersion.SetInt(s.refits.Load())
+		if m := s.stream.Snapshot(); m != nil {
+			t.modelClusters.SetInt(int64(m.K()))
+		} else {
+			t.modelClusters.Set(0)
+		}
+		if s.wal != nil {
+			ws := s.wal.Stats()
+			t.walLastSeq.SetInt(int64(ws.LastSeq))
+			t.walCoveredSeq.SetInt(int64(s.coveredSeq.Load()))
+			t.walSegments.SetInt(int64(ws.Segments))
+			t.walBytes.SetInt(ws.Bytes)
+		}
+	})
+}
+
+// RecordStage implements obs.Recorder for the owned stream: stage timings
+// land in the stage histogram, and — when the writer goroutine is inside
+// apply() — as a span on the batch's trace, which is how a periodic refit
+// shows up on the ingest batch that triggered it. Called only from the
+// goroutine driving the stream (writer after Start, New before).
+func (s *Server) RecordStage(stage string, d time.Duration) {
+	s.tel.stageSec.With(stage).Observe(d.Seconds())
+	if t := s.curTrace; t != nil {
+		t.AddSpan(stage, time.Now().Add(-d), d)
+	}
+}

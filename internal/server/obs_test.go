@@ -1,0 +1,254 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"keybin2/internal/client"
+	"keybin2/internal/obs"
+	"keybin2/internal/server"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// TestMetricsEndToEnd drives a WAL-enabled server through ingest + refit
+// and asserts the /metrics exposition tells the same story: accepted
+// points and batches, WAL appends/fsyncs, applied points, model version,
+// stage and HTTP latency histograms, and the build-info identity series.
+func TestMetricsEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Stream: testStreamConfig(4),
+		WALDir: t.TempDir(),
+		Fsync:  "always",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+	defer srv.Stop(context.Background())
+
+	c := client.New(ts.URL)
+	c.SetProducer("obs-test")
+	ctx := context.Background()
+	spec := synth.AutoMixture(2, 4, 6, 1, xrand.New(1))
+	const batches, per = 3, 100
+	for i := 0; i < batches; i++ {
+		batch, _ := spec.Sample(per, xrand.New(int64(i)))
+		if err := c.Ingest(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitSeen(ctx, batches*per); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[string]float64{
+		"keybin2d_ingest_accepted_points_total":            batches * per,
+		`keybin2d_ingest_batches_total{result="accepted"}`: batches,
+		"keybin2d_points_seen":                             batches * per,
+		"keybin2d_wal_appends_total":                       batches,
+		"keybin2d_wal_last_seq":                            batches,
+	}
+	for series, want := range exact {
+		if got, ok := m[series]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", series, got, ok, want)
+		}
+	}
+	atLeast := map[string]float64{
+		"keybin2d_wal_fsyncs_total":                              batches,
+		"keybin2d_wal_fsync_seconds_count":                       batches,
+		"keybin2d_ingest_queue_capacity":                         1,
+		"keybin2d_model_version":                                 1, // Period 250 < 300 ingested
+		`keybin2d_stage_seconds_count{stage="refit"}`:            1,
+		`keybin2d_http_request_seconds_count{endpoint="ingest"}`: batches,
+	}
+	for series, min := range atLeast {
+		if got := m[series]; got < min {
+			t.Errorf("%s = %v, want >= %v", series, got, min)
+		}
+	}
+	found := false
+	for series, v := range m {
+		if strings.HasPrefix(series, "keybin2d_build_info{") {
+			found = true
+			if v != 1 {
+				t.Errorf("%s = %v, want 1", series, v)
+			}
+			if !strings.Contains(series, `fsync="always"`) || !strings.Contains(series, "run_id=") {
+				t.Errorf("build_info labels incomplete: %s", series)
+			}
+		}
+	}
+	if !found {
+		t.Error("keybin2d_build_info series missing")
+	}
+	if st, err := c.Stats(ctx); err != nil || st.RunID == "" {
+		t.Errorf("stats run_id missing (err=%v, stats=%+v)", err, st)
+	}
+}
+
+// TestIngestTraceChain asserts each accepted batch produces one trace
+// whose spans walk the pipeline in order:
+// ingest → wal_append → fsync → enqueue → apply.
+func TestIngestTraceChain(t *testing.T) {
+	tracer := obs.NewTracer(16)
+	srv, err := server.New(server.Config{
+		Stream: testStreamConfig(4),
+		WALDir: t.TempDir(),
+		Fsync:  "always",
+		Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+	defer srv.Stop(context.Background())
+
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	batch, _ := spec4().Sample(32, xrand.New(2))
+	if err := c.Ingest(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitSeen(ctx, 32); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace finishes just after the applied count becomes visible;
+	// poll /trace briefly rather than racing the writer goroutine.
+	want := []string{"ingest", "wal_append", "fsync", "enqueue", "apply"}
+	deadline := time.Now().Add(2 * time.Second)
+	var lastSpans []string
+	for time.Now().Before(deadline) {
+		lastSpans = nil
+		var body struct {
+			Traces []obs.TraceJSON `json:"traces"`
+		}
+		resp, err := http.Get(ts.URL + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range body.Traces {
+			if tr.Name != "ingest_batch" {
+				continue
+			}
+			for _, sp := range tr.Spans {
+				lastSpans = append(lastSpans, sp.Name)
+			}
+			if hasSubsequence(lastSpans, want) {
+				if tr.Attrs["points"] != float64(32) {
+					t.Fatalf("trace points attr = %v, want 32", tr.Attrs["points"])
+				}
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no ingest_batch trace with span chain %v (last saw %v)", want, lastSpans)
+}
+
+func spec4() *synth.MixtureSpec {
+	return synth.AutoMixture(2, 4, 6, 1, xrand.New(1))
+}
+
+// hasSubsequence reports whether want appears in got, in order, allowing
+// extra spans (e.g. a refit) in between.
+func hasSubsequence(got, want []string) bool {
+	i := 0
+	for _, g := range got {
+		if i < len(want) && g == want[i] {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+// TestMethodNotAllowed pins the 405 contract for every endpoint: read
+// endpoints refuse writes (Allow: GET), write endpoints refuse reads
+// (Allow: POST), and pprof — when enabled — is GET-only too.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Stream:      testStreamConfig(3),
+		EnablePprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
+		{http.MethodPost, "/trace", "GET"},
+		{http.MethodPost, "/model", "GET"},
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodPost, "/readyz", "GET"},
+		{http.MethodPost, "/debug/pprof/", "GET"},
+		{http.MethodDelete, "/metrics", "GET"},
+		{http.MethodGet, "/ingest", "POST"},
+		{http.MethodGet, "/label", "POST"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
+			req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(""))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != tc.allow {
+				t.Fatalf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+			}
+		})
+	}
+
+	// The happy path still answers: pprof index on GET.
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ status %d, want 200", resp.StatusCode)
+	}
+
+	// And stays absent when not enabled.
+	srv2, err := server.New(server.Config{Stream: testStreamConfig(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ without -pprof: status %d, want 404", resp.StatusCode)
+	}
+}

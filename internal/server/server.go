@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"keybin2/internal/core"
 	"keybin2/internal/linalg"
+	"keybin2/internal/obs"
 )
 
 // Config tunes a keybin2d serving core.
@@ -59,6 +61,18 @@ type Config struct {
 	FS FS
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Registry receives the serving core's metrics and backs GET /metrics
+	// (default: a fresh private registry, so /metrics always answers).
+	Registry *obs.Registry
+	// Tracer stamps each accepted ingest batch with a trace recording the
+	// ingest→WAL-append→fsync→enqueue→apply→refit chain, served at
+	// GET /trace (default: a fresh 256-trace ring).
+	Tracer *obs.Tracer
+	// RunID identifies this daemon incarnation in /stats and the
+	// build-info metric (default: a fresh obs.NewRunID()).
+	RunID string
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +90,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FS == nil {
 		c.FS = OSFS
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.RunID == "" {
+		c.RunID = obs.NewRunID()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(256)
+		c.Tracer.SetRunID(c.RunID)
 	}
 	return c
 }
@@ -96,6 +120,10 @@ type WALInfo struct {
 
 // Stats is the counter snapshot served at /stats.
 type Stats struct {
+	// RunID identifies this daemon incarnation; it changes on every
+	// restart, which is how clients and the chaos harness correlate
+	// /stats snapshots, log lines, and metrics across a crash cycle.
+	RunID string `json:"run_id,omitempty"`
 	// Seen is the number of points applied to the stream (including any
 	// restored from a checkpoint or replayed from the WAL).
 	Seen int64 `json:"seen"`
@@ -138,6 +166,7 @@ type ingestItem struct {
 	seq      uint64
 	producer string
 	pseq     uint64
+	trace    *obs.Trace // in-flight batch trace; apply() finishes it
 }
 
 // Server is the serving core: one writer goroutine owning a core.Stream,
@@ -153,10 +182,18 @@ type ingestItem struct {
 // stream-checkpoint metadata); restart restores the checkpoint and
 // replays only the uncovered tail.
 type Server struct {
-	cfg   Config
-	fs    FS
-	wal   *WAL
-	fsync FsyncPolicy
+	cfg    Config
+	fs     FS
+	wal    *WAL
+	fsync  FsyncPolicy
+	tel    *telemetry
+	tracer *obs.Tracer
+
+	// curTrace is the batch trace the writer goroutine is currently
+	// applying; RecordStage attaches stream-reported stage spans (refit)
+	// to it. Owned by the goroutine driving the stream — never read
+	// elsewhere.
+	curTrace *obs.Trace
 
 	stream *core.Stream // owned by the writer goroutine after Start
 	queue  chan ingestItem
@@ -248,6 +285,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:              cfg,
 		fs:               cfg.FS,
 		fsync:            fsyncPolicy,
+		tel:              newTelemetry(cfg.Registry, cfg.RunID, fsyncPolicy),
+		tracer:           cfg.Tracer,
 		stream:           st,
 		queue:            make(chan ingestItem, cfg.QueueDepth),
 		done:             make(chan struct{}),
@@ -255,6 +294,10 @@ func New(cfg Config) (*Server, error) {
 		lastSeen:         make(map[string]uint64),
 		appliedProducers: make(map[string]uint64),
 	}
+	// The stream reports refit/warmup timings into the stage histogram
+	// (and, during apply, onto the active batch trace) from here on —
+	// including the refits WAL replay triggers below.
+	st.SetRecorder(s)
 	s.appliedSeq = ckptMeta.coveredSeq
 	s.nextSeq = ckptMeta.coveredSeq
 	s.coveredSeq.Store(ckptMeta.coveredSeq)
@@ -271,6 +314,11 @@ func New(cfg Config) (*Server, error) {
 			FsyncEvery:   cfg.FsyncInterval,
 			SegmentBytes: cfg.WALSegmentBytes,
 			Logf:         cfg.Logf,
+			OnFsync: func(d time.Duration) {
+				s.tel.walFsyncs.Inc()
+				s.tel.walFsyncSec.Observe(d.Seconds())
+			},
+			OnRotate: func() { s.tel.walRotations.Inc() },
 		}
 		wal, werr := OpenWAL(wcfg)
 		if werr != nil {
@@ -295,6 +343,8 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.wal = wal
 		s.nextSeq = wal.LastSeq()
+		s.tel.walReplayedB.Add(s.replayedB)
+		s.tel.walReplayedP.Add(s.replayedP)
 	}
 
 	s.seen.Store(int64(st.Seen()))
@@ -306,6 +356,7 @@ func New(cfg Config) (*Server, error) {
 		s.logf("restored %d points from %s", st.Seen(), cfg.CheckpointPath)
 	}
 	s.refits.Store(s.refitBase + int64(st.Refits()))
+	s.tel.installCollect(s)
 	return s, nil
 }
 
@@ -436,8 +487,15 @@ func (s *Server) run() {
 }
 
 // apply feeds one batch into the stream and refreshes the mirrored
-// counters the read path serves.
+// counters the read path serves. It closes out the batch's trace: an
+// "apply" span around the row loop, plus whatever stage spans the stream
+// reported through RecordStage (a periodic refit lands here).
 func (s *Server) apply(it ingestItem) {
+	var applySpan *obs.Span
+	if it.trace != nil {
+		s.curTrace = it.trace
+		applySpan = it.trace.Span("apply", obs.KV("points", it.b.Rows))
+	}
 	b := it.b
 	for i := 0; i < b.Rows; i++ {
 		if _, err := s.stream.Ingest(b.Row(i)); err != nil {
@@ -456,6 +514,11 @@ func (s *Server) apply(it ingestItem) {
 	s.batches.Add(1)
 	s.seen.Store(int64(s.stream.Seen()))
 	s.refits.Store(s.refitBase + int64(s.stream.Refits()))
+	if it.trace != nil {
+		applySpan.End()
+		s.curTrace = nil
+		it.trace.Finish()
+	}
 }
 
 // checkpoint writes the stream state durably (tmp + fsync + rename +
@@ -466,6 +529,7 @@ func (s *Server) checkpoint() {
 	if s.cfg.CheckpointPath == "" {
 		return
 	}
+	ckptStart := time.Now()
 	var meta []byte
 	if s.wal != nil || len(s.appliedProducers) > 0 {
 		meta = encodeWALCkptMeta(s.appliedSeq, s.appliedProducers)
@@ -486,6 +550,8 @@ func (s *Server) checkpoint() {
 	}
 	s.checkpoints.Add(1)
 	s.lastCkpt.Store(time.Now().Unix())
+	s.tel.ckpts.Inc()
+	s.tel.ckptSec.Observe(time.Since(ckptStart).Seconds())
 	s.logf("checkpoint: %d points, %d bytes, covers wal seq %d", s.stream.Seen(), len(blob), s.appliedSeq)
 }
 
@@ -495,6 +561,7 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.drainMu.RUnlock()
 	st := Stats{
+		RunID:              s.cfg.RunID,
 		Seen:               s.seen.Load(),
 		Accepted:           s.accepted.Load(),
 		RejectedBatches:    s.rejected.Load(),
@@ -542,8 +609,14 @@ func (s *Server) Stats() Stats {
 //	POST /label   binary batch → 200 {"labels":[...],"model_gen":g}
 //	GET  /model   → encoded model (Model.Encode) | 404 before first refit
 //	GET  /stats   → Stats JSON
+//	GET  /metrics → Prometheus text exposition
+//	GET  /trace   → recent batch traces, JSON, newest first
 //	GET  /healthz → 200 "ok" (liveness)
 //	GET  /readyz  → 200 | 503 readiness: draining or a wedged WAL → 503
+//	GET  /debug/pprof/* → net/http/pprof (only with Config.EnablePprof)
+//
+// Read endpoints answer GET (and HEAD) only; write endpoints answer POST
+// only; anything else is 405 with an Allow header.
 //
 // Ingest requests may carry X-Producer and X-Batch-Seq headers; a batch
 // whose producer sequence was already acknowledged is re-acked as a
@@ -551,15 +624,46 @@ func (s *Server) Stats() Stats {
 // idempotent.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/label", s.handleLabel)
-	mux.HandleFunc("/model", s.handleModel)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/ingest", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("/label", s.instrument("label", s.handleLabel))
+	mux.HandleFunc("/model", s.instrument("model", getOnly(s.handleModel)))
+	mux.HandleFunc("/stats", s.instrument("stats", getOnly(s.handleStats)))
+	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	mux.Handle("/trace", s.tracer.Handler())
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("/readyz", s.handleReady)
+	}))
+	mux.HandleFunc("/readyz", getOnly(s.handleReady))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", getOnly(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", getOnly(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", getOnly(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", getOnly(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", getOnly(pprof.Trace))
+	}
 	return mux
+}
+
+// instrument times a handler into the per-endpoint latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.tel.httpSec.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// getOnly rejects every method except GET and HEAD with 405.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -593,6 +697,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 // wire bytes (what the WAL stores) alongside the decoded matrix.
 func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) ([]byte, *linalg.Matrix) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return nil, nil
 	}
@@ -618,6 +723,7 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) ([]byte, *lin
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ingestStart := time.Now()
 	raw, b := s.readBatch(w, r)
 	if b == nil {
 		return
@@ -644,6 +750,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
 		s.duplicates.Add(1)
+		s.tel.batchDuplicate.Inc()
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]any{"queued": 0, "duplicate": true})
 		return
@@ -656,6 +763,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
 		s.rejected.Add(1)
+		s.tel.batchRejected.Inc()
 		// Retry-After carries whole seconds per RFC 9110; the precise
 		// hint rides a dedicated header for the Go client.
 		secs := int(s.cfg.RetryAfter.Seconds())
@@ -667,9 +775,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
+	// The batch is past validation, dedupe, and backpressure: it will be
+	// acknowledged (or fail loudly). Start its trace; the "ingest" span
+	// covers decode, validation, and the accept-path locking so far.
+	tr := s.tracer.Start("ingest_batch",
+		obs.KV("points", b.Rows), obs.KV("producer", producer), obs.KV("pseq", pseq))
+	tr.AddSpan("ingest", ingestStart, time.Since(ingestStart))
 	seq := s.nextSeq + 1
 	if s.wal != nil {
-		wseq, err := s.wal.Append(encodeWALEntry(producer, pseq, raw))
+		wstart := time.Now()
+		res, err := s.wal.Append(encodeWALEntry(producer, pseq, raw))
 		if err != nil {
 			s.ingestMu.Unlock()
 			s.drainMu.RUnlock()
@@ -677,29 +792,49 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// the contract holds. The WAL is wedged, so /readyz now
 			// fails and every further ingest lands here until the
 			// operator intervenes.
+			s.tel.batchError.Inc()
+			tr.AddAttrs(obs.KV("error", err.Error()))
+			tr.Finish()
 			s.logf("ingest: %v", err)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		seq = wseq
+		seq = res.Seq
+		s.tel.walAppends.Inc()
+		s.tel.walAppendBytes.Add(int64(res.Bytes))
+		tr.AddSpan("wal_append", wstart, time.Since(wstart),
+			obs.KV("seq", res.Seq), obs.KV("bytes", res.Bytes))
+		if res.Fsync > 0 {
+			tr.AddSpan("fsync", time.Now().Add(-res.Fsync), res.Fsync)
+		}
 	}
 	s.nextSeq = seq
 	if producer != "" && pseq > 0 {
 		s.lastSeen[producer] = pseq
 	}
+	tr.AddAttrs(obs.KV("seq", seq))
+	// The enqueue span is recorded before the send: once the item is in
+	// the queue the writer goroutine owns (and may immediately finish)
+	// the trace.
+	tr.AddSpan("enqueue", time.Now(), 0, obs.KV("queue_len", len(s.queue)))
 	// Guaranteed not to block: the capacity check above is exact under
 	// ingestMu. The select is a belt-and-braces fallback.
 	select {
-	case s.queue <- ingestItem{b: b, seq: seq, producer: producer, pseq: pseq}:
+	case s.queue <- ingestItem{b: b, seq: seq, producer: producer, pseq: pseq, trace: tr}:
 	default:
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
+		s.tel.batchError.Inc()
+		tr.AddAttrs(obs.KV("error", "queue full after wal append"))
+		tr.Finish()
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
 	s.ingestMu.Unlock()
 	s.drainMu.RUnlock()
 	s.accepted.Add(int64(b.Rows))
+	s.tel.acceptedPoints.Add(int64(b.Rows))
+	s.tel.batchAccepted.Inc()
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]any{"queued": b.Rows, "seq": seq})
 }
@@ -736,6 +871,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.labeled.Add(int64(b.Rows))
+	s.tel.labeledPoints.Add(int64(b.Rows))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

@@ -134,6 +134,14 @@ type WALConfig struct {
 	// (default 4 MiB).
 	SegmentBytes int64
 	Logf         func(format string, args ...any)
+	// OnFsync, when set, observes the wall-clock duration of every file
+	// data sync the log performs: per-append syncs under FsyncAlways,
+	// interval flushes, and rotation/close syncs. Called with the log's
+	// lock held — keep it cheap (a histogram observe, not I/O).
+	OnFsync func(d time.Duration)
+	// OnRotate, when set, is called after each successful segment
+	// rotation, with the log's lock held.
+	OnRotate func()
 }
 
 func (c WALConfig) withDefaults() WALConfig {
@@ -392,15 +400,25 @@ func (w *WAL) ForwardTo(seq uint64) {
 	}
 }
 
+// AppendResult reports one completed append: the assigned sequence (what
+// a checkpoint later covers), the framed bytes written to the segment,
+// and the time spent in the inline fsync (zero unless the policy synced
+// before returning).
+type AppendResult struct {
+	Seq   uint64
+	Bytes int
+	Fsync time.Duration
+}
+
 // Append frames entry, assigns it the next sequence, writes it to the
-// active segment, and — under FsyncAlways — syncs before returning. The
-// returned sequence is what a checkpoint later covers. After any write
-// or sync failure the WAL wedges: the caller must stop acking.
-func (w *WAL) Append(entry []byte) (uint64, error) {
+// active segment, and — under FsyncAlways — syncs before returning.
+// After any write or sync failure the WAL wedges: the caller must stop
+// acking.
+func (w *WAL) Append(entry []byte) (AppendResult, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.wedged != nil {
-		return 0, &WALWriteError{Op: "append (wedged)", Err: w.wedged}
+		return AppendResult{}, &WALWriteError{Op: "append (wedged)", Err: w.wedged}
 	}
 	seq := w.lastSeq + 1
 
@@ -410,7 +428,7 @@ func (w *WAL) Append(entry []byte) (uint64, error) {
 	if w.curSize >= w.cfg.SegmentBytes || (act.lastSeq+1 != seq && act.firstSeq != seq && w.curSize == int64(walHeaderSize)) {
 		if err := w.rotateLocked(seq); err != nil {
 			w.wedged = err
-			return 0, err
+			return AppendResult{}, err
 		}
 		act = &w.segments[len(w.segments)-1]
 	}
@@ -432,20 +450,37 @@ func (w *WAL) Append(entry []byte) (uint64, error) {
 	if err != nil {
 		werr := &WALWriteError{Op: "append seq " + strconv.FormatUint(seq, 10), Err: err}
 		w.wedged = werr
-		return 0, werr
+		return AppendResult{}, werr
 	}
+	res := AppendResult{Seq: seq, Bytes: n}
 	if w.cfg.Fsync == FsyncAlways {
-		if err := w.cur.Sync(); err != nil {
+		d, err := w.syncFileLocked(w.cur)
+		if err != nil {
 			werr := &WALWriteError{Op: "fsync", Err: err}
 			w.wedged = werr
-			return 0, werr
+			return AppendResult{}, werr
 		}
+		res.Fsync = d
 	} else {
 		w.dirty = true
 	}
 	w.lastSeq = seq
 	act.lastSeq = seq
-	return seq, nil
+	return res, nil
+}
+
+// syncFileLocked syncs f, timing the call and feeding the OnFsync hook on
+// success. Callers hold w.mu.
+func (w *WAL) syncFileLocked(f File) (time.Duration, error) {
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	d := time.Since(start)
+	if w.cfg.OnFsync != nil {
+		w.cfg.OnFsync(d)
+	}
+	return d, nil
 }
 
 // rotateLocked finalizes the active segment (sync + close) and starts a
@@ -453,7 +488,7 @@ func (w *WAL) Append(entry []byte) (uint64, error) {
 // the new file survives power loss. Callers hold w.mu.
 func (w *WAL) rotateLocked(firstSeq uint64) error {
 	if w.cur != nil {
-		if err := w.cur.Sync(); err != nil {
+		if _, err := w.syncFileLocked(w.cur); err != nil {
 			return &WALWriteError{Op: "fsync on rotation", Err: err}
 		}
 		if err := w.cur.Close(); err != nil {
@@ -486,7 +521,7 @@ func (w *WAL) rotateLocked(firstSeq uint64) error {
 		return &WALWriteError{Op: "write header " + name, Err: err}
 	}
 	if w.cfg.Fsync == FsyncAlways {
-		if err := f.Sync(); err != nil {
+		if _, err := w.syncFileLocked(f); err != nil {
 			f.Close()
 			return &WALWriteError{Op: "fsync header " + name, Err: err}
 		}
@@ -501,6 +536,9 @@ func (w *WAL) rotateLocked(firstSeq uint64) error {
 	w.curSize = int64(walHeaderSize)
 	w.totalSize += int64(walHeaderSize)
 	w.segments = append(w.segments, walSegment{name: name, firstSeq: firstSeq, lastSeq: firstSeq - 1})
+	if w.cfg.OnRotate != nil {
+		w.cfg.OnRotate()
+	}
 	return nil
 }
 
@@ -518,7 +556,7 @@ func (w *WAL) syncLocked() error {
 	if !w.dirty || w.cur == nil {
 		return nil
 	}
-	if err := w.cur.Sync(); err != nil {
+	if _, err := w.syncFileLocked(w.cur); err != nil {
 		werr := &WALWriteError{Op: "fsync", Err: err}
 		w.wedged = werr
 		return werr
@@ -636,7 +674,7 @@ func (w *WAL) Close() error {
 	defer w.mu.Unlock()
 	var err error
 	if w.wedged == nil && w.dirty && w.cur != nil {
-		if serr := w.cur.Sync(); serr != nil {
+		if _, serr := w.syncFileLocked(w.cur); serr != nil {
 			err = &WALWriteError{Op: "fsync on close", Err: serr}
 		}
 	}

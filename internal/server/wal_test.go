@@ -73,12 +73,12 @@ func TestWALAppendReplayRoundtrip(t *testing.T) {
 		t.Fatalf("tail replay %d records, want 5", len(tail))
 	}
 	// Appends continue after recovery with contiguous sequences.
-	seq, err := w2.Append([]byte("post-recovery"))
+	res, err := w2.Append([]byte("post-recovery"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq != 26 {
-		t.Fatalf("post-recovery seq %d, want 26", seq)
+	if res.Seq != 26 {
+		t.Fatalf("post-recovery seq %d, want 26", res.Seq)
 	}
 }
 
@@ -156,8 +156,8 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if got := collectReplay(t, w2, 0); len(got) != 9 {
 		t.Fatalf("replayed %d records, want 9", len(got))
 	}
-	if seq, err := w2.Append([]byte("after-repair")); err != nil || seq != 10 {
-		t.Fatalf("append after repair: seq %d err %v", seq, err)
+	if res, err := w2.Append([]byte("after-repair")); err != nil || res.Seq != 10 {
+		t.Fatalf("append after repair: seq %d err %v", res.Seq, err)
 	}
 }
 
@@ -205,12 +205,12 @@ func TestWALForwardTo(t *testing.T) {
 		t.Fatal("fresh WAL not reported empty")
 	}
 	w.ForwardTo(100)
-	seq, err := w.Append([]byte("first-after-forward"))
+	res, err := w.Append([]byte("first-after-forward"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq != 101 {
-		t.Fatalf("seq %d after ForwardTo(100), want 101", seq)
+	if res.Seq != 101 {
+		t.Fatalf("seq %d after ForwardTo(100), want 101", res.Seq)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
