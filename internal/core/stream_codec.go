@@ -78,9 +78,9 @@ func (s *Stream) EncodeWithMeta(meta []byte) ([]byte, error) {
 		enc := set.Encode()
 		w.u32(uint32(len(enc)))
 		w.buf = append(w.buf, enc...)
-		ctr := s.counter[t]
-		w.u32(uint32(ctr.Len()))
-		ctr.Each(func(k keys.Key, n float64) {
+		sk := s.sketch[t]
+		w.u32(uint32(sk.len()))
+		sk.each(func(k keys.Key, n float64) {
 			w.u32(uint32(len(k)))
 			for _, b := range k {
 				w.u32(b)
@@ -150,7 +150,7 @@ func DecodeStreamMeta(cfg StreamConfig, b []byte) (*Stream, []byte, error) {
 		return nil, nil, fmt.Errorf("core: checkpoint has %d trials, config %d", ntrials, s.cfg.Trials)
 	}
 	s.sets = make([]*histogram.Set, ntrials)
-	s.counter = make([]*keys.Counter, ntrials)
+	s.sketch = make([]*trialSketch, ntrials)
 	for t := 0; t < ntrials; t++ {
 		slen := int(r.u32())
 		if !r.need(slen) {
@@ -166,13 +166,13 @@ func DecodeStreamMeta(cfg StreamConfig, b []byte) (*Stream, []byte, error) {
 		if nkeys < 0 || nkeys > 1<<26 {
 			return nil, nil, fmt.Errorf("core: absurd key count %d", nkeys)
 		}
-		ctr := keys.NewCounter(len(set.Dims))
+		sk := newTrialSketch(len(set.Dims))
+		k := make(keys.Key, len(set.Dims))
 		for i := 0; i < nkeys; i++ {
 			width := int(r.u32())
 			if width != len(set.Dims) {
 				return nil, nil, fmt.Errorf("core: checkpoint key width %d for %d dims", width, len(set.Dims))
 			}
-			k := make(keys.Key, width)
 			for j := range k {
 				k[j] = r.u32()
 			}
@@ -183,9 +183,9 @@ func DecodeStreamMeta(cfg StreamConfig, b []byte) (*Stream, []byte, error) {
 			if math.IsNaN(mass) || mass < 0 {
 				return nil, nil, fmt.Errorf("core: checkpoint key mass %v", mass)
 			}
-			ctr.Add(k, mass)
+			sk.add(k, mass)
 		}
-		s.counter[t] = ctr
+		s.sketch[t] = sk
 	}
 	if r.err != nil {
 		return nil, nil, r.err

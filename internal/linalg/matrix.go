@@ -132,7 +132,19 @@ func mulRange(dst, a, b *Matrix, lo, hi int) {
 			di[x] = 0
 		}
 		ai := a.Data[i*n : (i+1)*n]
-		for k := 0; k < n; k++ {
+		k := 0
+		for ; k+1 < n; k += 2 {
+			a0, a1 := ai[k], ai[k+1]
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			b0 := b.Data[k*c : (k+1)*c]
+			b1 := b.Data[(k+1)*c : (k+2)*c : (k+2)*c]
+			for j, bv := range b0 {
+				di[j] += a0*bv + a1*b1[j]
+			}
+		}
+		for ; k < n; k++ {
 			aik := ai[k]
 			if aik == 0 {
 				continue

@@ -1,0 +1,31 @@
+package linalg
+
+import (
+	"testing"
+
+	"keybin2/internal/xrand"
+)
+
+// BenchmarkMulProjection measures Mul at the ingest hot path's shape: a
+// chunk of points (tall) times a joined projection (skinny).
+func BenchmarkMulProjection(b *testing.B) {
+	const rows, dims, cols = 1024, 16, 9
+	rng := xrand.New(1)
+	a := NewMatrix(rows, dims)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	p := NewMatrix(dims, cols)
+	for i := range p.Data {
+		p.Data[i] = rng.Float64()
+	}
+	dst := NewMatrix(rows, cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mul(dst, a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "pts/s")
+}

@@ -15,8 +15,15 @@ func ParallelMul(dst, a, b *Matrix, workers int) (*Matrix, error) {
 		workers = runtime.NumCPU()
 	}
 	if a.Rows < 2*workers || workers == 1 {
+		// Serial fast path. Kept free of the goroutine machinery below:
+		// the fan-out closures capture dst, which would force it to the
+		// heap even when no goroutine is ever launched.
 		return Mul(dst, a, b)
 	}
+	return parallelMul(dst, a, b, workers)
+}
+
+func parallelMul(dst, a, b *Matrix, workers int) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, ErrShape
 	}

@@ -77,11 +77,12 @@ type Trace struct {
 	Name  string
 	Begin time.Time
 
-	mu    sync.Mutex
-	spans []SpanData
-	attrs []Attr
-	dur   time.Duration
-	done  bool
+	mu      sync.Mutex
+	spans   []SpanData
+	attrs   []Attr
+	dur     time.Duration
+	done    bool
+	pending int // extra Finish calls required before publication (see RequireFinishes)
 }
 
 // SpanData is one completed stage inside a trace.
@@ -137,12 +138,34 @@ func (t *Trace) Spans() []SpanData {
 	return append([]SpanData(nil), t.spans...)
 }
 
+// RequireFinishes arms the trace to publish only after n Finish calls.
+// Use it when a trace's stages end on different goroutines — e.g. a
+// pipelined ingest whose durability ack (handler) and apply (writer)
+// complete concurrently and both record final spans. Call before handing
+// the trace to the other goroutine. n < 1 is treated as 1.
+func (t *Trace) RequireFinishes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.pending = n - 1
+	}
+	t.mu.Unlock()
+}
+
 // Finish seals the trace and publishes it into the tracer's ring (and the
 // trace log, when one is configured). Finish is idempotent; spans added
-// after it are dropped.
+// after it are dropped. When RequireFinishes armed the trace, only the
+// final Finish publishes — earlier ones just decrement the pending count.
 func (t *Trace) Finish() {
 	t.mu.Lock()
 	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	if t.pending > 0 {
+		t.pending--
 		t.mu.Unlock()
 		return
 	}

@@ -229,7 +229,6 @@ func PartitionCounts(counts []uint64, cfg Config) Result {
 func valleyCandidates(smoothed []float64, cfg Config) []int {
 	slopes := stats.LocalSlopes(smoothed, cfg.Window)
 	crossings := stats.ZeroCrossings(slopes, +1)
-	second := stats.LocalSlopes(slopes, cfg.Window)
 	var out []int
 	for _, i := range crossings {
 		// Refine to the literal minimum bin near the crossing.
@@ -247,8 +246,10 @@ func valleyCandidates(smoothed []float64, cfg Config) []int {
 			}
 		}
 		// A valley must have positive curvature (density turning back up)
-		// and enough prominence to be more than noise.
-		if second[best] < 0 {
+		// and enough prominence to be more than noise. The curvature is
+		// only needed at the candidate bins, so the second-derivative fit
+		// runs on demand instead of over the whole array.
+		if stats.LocalSlopeAt(slopes, cfg.Window, best) < 0 {
 			continue
 		}
 		if stats.RelativeDip(smoothed, best) < cfg.MinProminence {

@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -365,6 +366,60 @@ func TestCheckpointWritesAreFsynced(t *testing.T) {
 	}
 	if _, err := os.Stat(ckpt2); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("failed rename left a checkpoint: %v", err)
+	}
+}
+
+// TestCrashGroupCommitDurable pins the group-commit ack contract: acks
+// whose fsync was coalesced onto another producer's sync are exactly as
+// durable as the ones that led it. Many producers ingest concurrently
+// (so waits pile up behind shared fsyncs), the server "crashes" with its
+// writer never started, and recovery must replay every acked batch for
+// every producer.
+func TestCrashGroupCommitDurable(t *testing.T) {
+	dir := t.TempDir()
+	_, hs, _ := bootCrash(t, dir, nil)
+
+	const producers, perProducer, rows = 4, 6, 10
+	errs := make(chan error, producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			ctx := context.Background()
+			c := client.New(hs.URL)
+			c.SetProducer(fmt.Sprintf("gc-%d", p))
+			for pseq := uint64(1); pseq <= perProducer; pseq++ {
+				ack, err := c.IngestSeq(ctx, crashBatch(t, pseq, rows), pseq)
+				if err != nil {
+					errs <- fmt.Errorf("producer %d pseq %d: %w", p, pseq, err)
+					return
+				}
+				if ack.Duplicate || ack.Seq == 0 {
+					errs <- fmt.Errorf("producer %d pseq %d: bad ack %+v", p, pseq, ack)
+					return
+				}
+			}
+			errs <- nil
+		}(p)
+	}
+	for p := 0; p < producers; p++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs.Close() // crash: every batch acked, none applied
+
+	srv2, _, _ := bootCrash(t, dir, nil)
+	st := srv2.Stats()
+	if want := int64(producers * perProducer * rows); st.Seen != want {
+		t.Fatalf("recovered %d points, want %d", st.Seen, want)
+	}
+	for p := 0; p < producers; p++ {
+		name := fmt.Sprintf("gc-%d", p)
+		if st.Producers[name] != perProducer {
+			t.Fatalf("producer %s horizon %d after recovery, want %d", name, st.Producers[name], perProducer)
+		}
+	}
+	if st.WAL == nil || st.WAL.ReplayedBatches != producers*perProducer {
+		t.Fatalf("wal stats after replay: %+v", st.WAL)
 	}
 }
 

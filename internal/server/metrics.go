@@ -37,6 +37,9 @@ type telemetry struct {
 	walBytes       *obs.Gauge
 	walReplayedB   *obs.Counter
 	walReplayedP   *obs.Counter
+	walGroupSize   *obs.Histogram
+	walCoalesced   *obs.Counter
+	applyPoolUtil  *obs.Gauge
 
 	ckpts    *obs.Counter
 	ckptSec  *obs.Histogram
@@ -96,6 +99,13 @@ func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy) *telemetry
 			"Batches replayed from the WAL at startup."),
 		walReplayedP: reg.Counter("keybin2d_wal_replayed_points_total",
 			"Points replayed from the WAL at startup."),
+		walGroupSize: reg.Histogram("keybin2d_wal_group_commit_batches",
+			"Records made durable per group-commit fsync (led waits only).",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		walCoalesced: reg.Counter("keybin2d_wal_fsyncs_coalesced_total",
+			"Durability waits satisfied by an fsync another waiter led."),
+		applyPoolUtil: reg.Gauge("keybin2d_apply_pool_utilization",
+			"Busy fraction of the batch-apply worker pool (1 = fully busy or serial)."),
 		ckpts: reg.Counter("keybin2d_checkpoints_total",
 			"Completed checkpoint writes."),
 		ckptSec: reg.Histogram("keybin2d_checkpoint_seconds",
@@ -125,6 +135,7 @@ func (t *telemetry) installCollect(s *Server) {
 		} else {
 			t.modelClusters.Set(0)
 		}
+		t.applyPoolUtil.Set(s.stream.PoolUtilization())
 		if s.wal != nil {
 			ws := s.wal.Stats()
 			t.walLastSeq.SetInt(int64(ws.LastSeq))

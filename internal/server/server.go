@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"keybin2/internal/core"
-	"keybin2/internal/linalg"
 	"keybin2/internal/obs"
 )
 
@@ -160,9 +159,10 @@ type Stats struct {
 
 // ingestItem is one accepted batch in flight between the HTTP edge and
 // the writer goroutine, tagged with its WAL sequence and the producer's
-// idempotency key so apply() can track both.
+// idempotency key so apply() can track both. The batch owns its pooled
+// wire buffer; apply() releases it after the stream has consumed it.
 type ingestItem struct {
-	b        *linalg.Matrix
+	batch    *Batch
 	seq      uint64
 	producer string
 	pseq     uint64
@@ -175,12 +175,16 @@ type ingestItem struct {
 // Wire Handler() into an http.Server (or httptest) and call Start/Stop
 // around it.
 //
-// Durability: with WALDir set, the ack path is WAL-append → (fsync per
-// policy) → enqueue → 202, all inside one critical section, so the WAL
-// order equals the apply order and nothing is acknowledged before it is
-// logged. Checkpoints record the WAL position they cover (via the v2
-// stream-checkpoint metadata); restart restores the checkpoint and
-// replays only the uncovered tail.
+// Durability: with WALDir set, the accept path is WAL-append → enqueue
+// inside one critical section (so WAL order equals apply order and
+// nothing is acknowledged before it is logged), and then — under
+// Fsync="always" — the 202 waits for WAL.WaitDurable outside the locks:
+// concurrent producers coalesce onto one group-commit fsync, and the
+// writer may already be applying the batch while its fsync is in flight.
+// Checkpoints record the WAL position they cover (via the v2
+// stream-checkpoint metadata) and sync the WAL first so coverage never
+// outruns the disk; restart restores the checkpoint and replays only the
+// uncovered tail.
 type Server struct {
 	cfg    Config
 	fs     FS
@@ -213,9 +217,10 @@ type Server struct {
 	// apply order and (b) lets the queue-full check be exact — enqueuers
 	// all hold this lock, so a passed check cannot be invalidated before
 	// the insert.
-	ingestMu sync.Mutex
-	lastSeen map[string]uint64 // producer → highest acked sequence
-	nextSeq  uint64            // last issued batch sequence (mirrors WAL)
+	ingestMu  sync.Mutex
+	lastSeen  map[string]uint64 // producer → highest acked sequence
+	nextSeq   uint64            // last issued batch sequence (mirrors WAL)
+	walHdrBuf []byte            // reusable WAL entry header (guarded by ingestMu)
 
 	// Writer-goroutine state (touched only by run()/apply()/checkpoint()
 	// and by New before Start): the WAL position applied to the stream
@@ -377,18 +382,21 @@ func (s *Server) replayWAL(wal *WAL) error {
 				return nil // duplicate append; first copy already applied
 			}
 		}
-		b, err := DecodeBatch(raw, 0)
+		b, err := DecodeBatchAlias(raw, 0)
 		if err != nil {
 			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
 		}
-		if b.Cols != s.cfg.Stream.Dims {
-			return fmt.Errorf("server: wal replay seq %d: batch has %d dims, stream expects %d", seq, b.Cols, s.cfg.Stream.Dims)
+		rows := b.M.Rows
+		if b.M.Cols != s.cfg.Stream.Dims {
+			cols := b.M.Cols
+			b.Release()
+			return fmt.Errorf("server: wal replay seq %d: batch has %d dims, stream expects %d", seq, cols, s.cfg.Stream.Dims)
 		}
-		for i := 0; i < b.Rows; i++ {
-			if _, err := s.stream.Ingest(b.Row(i)); err != nil {
-				return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
-			}
+		if _, err := s.stream.IngestBatch(&b.M); err != nil {
+			b.Release()
+			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
 		}
+		b.Release()
 		if producer != "" && pseq > 0 {
 			s.appliedProducers[producer] = pseq
 			if s.lastSeen[producer] < pseq {
@@ -396,7 +404,7 @@ func (s *Server) replayWAL(wal *WAL) error {
 			}
 		}
 		s.replayedB++
-		s.replayedP += int64(b.Rows)
+		s.replayedP += int64(rows)
 		return nil
 	})
 	if err != nil {
@@ -487,25 +495,26 @@ func (s *Server) run() {
 }
 
 // apply feeds one batch into the stream and refreshes the mirrored
-// counters the read path serves. It closes out the batch's trace: an
-// "apply" span around the row loop, plus whatever stage spans the stream
-// reported through RecordStage (a periodic refit lands here).
+// counters the read path serves. It closes out the writer's share of the
+// batch's trace: an "apply" span around the batch ingest, plus whatever
+// stage spans the stream reported through RecordStage (a periodic refit
+// lands here). The pooled batch is released once the stream has consumed
+// it — the stream bins out of the aliased wire buffer and retains
+// nothing from it.
 func (s *Server) apply(it ingestItem) {
+	b := it.batch
 	var applySpan *obs.Span
 	if it.trace != nil {
 		s.curTrace = it.trace
-		applySpan = it.trace.Span("apply", obs.KV("points", it.b.Rows))
+		applySpan = it.trace.Span("apply", obs.KV("points", b.M.Rows))
 	}
-	b := it.b
-	for i := 0; i < b.Rows; i++ {
-		if _, err := s.stream.Ingest(b.Row(i)); err != nil {
-			// Dimensionality was validated at the HTTP edge, so an error
-			// here is a refit failure — record it; the daemon keeps
-			// serving the previous model.
-			e := fmt.Errorf("server: ingest: %w", err)
-			s.writerErr.Store(&e)
-			s.logf("ingest error: %v", err)
-		}
+	if _, err := s.stream.IngestBatch(&b.M); err != nil {
+		// Dimensionality was validated at the HTTP edge, so an error
+		// here is a refit failure — record it; the daemon keeps
+		// serving the previous model.
+		e := fmt.Errorf("server: ingest: %w", err)
+		s.writerErr.Store(&e)
+		s.logf("ingest error: %v", err)
 	}
 	s.appliedSeq = it.seq
 	if it.producer != "" && it.pseq > 0 {
@@ -519,6 +528,7 @@ func (s *Server) apply(it ingestItem) {
 		s.curTrace = nil
 		it.trace.Finish()
 	}
+	b.Release()
 }
 
 // checkpoint writes the stream state durably (tmp + fsync + rename +
@@ -530,6 +540,17 @@ func (s *Server) checkpoint() {
 		return
 	}
 	ckptStart := time.Now()
+	if s.wal != nil {
+		// The checkpoint claims coverage through appliedSeq, and with the
+		// pipelined writer apply can outrun the group-commit fsync. Sync
+		// first, or a crash could leave a durable checkpoint covering WAL
+		// records that never reached the disk — a false WALStaleError on
+		// the next start.
+		if err := s.wal.Sync(); err != nil {
+			s.logf("checkpoint: wal sync: %v", err)
+			return
+		}
+	}
 	var meta []byte
 	if s.wal != nil || len(s.appliedProducers) > 0 {
 		meta = encodeWALCkptMeta(s.appliedSeq, s.appliedProducers)
@@ -693,47 +714,82 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// readBatch validates and decodes the request body, returning the raw
-// wire bytes (what the WAL stores) alongside the decoded matrix.
-func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) ([]byte, *linalg.Matrix) {
+// readBatch validates and decodes the request body into a pooled Batch
+// whose matrix aliases the (pooled, alignment-padded) body buffer when
+// the host allows it. The caller owns the result and must Release it —
+// the ingest path hands that duty to the writer goroutine. A nil return
+// means the response was already written.
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *Batch {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return nil, nil
+		return nil
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, int64(batchHeaderSize+8*s.cfg.MaxBatchPoints*s.cfg.Stream.Dims)+1))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return nil, nil
+	limit := int64(batchHeaderSize + 8*s.cfg.MaxBatchPoints*s.cfg.Stream.Dims)
+	if r.ContentLength > limit {
+		http.Error(w, fmt.Sprintf("%v: body is %d bytes, limit %d", ErrBatchTooLarge, r.ContentLength, limit),
+			http.StatusRequestEntityTooLarge)
+		return nil
 	}
-	b, err := DecodeBatch(body, s.cfg.MaxBatchPoints)
+	var body []byte
+	var bb *bodyBuffer
+	if r.ContentLength >= 0 {
+		// Pooled read sized by Content-Length: the float block lands
+		// 8-byte aligned, which is what lets DecodeBatchAlias alias it
+		// in place instead of copying.
+		bb = acquireBody(int(r.ContentLength))
+		body = bb.b[bodyAlignPad:]
+		if _, err := io.ReadFull(r.Body, body); err != nil {
+			releaseBody(bb)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil
+		}
+	} else {
+		// Chunked request with no declared length: fall back to a plain
+		// bounded read; the decoder copy-decodes if alignment is off.
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, limit+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil
+		}
+	}
+	b, err := DecodeBatchAlias(body, s.cfg.MaxBatchPoints)
 	if err != nil {
+		if bb != nil {
+			releaseBody(bb)
+		}
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrBatchTooLarge) {
 			code = http.StatusRequestEntityTooLarge
 		}
 		http.Error(w, err.Error(), code)
-		return nil, nil
+		return nil
 	}
-	if b.Cols != s.cfg.Stream.Dims {
-		http.Error(w, fmt.Sprintf("batch has %d dims, stream expects %d", b.Cols, s.cfg.Stream.Dims), http.StatusBadRequest)
-		return nil, nil
+	b.body = bb
+	if b.M.Cols != s.cfg.Stream.Dims {
+		cols := b.M.Cols
+		b.Release()
+		http.Error(w, fmt.Sprintf("batch has %d dims, stream expects %d", cols, s.cfg.Stream.Dims), http.StatusBadRequest)
+		return nil
 	}
-	return body, b
+	return b
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ingestStart := time.Now()
-	raw, b := s.readBatch(w, r)
+	b := s.readBatch(w, r)
 	if b == nil {
 		return
 	}
+	rows := b.M.Rows
 	producer := r.Header.Get("X-Producer")
 	var pseq uint64
 	if v := r.Header.Get("X-Batch-Seq"); v != "" {
 		var err error
 		pseq, err = strconv.ParseUint(v, 10, 64)
 		if err != nil {
+			b.Release()
 			http.Error(w, "bad X-Batch-Seq: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -742,6 +798,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
+		b.Release()
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -749,6 +806,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if producer != "" && pseq > 0 && pseq <= s.lastSeen[producer] {
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
+		b.Release()
+		// A duplicate ack re-promises the original's durability. With the
+		// WAL wedged that promise may not be keepable (the original's
+		// group commit could be the very fsync that failed), so fail the
+		// retry instead of acking it.
+		if s.wal != nil {
+			if err := s.wal.Wedged(); err != nil {
+				s.tel.batchError.Inc()
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
 		s.duplicates.Add(1)
 		s.tel.batchDuplicate.Inc()
 		w.WriteHeader(http.StatusAccepted)
@@ -762,6 +831,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if len(s.queue) == cap(s.queue) {
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
+		b.Release()
 		s.rejected.Add(1)
 		s.tel.batchRejected.Inc()
 		// Retry-After carries whole seconds per RFC 9110; the precise
@@ -779,15 +849,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// acknowledged (or fail loudly). Start its trace; the "ingest" span
 	// covers decode, validation, and the accept-path locking so far.
 	tr := s.tracer.Start("ingest_batch",
-		obs.KV("points", b.Rows), obs.KV("producer", producer), obs.KV("pseq", pseq))
+		obs.KV("points", rows), obs.KV("producer", producer), obs.KV("pseq", pseq))
 	tr.AddSpan("ingest", ingestStart, time.Since(ingestStart))
 	seq := s.nextSeq + 1
+	waitDurable := false
 	if s.wal != nil {
 		wstart := time.Now()
-		res, err := s.wal.Append(encodeWALEntry(producer, pseq, raw))
+		// Two-part append: the small header is framed into a reusable
+		// buffer and the raw KB2B bytes ride as-is — the WAL concatenates
+		// them into one record without this path copying the batch.
+		s.walHdrBuf = encodeWALEntryHeader(s.walHdrBuf[:0], producer, pseq)
+		res, err := s.wal.Append(s.walHdrBuf, b.Raw())
 		if err != nil {
 			s.ingestMu.Unlock()
 			s.drainMu.RUnlock()
+			b.Release()
 			// The batch was NOT acknowledged and is not in the queue;
 			// the contract holds. The WAL is wedged, so /readyz now
 			// fails and every further ingest lands here until the
@@ -800,19 +876,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		seq = res.Seq
+		waitDurable = s.fsync == FsyncAlways
 		s.tel.walAppends.Inc()
 		s.tel.walAppendBytes.Add(int64(res.Bytes))
 		tr.AddSpan("wal_append", wstart, time.Since(wstart),
 			obs.KV("seq", res.Seq), obs.KV("bytes", res.Bytes))
-		if res.Fsync > 0 {
-			tr.AddSpan("fsync", time.Now().Add(-res.Fsync), res.Fsync)
-		}
 	}
 	s.nextSeq = seq
 	if producer != "" && pseq > 0 {
 		s.lastSeen[producer] = pseq
 	}
 	tr.AddAttrs(obs.KV("seq", seq))
+	if waitDurable {
+		// The trace has two finishers from here on: the writer (after
+		// apply) and this handler (after the durability wait). The trace
+		// seals on whichever finishes second.
+		tr.RequireFinishes(2)
+	}
 	// The enqueue span is recorded before the send: once the item is in
 	// the queue the writer goroutine owns (and may immediately finish)
 	// the trace.
@@ -820,23 +900,55 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Guaranteed not to block: the capacity check above is exact under
 	// ingestMu. The select is a belt-and-braces fallback.
 	select {
-	case s.queue <- ingestItem{b: b, seq: seq, producer: producer, pseq: pseq, trace: tr}:
+	case s.queue <- ingestItem{batch: b, seq: seq, producer: producer, pseq: pseq, trace: tr}:
 	default:
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
+		b.Release()
 		s.tel.batchError.Inc()
 		tr.AddAttrs(obs.KV("error", "queue full after wal append"))
 		tr.Finish()
+		if waitDurable {
+			tr.Finish() // the writer will never see this batch; finish its share too
+		}
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
 	s.ingestMu.Unlock()
 	s.drainMu.RUnlock()
-	s.accepted.Add(int64(b.Rows))
-	s.tel.acceptedPoints.Add(int64(b.Rows))
+	// Pipelined commit: the batch is already queued — the writer may be
+	// applying it while its fsync is still in flight — and the durability
+	// wait happens outside the locks, so concurrent producers coalesce
+	// onto one group-commit fsync instead of serializing behind each
+	// other's.
+	if waitDurable {
+		fstart := time.Now()
+		sw, err := s.wal.WaitDurable(seq)
+		if err != nil {
+			// The batch is queued (the stream will still apply it) but its
+			// durability could not be confirmed: no ack. The WAL is wedged
+			// and /readyz fails until the operator intervenes.
+			s.tel.batchError.Inc()
+			tr.AddAttrs(obs.KV("error", err.Error()))
+			tr.Finish()
+			s.logf("ingest: %v", err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		tr.AddSpan("fsync", fstart, time.Since(fstart),
+			obs.KV("group", sw.Group), obs.KV("coalesced", sw.Coalesced))
+		if sw.Coalesced {
+			s.tel.walCoalesced.Inc()
+		} else {
+			s.tel.walGroupSize.Observe(float64(sw.Group))
+		}
+		tr.Finish()
+	}
+	s.accepted.Add(int64(rows))
+	s.tel.acceptedPoints.Add(int64(rows))
 	s.tel.batchAccepted.Inc()
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]any{"queued": b.Rows, "seq": seq})
+	json.NewEncoder(w).Encode(map[string]any{"queued": rows, "seq": seq})
 }
 
 // labelResponse is the /label reply. ModelGen 0 means no model has been
@@ -848,11 +960,13 @@ type labelResponse struct {
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
-	_, b := s.readBatch(w, r)
+	b := s.readBatch(w, r)
 	if b == nil {
 		return
 	}
-	resp := labelResponse{Labels: make([]int, b.Rows)}
+	defer b.Release()
+	rows := b.M.Rows
+	resp := labelResponse{Labels: make([]int, rows)}
 	m := s.stream.Snapshot()
 	if m == nil {
 		for i := range resp.Labels {
@@ -861,8 +975,8 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.ModelGen = s.refits.Load()
 		resp.Clusters = m.K()
-		for i := 0; i < b.Rows; i++ {
-			l, err := m.Assign(b.Row(i))
+		for i := 0; i < rows; i++ {
+			l, err := m.Assign(b.M.Row(i))
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -870,8 +984,8 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 			resp.Labels[i] = l
 		}
 	}
-	s.labeled.Add(int64(b.Rows))
-	s.tel.labeledPoints.Add(int64(b.Rows))
+	s.labeled.Add(int64(rows))
+	s.tel.labeledPoints.Add(int64(rows))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -897,14 +1011,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // WAL entry (little endian): producerLen u16 | producer | producerSeq u64
 // | raw KB2B batch bytes. The batch rides in its wire form so replay goes
-// through the same DecodeBatch validation as live traffic.
+// through the same batch validation as live traffic. The header is framed
+// separately (appended into dst, which the ingest path reuses) and handed
+// to WAL.Append alongside the raw bytes, so the batch payload is never
+// copied on the accept path.
+func encodeWALEntryHeader(dst []byte, producer string, pseq uint64) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(producer)))
+	dst = append(dst, producer...)
+	return binary.LittleEndian.AppendUint64(dst, pseq)
+}
+
+// encodeWALEntry is the single-buffer form (tests and tools).
 func encodeWALEntry(producer string, pseq uint64, raw []byte) []byte {
-	out := make([]byte, 2+len(producer)+8+len(raw))
-	binary.LittleEndian.PutUint16(out, uint16(len(producer)))
-	copy(out[2:], producer)
-	binary.LittleEndian.PutUint64(out[2+len(producer):], pseq)
-	copy(out[2+len(producer)+8:], raw)
-	return out
+	return append(encodeWALEntryHeader(make([]byte, 0, 2+len(producer)+8+len(raw)), producer, pseq), raw...)
 }
 
 func decodeWALEntry(entry []byte) (producer string, pseq uint64, raw []byte, err error) {

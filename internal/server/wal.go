@@ -185,14 +185,18 @@ type WAL struct {
 	cfg WALConfig
 
 	mu        sync.Mutex
+	syncCond  *sync.Cond   // broadcast when an in-flight fsync finishes
 	segments  []walSegment // oldest..newest; the last one is active
 	cur       File         // active segment, open for append
 	curSize   int64
 	totalSize int64 // closed segments + active
 	lastSeq   uint64
-	dirty     bool  // unsynced appends (interval/never policy)
-	wedged    error // sticky write-path failure
-	wasEmpty  bool  // no segments existed at Open
+	synced    uint64 // newest sequence known to be on stable storage
+	syncing   bool   // a leader's fsync is in flight, outside the lock
+	dirty     bool   // unsynced appends
+	wedged    error  // sticky write-path failure
+	wasEmpty  bool   // no segments existed at Open
+	recBuf    []byte // reusable record framing buffer (guarded by mu)
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -223,6 +227,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 		return nil, &WALWriteError{Op: "mkdir " + cfg.Dir, Err: err}
 	}
 	w := &WAL{cfg: cfg}
+	w.syncCond = sync.NewCond(&w.mu)
 
 	names, err := cfg.FS.ReadDirNames(cfg.Dir)
 	if err != nil {
@@ -266,6 +271,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 		}
 	}
 	w.lastSeq = expect
+	w.synced = expect // recovered records were read back from disk
 
 	// Open (or create) the active segment for appends.
 	if len(w.segments) > 0 {
@@ -393,6 +399,7 @@ func (w *WAL) ForwardTo(seq uint64) {
 	defer w.mu.Unlock()
 	if seq > w.lastSeq {
 		w.lastSeq = seq
+		w.synced = seq // nothing was written; there is nothing to sync
 		// The active (empty) segment was named for the old next-seq;
 		// rotating on the next append would be wasteful, so rename lazily:
 		// the segment header's firstSeq only matters once a record lands,
@@ -401,45 +408,69 @@ func (w *WAL) ForwardTo(seq uint64) {
 }
 
 // AppendResult reports one completed append: the assigned sequence (what
-// a checkpoint later covers), the framed bytes written to the segment,
-// and the time spent in the inline fsync (zero unless the policy synced
-// before returning).
+// a checkpoint later covers) and the framed bytes written to the segment.
+// Append never syncs; durability is WaitDurable's job.
 type AppendResult struct {
 	Seq   uint64
 	Bytes int
-	Fsync time.Duration
 }
 
-// Append frames entry, assigns it the next sequence, writes it to the
-// active segment, and — under FsyncAlways — syncs before returning.
-// After any write or sync failure the WAL wedges: the caller must stop
-// acking.
-func (w *WAL) Append(entry []byte) (AppendResult, error) {
+// Append frames the concatenation of the entry parts, assigns it the next
+// sequence, and writes it to the active segment — buffered only, never
+// synced, whatever the policy. Callers whose ack implies stable storage
+// (FsyncAlways) follow up with WaitDurable, which batches concurrent
+// appends into one group-commit fsync. The multi-part form lets callers
+// frame a header and a payload without concatenating them first; Replay
+// hands back the joined bytes. After any write failure the WAL wedges:
+// the caller must stop acking.
+func (w *WAL) Append(entry ...[]byte) (AppendResult, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.wedged != nil {
-		return AppendResult{}, &WALWriteError{Op: "append (wedged)", Err: w.wedged}
-	}
-	seq := w.lastSeq + 1
-
-	// Rotate when the active segment is over budget, or when ForwardTo
-	// skipped it past the active segment's declared firstSeq range.
-	act := &w.segments[len(w.segments)-1]
-	if w.curSize >= w.cfg.SegmentBytes || (act.lastSeq+1 != seq && act.firstSeq != seq && w.curSize == int64(walHeaderSize)) {
-		if err := w.rotateLocked(seq); err != nil {
-			w.wedged = err
-			return AppendResult{}, err
+	var seq uint64
+	var act *walSegment
+	for {
+		if w.wedged != nil {
+			return AppendResult{}, &WALWriteError{Op: "append (wedged)", Err: w.wedged}
 		}
+		seq = w.lastSeq + 1
+
+		// Rotate when the active segment is over budget, or when ForwardTo
+		// skipped it past the active segment's declared firstSeq range.
+		// Rotation closes the active file, so it must wait out any fsync a
+		// durability leader is running against it outside the lock — and
+		// re-evaluate afterwards, since other appends ran while we waited.
 		act = &w.segments[len(w.segments)-1]
+		if w.curSize >= w.cfg.SegmentBytes || (act.lastSeq+1 != seq && act.firstSeq != seq && w.curSize == int64(walHeaderSize)) {
+			if w.syncing {
+				w.syncCond.Wait()
+				continue
+			}
+			if err := w.rotateLocked(seq); err != nil {
+				w.wedged = err
+				return AppendResult{}, err
+			}
+			continue
+		}
+		break
 	}
 
-	payload := make([]byte, 8+len(entry))
-	binary.LittleEndian.PutUint64(payload, seq)
-	copy(payload[8:], entry)
-	rec := make([]byte, walRecHdrSize+len(payload))
-	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, walCRCTable))
-	copy(rec[walRecHdrSize:], payload)
+	entryLen := 0
+	for _, part := range entry {
+		entryLen += len(part)
+	}
+	payloadLen := 8 + entryLen
+	recLen := walRecHdrSize + payloadLen
+	if cap(w.recBuf) < recLen {
+		w.recBuf = make([]byte, recLen)
+	}
+	rec := w.recBuf[:recLen]
+	binary.LittleEndian.PutUint32(rec, uint32(payloadLen))
+	binary.LittleEndian.PutUint64(rec[walRecHdrSize:], seq)
+	off := walRecHdrSize + 8
+	for _, part := range entry {
+		off += copy(rec[off:], part)
+	}
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[walRecHdrSize:], walCRCTable))
 
 	n, err := w.cur.Write(rec)
 	w.curSize += int64(n)
@@ -452,21 +483,102 @@ func (w *WAL) Append(entry []byte) (AppendResult, error) {
 		w.wedged = werr
 		return AppendResult{}, werr
 	}
-	res := AppendResult{Seq: seq, Bytes: n}
-	if w.cfg.Fsync == FsyncAlways {
-		d, err := w.syncFileLocked(w.cur)
-		if err != nil {
-			werr := &WALWriteError{Op: "fsync", Err: err}
-			w.wedged = werr
-			return AppendResult{}, werr
-		}
-		res.Fsync = d
-	} else {
-		w.dirty = true
-	}
+	w.dirty = true
 	w.lastSeq = seq
 	act.lastSeq = seq
-	return res, nil
+	return AppendResult{Seq: seq, Bytes: n}, nil
+}
+
+// SyncWait reports how a durability wait was satisfied.
+type SyncWait struct {
+	// Fsync is the time spent in the fsync this waiter led (zero when
+	// the wait coalesced onto a sync another waiter already performed).
+	Fsync time.Duration
+	// Group is the number of appended records the led fsync made durable
+	// in one call — the group-commit batch size.
+	Group int
+	// Coalesced reports that seq was already durable on arrival: this
+	// ack rode a sync some other waiter led.
+	Coalesced bool
+}
+
+// WaitDurable blocks until every record through seq is on stable
+// storage — the group-commit half of the Append/WaitDurable pair. The
+// first waiter becomes the leader: it snapshots the appended tail and
+// fsyncs it in one call with the lock RELEASED, so concurrent appends
+// (and the next group's records) keep flowing while the disk flushes.
+// Waiters that arrive during the flush block on the lock or the sync
+// condition; when the leader finishes they find their sequence covered
+// and return without touching the disk — or lead the next group.
+// Under FsyncInterval/FsyncNever it returns immediately: those policies'
+// acks do not wait on the disk. A failed sync wedges the WAL, and a
+// wedged WAL fails every waiter — no ack can ride a sync that did not
+// happen.
+func (w *WAL) WaitDurable(seq uint64) (SyncWait, error) {
+	if w.cfg.Fsync != FsyncAlways {
+		return SyncWait{}, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.wedged != nil {
+			return SyncWait{}, &WALWriteError{Op: "wait durable (wedged)", Err: w.wedged}
+		}
+		if w.synced >= seq {
+			return SyncWait{Coalesced: true}, nil
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		d, group, err := w.leadSyncLocked()
+		if err != nil {
+			return SyncWait{}, err
+		}
+		// The leader's snapshot included w.lastSeq >= seq (our record was
+		// appended before we waited), so one led sync always suffices.
+		return SyncWait{Fsync: d, Group: group}, nil
+	}
+}
+
+// leadSyncLocked performs one leader fsync: it snapshots the tail under
+// the lock, releases the lock for the flush itself, and reacquires it to
+// publish the result. Records appended during the flush stay dirty for
+// the next leader. Callers hold w.mu with w.syncing false; on return
+// w.mu is held again and every cond waiter has been woken. Returns the
+// flush duration and the number of records the sync newly made durable.
+func (w *WAL) leadSyncLocked() (time.Duration, int, error) {
+	w.syncing = true
+	f := w.cur
+	target := w.lastSeq
+	before := w.synced
+	w.mu.Unlock()
+	start := time.Now()
+	err := f.Sync()
+	d := time.Since(start)
+	w.mu.Lock()
+	w.syncing = false
+	defer w.syncCond.Broadcast()
+	if err != nil {
+		werr := &WALWriteError{Op: "fsync", Err: err}
+		w.wedged = werr
+		return 0, 0, werr
+	}
+	if w.cfg.OnFsync != nil {
+		w.cfg.OnFsync(d)
+	}
+	if target > w.synced {
+		w.synced = target
+	}
+	w.dirty = w.lastSeq > w.synced
+	return d, int(target - before), nil
+}
+
+// Wedged returns the sticky write-path error, or nil while healthy.
+func (w *WAL) Wedged() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wedged
 }
 
 // syncFileLocked syncs f, timing the call and feeding the OnFsync hook on
@@ -494,6 +606,11 @@ func (w *WAL) rotateLocked(firstSeq uint64) error {
 		if err := w.cur.Close(); err != nil {
 			return &WALWriteError{Op: "close on rotation", Err: err}
 		}
+		// Every record so far lives in the segment just synced (or in an
+		// older one synced at its own rotation), so the whole log is now
+		// on stable storage.
+		w.synced = w.lastSeq
+		w.dirty = false
 		w.cur = nil
 		// An empty active segment (rotation crash leftover / ForwardTo
 		// skip) would break the continuity scan; drop it.
@@ -549,20 +666,26 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
+// syncLocked flushes until no unsynced appends remain, releasing the
+// lock for each flush (via leadSyncLocked) so appends are never blocked
+// behind the disk. Records appended during a flush are caught by the
+// next loop iteration. Callers hold w.mu.
 func (w *WAL) syncLocked() error {
-	if w.wedged != nil {
-		return w.wedged
+	for {
+		if w.wedged != nil {
+			return w.wedged
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		if !w.dirty || w.cur == nil {
+			return nil
+		}
+		if _, _, err := w.leadSyncLocked(); err != nil {
+			return err
+		}
 	}
-	if !w.dirty || w.cur == nil {
-		return nil
-	}
-	if _, err := w.syncFileLocked(w.cur); err != nil {
-		werr := &WALWriteError{Op: "fsync", Err: err}
-		w.wedged = werr
-		return werr
-	}
-	w.dirty = false
-	return nil
 }
 
 func (w *WAL) flushLoop() {
@@ -672,6 +795,9 @@ func (w *WAL) Close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for w.syncing {
+		w.syncCond.Wait()
+	}
 	var err error
 	if w.wedged == nil && w.dirty && w.cur != nil {
 		if _, serr := w.syncFileLocked(w.cur); serr != nil {

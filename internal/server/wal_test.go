@@ -255,13 +255,22 @@ func TestWALWriteFaults(t *testing.T) {
 		defer w.Close()
 		appendN(t, w, 2, "pre")
 		ffs.FailSyncs(1)
-		_, err := w.Append([]byte("unsynced"))
+		// Append is buffered-only; the failure must surface on the
+		// durability wait, and wedge the WAL for everything after.
+		res, err := w.Append([]byte("unsynced"))
+		if err != nil {
+			t.Fatalf("buffered append tripped on a sync fault: %v", err)
+		}
+		_, err = w.WaitDurable(res.Seq)
 		var we *WALWriteError
 		if !errors.As(err, &we) {
 			t.Fatalf("fsync failure not surfaced: %v", err)
 		}
 		if _, err := w.Append([]byte("after")); err == nil {
 			t.Fatal("WAL kept acking after a failed fsync")
+		}
+		if _, err := w.WaitDurable(res.Seq); err == nil {
+			t.Fatal("wedged WAL satisfied a durability wait")
 		}
 	})
 	t.Run("short-write", func(t *testing.T) {

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"unsafe"
 
 	"keybin2/internal/linalg"
 )
@@ -39,34 +41,153 @@ const batchHeaderSize = 4 + 4 + 4
 // EncodeBatch serializes a row-major point matrix into the binary batch
 // format.
 func EncodeBatch(m *linalg.Matrix) []byte {
-	buf := make([]byte, batchHeaderSize, batchHeaderSize+8*len(m.Data))
+	buf := make([]byte, batchHeaderSize+8*len(m.Data))
 	copy(buf, batchMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Cols))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Rows))
-	for _, v := range m.Data {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[batchHeaderSize+8*i:], math.Float64bits(v))
 	}
 	return buf
+}
+
+// hostLittleEndian gates the zero-copy decode: aliasing the wire payload
+// as []float64 is only correct when the host's float byte order matches
+// the little-endian wire format.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Batch is a decoded KB2B batch whose point data may alias the wire
+// buffer it was decoded from (zero-copy) instead of owning a fresh copy.
+// Ownership rule: the wire bytes passed to DecodeBatchAlias must stay
+// alive and unmodified until Release — in the serving path the pooled
+// request-body buffer rides inside the Batch and both return to their
+// pools together, after apply. Batches come from an internal sync.Pool;
+// Release recycles the struct and (when set) the body buffer, keeping the
+// steady-state decode path allocation-free.
+type Batch struct {
+	M   linalg.Matrix
+	raw []byte // wire bytes (may be aliased by M.Data)
+
+	body    *bodyBuffer // pooled request body to recycle on Release (nil = caller-owned)
+	copied  []float64   // retained copy-decode scratch (alignment/endianness fallback)
+	aliased bool
+}
+
+// Raw returns the wire bytes the batch was decoded from — what the WAL
+// stores. Valid until Release.
+func (b *Batch) Raw() []byte { return b.raw }
+
+// Aliased reports whether M.Data aliases the wire buffer (true) or was
+// copy-decoded into owned scratch (false).
+func (b *Batch) Aliased() bool { return b.aliased }
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// Release returns the batch (and its pooled body buffer, if any) to their
+// pools. The batch and its matrix must not be used afterwards.
+func (b *Batch) Release() {
+	if b.body != nil {
+		releaseBody(b.body)
+		b.body = nil
+	}
+	b.M = linalg.Matrix{}
+	b.raw = nil
+	b.aliased = false
+	batchPool.Put(b)
+}
+
+// bodyBuffer is a pooled request-body buffer. The KB2B header is 12 bytes,
+// so a payload read at offset bodyAlignPad of an 8-aligned allocation puts
+// the float block at offset 16 — 8-byte aligned, which is what lets
+// DecodeBatchAlias alias it without copying.
+type bodyBuffer struct{ b []byte }
+
+const bodyAlignPad = 4
+
+var bodyPool = sync.Pool{New: func() any { return new(bodyBuffer) }}
+
+// acquireBody returns a pooled buffer with room for n payload bytes at
+// offset bodyAlignPad.
+func acquireBody(n int) *bodyBuffer {
+	bb := bodyPool.Get().(*bodyBuffer)
+	if cap(bb.b) < bodyAlignPad+n {
+		bb.b = make([]byte, bodyAlignPad+n)
+	}
+	bb.b = bb.b[:bodyAlignPad+n]
+	return bb
+}
+
+func releaseBody(bb *bodyBuffer) { bodyPool.Put(bb) }
+
+// DecodeBatchAlias parses a binary batch with the same validation as
+// DecodeBatch, but without copying the point data when the payload can be
+// aliased in place (little-endian host, 8-byte-aligned float block).
+// When aliasing is unsafe the floats are copy-decoded into scratch the
+// returned Batch retains across reuses. Either way the caller must treat
+// raw as owned by the Batch until Release.
+func DecodeBatchAlias(raw []byte, maxPoints int) (*Batch, error) {
+	dims, count, err := validateBatchHeader(raw, maxPoints)
+	if err != nil {
+		return nil, err
+	}
+	b := batchPool.Get().(*Batch)
+	b.raw = raw
+	b.M.Rows, b.M.Cols = count, dims
+	n := dims * count
+	if n == 0 {
+		b.M.Data = nil
+		b.aliased = false
+		return b, nil
+	}
+	payload := raw[batchHeaderSize:]
+	if hostLittleEndian && uintptr(unsafe.Pointer(&payload[0]))%8 == 0 {
+		b.M.Data = unsafe.Slice((*float64)(unsafe.Pointer(&payload[0])), n)
+		b.aliased = true
+		return b, nil
+	}
+	if cap(b.copied) < n {
+		b.copied = make([]float64, n)
+	}
+	b.copied = b.copied[:n]
+	for i := range b.copied {
+		b.copied[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	b.M.Data = b.copied
+	b.aliased = false
+	return b, nil
+}
+
+// validateBatchHeader checks magic, dims, count, and exact length,
+// returning the decoded dimensions.
+func validateBatchHeader(b []byte, maxPoints int) (dims, count int, err error) {
+	if len(b) < batchHeaderSize || string(b[:4]) != batchMagic {
+		return 0, 0, fmt.Errorf("server: not a point batch (missing %q header)", batchMagic)
+	}
+	dims = int(binary.LittleEndian.Uint32(b[4:]))
+	count = int(binary.LittleEndian.Uint32(b[8:]))
+	if dims <= 0 || dims > 1<<20 {
+		return 0, 0, fmt.Errorf("server: batch dims %d out of range", dims)
+	}
+	if count < 0 || (maxPoints > 0 && count > maxPoints) {
+		return 0, 0, fmt.Errorf("%w: %d points, limit %d", ErrBatchTooLarge, count, maxPoints)
+	}
+	want := batchHeaderSize + 8*dims*count
+	if len(b) != want {
+		return 0, 0, fmt.Errorf("server: batch is %d bytes, header implies %d", len(b), want)
+	}
+	return dims, count, nil
 }
 
 // DecodeBatch parses a binary batch. maxPoints bounds the accepted row
 // count (0 = no bound) so a malformed or hostile length prefix cannot
 // drive a huge allocation.
 func DecodeBatch(b []byte, maxPoints int) (*linalg.Matrix, error) {
-	if len(b) < batchHeaderSize || string(b[:4]) != batchMagic {
-		return nil, fmt.Errorf("server: not a point batch (missing %q header)", batchMagic)
-	}
-	dims := int(binary.LittleEndian.Uint32(b[4:]))
-	count := int(binary.LittleEndian.Uint32(b[8:]))
-	if dims <= 0 || dims > 1<<20 {
-		return nil, fmt.Errorf("server: batch dims %d out of range", dims)
-	}
-	if count < 0 || (maxPoints > 0 && count > maxPoints) {
-		return nil, fmt.Errorf("%w: %d points, limit %d", ErrBatchTooLarge, count, maxPoints)
-	}
-	want := batchHeaderSize + 8*dims*count
-	if len(b) != want {
-		return nil, fmt.Errorf("server: batch is %d bytes, header implies %d", len(b), want)
+	dims, count, err := validateBatchHeader(b, maxPoints)
+	if err != nil {
+		return nil, err
 	}
 	m := linalg.NewMatrix(count, dims)
 	for i := range m.Data {

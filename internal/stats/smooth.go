@@ -41,6 +41,19 @@ func MovingAverage(v []float64, width int) []float64 {
 // partitioner: the fitted slope is the tangent of the underlying density at
 // that bin, far more noise-tolerant than a two-point difference.
 func LocalSlopes(v []float64, width int) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = LocalSlopeAt(v, width, i)
+	}
+	return out
+}
+
+// LocalSlopeAt is LocalSlopes evaluated at a single index: the same OLS
+// fit over the same centered window, bit-identical to LocalSlopes(v,
+// width)[i]. Callers that need the derivative at only a few indices (the
+// partitioner's curvature check at valley candidates) use this to skip
+// the full O(len·width) pass.
+func LocalSlopeAt(v []float64, width, i int) float64 {
 	if width < 3 {
 		width = 3
 	}
@@ -48,37 +61,31 @@ func LocalSlopes(v []float64, width int) []float64 {
 		width++
 	}
 	half := width / 2
-	out := make([]float64, len(v))
-	for i := range v {
-		lo, hi := i-half, i+half
-		if lo < 0 {
-			lo = 0
-		}
-		if hi >= len(v) {
-			hi = len(v) - 1
-		}
-		n := float64(hi - lo + 1)
-		if n < 2 {
-			out[i] = 0
-			continue
-		}
-		// OLS slope over (x=j, y=v[j]) for j in [lo,hi].
-		var sx, sy, sxy, sxx float64
-		for j := lo; j <= hi; j++ {
-			x, y := float64(j), v[j]
-			sx += x
-			sy += y
-			sxy += x * y
-			sxx += x * x
-		}
-		den := n*sxx - sx*sx
-		if den == 0 {
-			out[i] = 0
-			continue
-		}
-		out[i] = (n*sxy - sx*sy) / den
+	lo, hi := i-half, i+half
+	if lo < 0 {
+		lo = 0
 	}
-	return out
+	if hi >= len(v) {
+		hi = len(v) - 1
+	}
+	n := float64(hi - lo + 1)
+	if n < 2 {
+		return 0
+	}
+	// OLS slope over (x=j, y=v[j]) for j in [lo,hi].
+	var sx, sy, sxy, sxx float64
+	for j := lo; j <= hi; j++ {
+		x, y := float64(j), v[j]
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
 }
 
 // Diff returns the first discrete difference of v: out[i] = v[i+1]-v[i],
