@@ -14,6 +14,7 @@
 //	         [-wal-dir wal/] [-fsync always|interval|never]
 //	         [-fsync-interval 100ms] [-wal-segment-bytes 4194304]
 //	         [-log-level info] [-trace-log traces.jsonl] [-pprof]
+//	         [-follow http://primary:7420] [-follow-poll 2s]
 //
 // API (binary batches are "KB2B" | dims u32 | count u32 | float64s, LE):
 //
@@ -25,6 +26,9 @@
 //	GET  /trace   → recent pipeline traces as JSON
 //	GET  /healthz → ok (liveness)
 //	GET  /readyz  → 200 | 503 (draining or wedged WAL)
+//	GET  /wal     → framed WAL tail from ?from=<seq> (replication)
+//	GET  /snapshot → newest checkpoint blob (follower bootstrap)
+//	POST /promote → follower → primary promotion
 //	GET  /debug/pprof/* → runtime profiles (only with -pprof)
 //
 // Logs are leveled key=value lines; every line carries a run_id unique to
@@ -43,6 +47,13 @@
 // fsynced) before the 202 ack, so even a kill -9 loses nothing that was
 // acknowledged: on restart the daemon restores the newest checkpoint and
 // replays the WAL tail past it.
+//
+// With -follow the daemon runs as a follower replica: it tails the
+// primary's WAL, replays every acked batch into its own stream (stream
+// flags must match the primary's), and serves reads while answering
+// /ingest with 421 + the primary's URL. POST /promote turns it into a
+// primary at its replayed horizon — with -wal-dir also set, the local WAL
+// opens at that horizon and acks become durable again.
 package main
 
 import (
@@ -88,6 +99,8 @@ type daemonOpts struct {
 	logLevel   string
 	traceLog   string
 	pprof      bool
+	follow     string
+	followPoll time.Duration
 }
 
 func main() {
@@ -114,6 +127,8 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
 	flag.StringVar(&o.traceLog, "trace-log", "", "append finished pipeline traces as JSON lines to this file")
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.follow, "follow", "", "run as a follower replica of the primary at this base URL (e.g. http://127.0.0.1:7420)")
+	flag.DurationVar(&o.followPoll, "follow-poll", 2*time.Second, "long-poll wait against the primary's WAL tail when caught up")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -181,6 +196,8 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		RunID:           obs.NewRunID(),
 		EnablePprof:     o.pprof,
 		Logf:            log.Printf,
+		FollowURL:       o.follow,
+		FollowPoll:      o.followPoll,
 	}
 	return cfg, nil
 }

@@ -71,7 +71,7 @@ type daemonProc struct {
 }
 
 func startDaemon(cc crashConfig, logW *os.File) (*daemonProc, error) {
-	args := []string{
+	return startNode(cc.daemon, logW,
 		"-addr", "127.0.0.1:0",
 		"-dims", strconv.Itoa(cc.dims),
 		"-range", "-12,12",
@@ -84,8 +84,14 @@ func startDaemon(cc crashConfig, logW *os.File) (*daemonProc, error) {
 		"-wal-dir", filepath.Join(cc.dir, "wal"),
 		"-fsync", cc.fsync,
 		"-wal-segment-bytes", "65536", // small segments: rotation + truncation every few cycles
-	}
-	cmd := exec.Command(cc.daemon, args...)
+	)
+}
+
+// startNode spawns one keybin2d with the given flags and waits for its
+// listen address — the shared launcher for the single-node crash cycles
+// and the replica promotion cycles.
+func startNode(daemon string, logW *os.File, args ...string) (*daemonProc, error) {
+	cmd := exec.Command(daemon, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return nil, err

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"keybin2/internal/client"
@@ -58,17 +59,29 @@ func main() {
 		crashDir     = flag.String("crash-dir", "", "chaos workdir (default: fresh temp dir, removed after)")
 		crashBatches = flag.Int("crash-batches", 6, "batches acked per chaos cycle before the kill")
 		fsync        = flag.String("fsync", "always", "WAL fsync policy for the chaos daemon")
+		promote      = flag.Bool("promote", false, "with -crash-cycles: kill the PRIMARY of a replicated cluster and promote a follower instead of restarting")
+		replicas     = flag.Int("replicas", 2, "follower replicas per cluster in -promote chaos mode")
+		readAddrs    = flag.String("read-addrs", "", "comma-separated follower base URLs; label queries split across them and -addr")
 	)
 	flag.Parse()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	if *crashCycles > 0 {
-		err := runCrashCycles(ctx, crashConfig{
-			daemon: *daemonPath, cycles: *crashCycles, dims: *dims,
-			batch: *batch, perCycle: *crashBatches, seed: *seed,
-			dir: *crashDir, fsync: *fsync,
-		})
+		var err error
+		if *promote {
+			err = runReplicaChaos(ctx, replicaChaosConfig{
+				daemon: *daemonPath, cycles: *crashCycles, replicas: *replicas,
+				dims: *dims, batch: *batch, perCycle: *crashBatches, seed: *seed,
+				dir: *crashDir, fsync: *fsync,
+			})
+		} else {
+			err = runCrashCycles(ctx, crashConfig{
+				daemon: *daemonPath, cycles: *crashCycles, dims: *dims,
+				batch: *batch, perCycle: *crashBatches, seed: *seed,
+				dir: *crashDir, fsync: *fsync,
+			})
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "keybin2load:", err)
 			os.Exit(1)
@@ -78,9 +91,14 @@ func main() {
 
 	c := client.New(*addr)
 	if !*noLoad {
+		var reads []string
+		if *readAddrs != "" {
+			reads = strings.Split(*readAddrs, ",")
+		}
 		rep, err := client.RunLoad(ctx, c, client.LoadConfig{
 			Points: *points, Dims: *dims, BatchSize: *batch,
 			Ingesters: *ingest, QueryWorkers: *queryW, Seed: *seed,
+			ReadAddrs: reads,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "keybin2load:", err)

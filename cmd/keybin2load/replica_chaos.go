@@ -1,0 +1,297 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"keybin2/internal/client"
+	"keybin2/internal/linalg"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// Replica chaos: every cycle builds a fresh 1-primary/N-follower cluster,
+// ingests acked batches into the primary, waits for the followers to
+// replicate, and asserts the cluster answers a probe batch identically on
+// every node. Then the chaos event — kill -9 of the primary — and the
+// recovery path the replication tier exists for:
+//
+//  1. the surviving followers still answer the probe with the SAME labels
+//     (reads survive the primary's death),
+//  2. follower 0 is promoted (POST /promote) and audited the same way the
+//     single-node harness audits a restart: its producer high-water mark
+//     covers every acked batch and its applied points reach the acked
+//     volume — no acked batch may die with the primary,
+//  3. the promoted node accepts new acked writes from its replayed
+//     horizon, proving the WAL it opened at promotion is live.
+
+type replicaChaosConfig struct {
+	daemon   string
+	cycles   int
+	replicas int
+	dims     int
+	batch    int // points per batch
+	perCycle int // batches acked before the primary is killed
+	seed     int64
+	dir      string
+	fsync    string
+}
+
+type replicaChaosReport struct {
+	Cycles        int   `json:"cycles"`
+	Replicas      int   `json:"replicas"`
+	BatchesAcked  int64 `json:"batches_acked"`
+	PointsAcked   int64 `json:"points_acked"`
+	Promotions    int   `json:"promotions"`
+	PostPromote   int64 `json:"post_promote_batches"`
+	ProbeLabels   int   `json:"probe_labels"`
+	ProbeModelGen int64 `json:"probe_model_gen"`
+}
+
+func runReplicaChaos(ctx context.Context, rc replicaChaosConfig) error {
+	if rc.cycles <= 0 {
+		return nil
+	}
+	if rc.replicas <= 0 {
+		rc.replicas = 2
+	}
+	if rc.dir == "" {
+		d, err := os.MkdirTemp("", "kb2promote-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		rc.dir = d
+	}
+	logF, err := os.Create(filepath.Join(rc.dir, "cluster.log"))
+	if err != nil {
+		return err
+	}
+	defer logF.Close()
+
+	spec := synth.AutoMixture(4, rc.dims, 6, 1, xrand.New(rc.seed))
+	mkBatch := func(pseq uint64) *linalg.Matrix {
+		b, _ := spec.Sample(rc.batch, xrand.New(rc.seed+int64(pseq)))
+		return b
+	}
+	probe, _ := spec.Sample(256, xrand.New(rc.seed+7))
+
+	rep := replicaChaosReport{Cycles: rc.cycles, Replicas: rc.replicas}
+	const producer = "chaos"
+
+	for cycle := 1; cycle <= rc.cycles; cycle++ {
+		if err := runPromoteCycle(ctx, rc, cycle, logF, mkBatch, probe, producer, &rep); err != nil {
+			return fmt.Errorf("promote cycle %d: %w", cycle, err)
+		}
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	os.Stdout.Write(append(enc, '\n'))
+	fmt.Fprintf(os.Stderr,
+		"promote: %d cycles × (1 primary + %d followers), %d batches (%d points) acked, %d promotions, 0 lost\n",
+		rep.Cycles, rep.Replicas, rep.BatchesAcked, rep.PointsAcked, rep.Promotions)
+	return nil
+}
+
+// runPromoteCycle is one full build-up/kill/promote round with its own
+// fresh state directories.
+func runPromoteCycle(ctx context.Context, rc replicaChaosConfig, cycle int, logF *os.File,
+	mkBatch func(uint64) *linalg.Matrix, probe *linalg.Matrix, producer string, rep *replicaChaosReport) error {
+
+	dir := filepath.Join(rc.dir, fmt.Sprintf("cycle%d", cycle))
+	nodeDir := func(i int) string { return filepath.Join(dir, fmt.Sprintf("node%d", i)) }
+	common := func(i int) []string {
+		return []string{
+			"-addr", "127.0.0.1:0",
+			"-dims", strconv.Itoa(rc.dims),
+			"-range", "-12,12",
+			"-trials", "2",
+			"-period", "1000",
+			"-seed", strconv.FormatInt(rc.seed, 10),
+			"-checkpoint", filepath.Join(nodeDir(i), "state.kb2s"),
+			"-checkpoint-every", "300ms",
+			"-wal-dir", filepath.Join(nodeDir(i), "wal"),
+			"-fsync", rc.fsync,
+			"-follow-poll", "250ms",
+		}
+	}
+
+	// Node 0 is the primary; nodes 1..replicas follow it.
+	primary, err := startNode(rc.daemon, logF, common(0)...)
+	if err != nil {
+		return err
+	}
+	primaryUp := true
+	defer func() {
+		if primaryUp {
+			primary.kill()
+		}
+	}()
+	primaryBase := "http://" + primary.addr
+	if err := waitHealthy(ctx, primaryBase); err != nil {
+		return err
+	}
+
+	followers := make([]*daemonProc, rc.replicas)
+	followerBase := make([]string, rc.replicas)
+	for i := range followers {
+		followers[i], err = startNode(rc.daemon, logF,
+			append(common(i+1), "-follow", primaryBase)...)
+		if err != nil {
+			return err
+		}
+		defer followers[i].stop()
+		followerBase[i] = "http://" + followers[i].addr
+		if err := waitHealthy(ctx, followerBase[i]); err != nil {
+			return err
+		}
+	}
+
+	// Build up state through the primary.
+	pc := client.NewWithHTTPClient(primaryBase, &http.Client{Timeout: 5 * time.Second})
+	pc.SetProducer(producer)
+	var acked uint64
+	var ackedPoints int64
+	for i := 0; i < rc.perCycle; i++ {
+		pseq := uint64(i + 1)
+		if _, err := pc.IngestSeq(ctx, mkBatch(pseq), pseq); err != nil {
+			return fmt.Errorf("ingest pseq %d: %w", pseq, err)
+		}
+		acked = pseq
+		ackedPoints += int64(rc.batch)
+		rep.BatchesAcked++
+		rep.PointsAcked += int64(rc.batch)
+	}
+
+	// Every node must converge to the acked volume, then answer the probe
+	// identically — the byte-identical serving claim, across processes.
+	clients := []*client.Client{pc}
+	for _, base := range followerBase {
+		clients = append(clients, client.NewWithHTTPClient(base, &http.Client{Timeout: 5 * time.Second}))
+	}
+	for i, c := range clients {
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := c.WaitSeen(wctx, ackedPoints)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("node %d never converged to %d points: %w", i, ackedPoints, err)
+		}
+	}
+	want, err := pc.Label(ctx, probe)
+	if err != nil {
+		return err
+	}
+	for i, c := range clients[1:] {
+		got, err := c.Label(ctx, probe)
+		if err != nil {
+			return fmt.Errorf("follower %d probe: %w", i, err)
+		}
+		if err := compareLabels(want, got); err != nil {
+			return fmt.Errorf("follower %d diverged from primary before the kill: %w", i, err)
+		}
+	}
+
+	// A follower must refuse writes with the typed redirect.
+	fc := clients[1]
+	fc.SetProducer(producer)
+	if _, err := fc.IngestSeq(ctx, mkBatch(acked+1), acked+1); err == nil {
+		return fmt.Errorf("follower accepted an ingest; wanted the 421 primary redirect")
+	} else {
+		var np *client.ErrNotPrimary
+		if !errors.As(err, &np) {
+			return fmt.Errorf("follower ingest: got %v, wanted ErrNotPrimary", err)
+		}
+	}
+
+	// The chaos event: the primary dies mid-cluster, no drain.
+	primary.kill()
+	primaryUp = false
+	fmt.Fprintf(os.Stderr, "promote: cycle %d killed primary at acked pseq %d (%d points)\n",
+		cycle, acked, ackedPoints)
+
+	// Reads must survive on every follower, unchanged.
+	for i, c := range clients[1:] {
+		got, err := c.Label(ctx, probe)
+		if err != nil {
+			return fmt.Errorf("follower %d after primary kill: %w", i, err)
+		}
+		if err := compareLabels(want, got); err != nil {
+			return fmt.Errorf("follower %d changed answers after the primary died: %w", i, err)
+		}
+	}
+
+	// Promote follower 0 and audit it like a restarted primary: nothing
+	// acked may be missing from its producer horizon or its stream.
+	if _, err := fc.Promote(ctx); err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	rep.Promotions++
+	st, err := fc.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Role != "primary" || !st.Promoted {
+		return fmt.Errorf("promoted node reports role=%q promoted=%v", st.Role, st.Promoted)
+	}
+	if st.Producers[producer] < acked {
+		return fmt.Errorf("ACKED BATCH LOST IN PROMOTION: promoted node recovered producer seq %d, harness holds ack for %d",
+			st.Producers[producer], acked)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = fc.WaitSeen(wctx, ackedPoints)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("acked points missing on the promoted node: %w", err)
+	}
+
+	// New writes flow through the promoted node from its replayed horizon.
+	for i := 0; i < 3; i++ {
+		pseq := acked + uint64(i+1)
+		if _, err := fc.IngestSeq(ctx, mkBatch(pseq), pseq); err != nil {
+			return fmt.Errorf("post-promotion ingest pseq %d: %w", pseq, err)
+		}
+		ackedPoints += int64(rc.batch)
+		rep.BatchesAcked++
+		rep.PointsAcked += int64(rc.batch)
+		rep.PostPromote++
+	}
+	wctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+	err = fc.WaitSeen(wctx, ackedPoints)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("post-promotion points never applied: %w", err)
+	}
+	final, err := fc.Label(ctx, probe)
+	if err != nil {
+		return err
+	}
+	rep.ProbeLabels = len(final.Labels)
+	rep.ProbeModelGen = final.ModelGen
+	return nil
+}
+
+func compareLabels(want, got client.LabelResult) error {
+	if want.ModelGen != got.ModelGen {
+		return fmt.Errorf("model_gen %d vs %d", want.ModelGen, got.ModelGen)
+	}
+	if len(want.Labels) != len(got.Labels) {
+		return fmt.Errorf("%d vs %d labels", len(want.Labels), len(got.Labels))
+	}
+	mismatch := 0
+	for i := range want.Labels {
+		if want.Labels[i] != got.Labels[i] {
+			mismatch++
+		}
+	}
+	if mismatch > 0 {
+		return fmt.Errorf("%d of %d labels differ", mismatch, len(want.Labels))
+	}
+	return nil
+}

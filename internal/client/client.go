@@ -35,6 +35,19 @@ func (e *ErrBackpressure) Error() string {
 	return fmt.Sprintf("client: daemon queue full, retry after %s", e.RetryAfter)
 }
 
+// ErrNotPrimary reports an ingest aimed at a follower replica (HTTP 421):
+// the daemon serves reads but routes writes to the primary at Primary.
+// The producer must re-aim — the client never silently re-sends to the
+// primary, because which node takes writes is a topology decision the
+// caller owns.
+type ErrNotPrimary struct {
+	Primary string
+}
+
+func (e *ErrNotPrimary) Error() string {
+	return fmt.Sprintf("client: node is a follower replica; ingest must go to the primary at %s", e.Primary)
+}
+
 // ErrRetriesExhausted reports an Ingest that gave up after
 // RetryPolicy.MaxAttempts backpressure rejections. Unwrap yields the
 // final *ErrBackpressure, so errors.As sees both.
@@ -208,6 +221,8 @@ func (c *Client) IngestRawSeq(ctx context.Context, raw []byte, rows int, pseq ui
 		return ack, nil
 	case http.StatusTooManyRequests:
 		return ack, &ErrBackpressure{RetryAfter: retryAfter(resp)}
+	case http.StatusMisdirectedRequest:
+		return ack, &ErrNotPrimary{Primary: resp.Header.Get("X-KB2-Primary")}
 	default:
 		return ack, httpError(resp)
 	}
@@ -408,6 +423,32 @@ func (c *Client) Ready(ctx context.Context) error {
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil
+}
+
+// Promote asks a follower replica to become the primary (POST /promote),
+// returning its applied WAL sequence — the horizon the new primary will
+// number writes from. A node that is already a primary answers 409, which
+// surfaces as an error.
+func (c *Client) Promote(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/promote", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, httpError(resp)
+	}
+	var out struct {
+		AppliedSeq uint64 `json:"applied_seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.AppliedSeq, nil
 }
 
 // WaitSeen polls /stats until the daemon has applied at least n points or

@@ -35,6 +35,11 @@ type LoadConfig struct {
 	Components int
 	// Seed drives the synthetic data (ingester i uses Seed+i).
 	Seed int64
+	// ReadAddrs are additional read endpoints — follower replicas. Label
+	// queries are split round-robin across the primary and these, the
+	// read-path scale-out the replication tier exists for; ingest always
+	// goes to the primary.
+	ReadAddrs []string
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -78,11 +83,13 @@ type LoadReport struct {
 	// sleeping out the daemon's retry hint.
 	Backpressure int64 `json:"backpressure_rejections"`
 
-	QueryWorkers int     `json:"query_workers"`
-	Queries      int64   `json:"queries"`
-	QueryP50Ms   float64 `json:"query_p50_ms"`
-	QueryP95Ms   float64 `json:"query_p95_ms"`
-	QueryP99Ms   float64 `json:"query_p99_ms"`
+	QueryWorkers int `json:"query_workers"`
+	// ReadEndpoints is how many nodes served label queries (1 + replicas).
+	ReadEndpoints int     `json:"read_endpoints,omitempty"`
+	Queries       int64   `json:"queries"`
+	QueryP50Ms    float64 `json:"query_p50_ms"`
+	QueryP95Ms    float64 `json:"query_p95_ms"`
+	QueryP99Ms    float64 `json:"query_p99_ms"`
 
 	FinalSeen     int64 `json:"final_seen"`
 	FinalRefits   int64 `json:"final_refits"`
@@ -151,7 +158,14 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 	}
 
 	// Query workers: label pre-sampled mixture batches until ingest
-	// finishes.
+	// finishes. With ReadAddrs set the workers are spread round-robin over
+	// the primary and the replicas, so the latency percentiles measure the
+	// scaled-out read path.
+	readers := []*Client{c}
+	for _, addr := range cfg.ReadAddrs {
+		readers = append(readers, New(addr))
+	}
+	rep.ReadEndpoints = len(readers)
 	var qwg sync.WaitGroup
 	latCh := make(chan []float64, cfg.QueryWorkers)
 	var queryErr atomic.Pointer[error]
@@ -159,11 +173,12 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 		qwg.Add(1)
 		go func(q int) {
 			defer qwg.Done()
+			reader := readers[q%len(readers)]
 			var lats []float64
 			for i := 0; ingestCtx.Err() == nil; i++ {
 				batch := queryBatches[q][i%queryPool]
 				t0 := time.Now()
-				if _, err := c.Label(ingestCtx, batch); err != nil {
+				if _, err := reader.Label(ingestCtx, batch); err != nil {
 					if ingestCtx.Err() == nil {
 						queryErr.Store(&err)
 					}

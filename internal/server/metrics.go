@@ -45,6 +45,13 @@ type telemetry struct {
 	ckptSec  *obs.Histogram
 	stageSec obs.HistogramVec
 	httpSec  obs.HistogramVec
+
+	// Replica instruments; nil unless the daemon started as a follower
+	// (they keep reporting after promotion — the history is the point).
+	replicaAppliedSeq *obs.Gauge
+	replicaPrimarySeq *obs.Gauge
+	replicaLagSec     *obs.Gauge
+	tailReconnects    *obs.Counter
 }
 
 // fsyncBuckets resolve the latency band that matters for the durability
@@ -54,7 +61,7 @@ var fsyncBuckets = []float64{
 	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
 }
 
-func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy) *telemetry {
+func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy, follower bool) *telemetry {
 	batches := reg.CounterVec("keybin2d_ingest_batches_total",
 		"Ingest batches by outcome: accepted, rejected_backpressure, duplicate, or error.", "result")
 	t := &telemetry{
@@ -115,6 +122,16 @@ func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy) *telemetry
 		httpSec: reg.HistogramVec("keybin2d_http_request_seconds",
 			"HTTP request latency by endpoint.", nil, "endpoint"),
 	}
+	if follower {
+		t.replicaAppliedSeq = reg.Gauge("keybin2d_replica_applied_seq",
+			"Newest primary WAL sequence this replica has applied to its stream.")
+		t.replicaPrimarySeq = reg.Gauge("keybin2d_replica_primary_last_seq",
+			"Primary's newest WAL sequence as of the replica's last tail round.")
+		t.replicaLagSec = reg.Gauge("keybin2d_replica_lag_seconds",
+			"How long the replica has been behind the primary's horizon (0 = caught up).")
+		t.tailReconnects = reg.Counter("keybin2d_replica_tail_reconnects_total",
+			"WAL tail connection attempts that followed a failure.")
+	}
 	reg.GaugeVec("keybin2d_build_info",
 		"Constant 1; labels identify this daemon incarnation.", "run_id", "fsync").
 		With(runID, string(fsync)).Set(1)
@@ -130,18 +147,24 @@ func (t *telemetry) installCollect(s *Server) {
 		t.queueDepth.SetInt(int64(len(s.queue)))
 		t.pointsSeen.SetInt(s.seen.Load())
 		t.modelVersion.SetInt(s.refits.Load())
-		if m := s.stream.Snapshot(); m != nil {
+		st := s.stream.Load()
+		if m := st.Snapshot(); m != nil {
 			t.modelClusters.SetInt(int64(m.K()))
 		} else {
 			t.modelClusters.Set(0)
 		}
-		t.applyPoolUtil.Set(s.stream.PoolUtilization())
-		if s.wal != nil {
-			ws := s.wal.Stats()
+		t.applyPoolUtil.Set(st.PoolUtilization())
+		if wal := s.wal.Load(); wal != nil {
+			ws := wal.Stats()
 			t.walLastSeq.SetInt(int64(ws.LastSeq))
 			t.walCoveredSeq.SetInt(int64(s.coveredSeq.Load()))
 			t.walSegments.SetInt(int64(ws.Segments))
 			t.walBytes.SetInt(ws.Bytes)
+		}
+		if t.replicaAppliedSeq != nil {
+			t.replicaAppliedSeq.SetInt(int64(s.appliedSeqA.Load()))
+			t.replicaPrimarySeq.SetInt(int64(s.primaryLastSeq.Load()))
+			t.replicaLagSec.Set(s.replicaLagSeconds())
 		}
 	})
 }

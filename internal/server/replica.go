@@ -1,0 +1,327 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"keybin2/internal/core"
+)
+
+// Follower replica: the daemon runs followRun instead of the writer loop.
+// It tails the primary's WAL (GET /wal), replays every record into its own
+// stream through the same applyWALEntry path startup recovery uses — which
+// is what makes its /label answers byte-identical to the primary's — and
+// periodically checkpoints so a restart resumes the tail from its covered
+// sequence instead of seq 0.
+//
+// Promotion (POST /promote) happens on this same goroutine: it opens the
+// local WAL at the applied horizon, aligns the accept path's sequence
+// numbering and idempotency map with what replication delivered, flips the
+// follower flag last, and then calls runLoop — the tail goroutine becomes
+// the writer goroutine, so ownership of the stream never has a gap.
+
+// followRun is the replica's main loop: tail, apply, checkpoint, and —
+// when asked — promote. Owns the stream and the writer-goroutine state.
+func (s *Server) followRun() {
+	defer s.wg.Done()
+	client := s.cfg.FollowHTTP
+	if client == nil {
+		client = &http.Client{}
+	}
+	// Cancel an in-flight tail request (it may be parked in a long poll on
+	// the primary) the moment shutdown or promotion is requested.
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	defer close(stop)
+	defer cancel()
+	go func() {
+		select {
+		case <-s.done:
+		case <-s.promoteCh:
+		case <-stop:
+		}
+		cancel()
+	}()
+
+	var ckptC <-chan time.Time
+	if s.cfg.CheckpointPath != "" {
+		t := time.NewTicker(s.cfg.CheckpointEvery)
+		defer t.Stop()
+		ckptC = t.C
+	}
+
+	promoteC := s.promoteCh
+	backoff := 50 * time.Millisecond
+	reconnecting := false
+	for {
+		select {
+		case <-s.done:
+			s.checkpoint()
+			return
+		case <-promoteC:
+			if err := s.promote(); err != nil {
+				s.logf("promote: %v", err)
+				s.promoteErr.Store(&err)
+				close(s.promotedDone)
+				promoteC = nil // stay a follower; the closed channel must not spin
+				continue
+			}
+			close(s.promotedDone)
+			s.runLoop() // this goroutine is now the writer
+			return
+		case <-ckptC:
+			s.checkpoint()
+			continue
+		default:
+		}
+		if reconnecting {
+			s.tailReconnects.Add(1)
+			s.tel.tailReconnects.Inc()
+		}
+		err := s.tailOnce(ctx, client)
+		if err == nil {
+			reconnecting = false
+			backoff = 50 * time.Millisecond
+			continue
+		}
+		if ctx.Err() != nil {
+			continue // shutdown or promotion raced the request; resolve above
+		}
+		s.logf("follow %s: %v", s.cfg.FollowURL, err)
+		reconnecting = true
+		select {
+		case <-time.After(backoff):
+		case <-s.done:
+		case <-promoteC:
+		}
+		if backoff *= 2; backoff > s.cfg.FollowMaxBackoff {
+			backoff = s.cfg.FollowMaxBackoff
+		}
+	}
+}
+
+// tailOnce performs one tail round: request records after the replica's
+// applied sequence (long-polling when caught up), apply every returned
+// record, and refresh the lag bookkeeping from the 'E' horizon frame.
+func (s *Server) tailOnce(ctx context.Context, client *http.Client) error {
+	base := strings.TrimRight(s.cfg.FollowURL, "/")
+	url := fmt.Sprintf("%s/wal?from=%d&wait=%s&max_bytes=%d",
+		base, s.appliedSeq, s.cfg.FollowPoll, 4<<20)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		// The primary truncated the records we need: re-bootstrap from its
+		// newest checkpoint snapshot, then resume tailing from there.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return s.bootstrapFromSnapshot(ctx, client, base)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("tail: primary answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	fr := newTailFrameReader(resp.Body)
+	st := s.stream.Load()
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			return fmt.Errorf("tail: %w", err)
+		}
+		switch f.Kind {
+		case tailFrameSegment:
+			// Segment boundary metadata; nothing to do on apply.
+		case tailFrameRecord:
+			_, applied, err := s.applyWALEntry(f.Seq, f.Entry)
+			if err != nil {
+				return fmt.Errorf("tail: apply seq %d: %w", f.Seq, err)
+			}
+			if applied {
+				s.batches.Add(1)
+				s.seen.Store(int64(st.Seen()))
+				s.refits.Store(s.refitBase + int64(st.Refits()))
+			}
+		case tailFrameEnd:
+			s.primaryLastSeq.Store(f.LastSeq)
+			if s.appliedSeq >= f.LastSeq {
+				s.behindSince.Store(0)
+			} else if s.behindSince.Load() == 0 {
+				s.behindSince.Store(time.Now().UnixNano())
+			}
+			return nil
+		}
+	}
+}
+
+// bootstrapFromSnapshot replaces the replica's stream with the primary's
+// newest checkpoint — the resync path when the tail's history is gone.
+// Runs on the follower goroutine; readers see the swap atomically through
+// the stream pointer.
+func (s *Server) bootstrapFromSnapshot(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("bootstrap: primary answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	st, metaBytes, err := core.DecodeStreamMeta(s.cfg.Stream, blob)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	meta, err := decodeWALCkptMeta(metaBytes)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	st.SetRecorder(s)
+	s.appliedSeq = meta.coveredSeq
+	s.appliedSeqA.Store(meta.coveredSeq)
+	s.appliedProducers = make(map[string]uint64, len(meta.producers))
+	s.ingestMu.Lock()
+	for p, q := range meta.producers {
+		s.appliedProducers[p] = q
+		if s.lastSeen[p] < q {
+			s.lastSeen[p] = q
+		}
+	}
+	s.ingestMu.Unlock()
+	// A snapshot that carries a model counts as generation 1, exactly as a
+	// local checkpoint restore would — keeping model_gen aligned with a
+	// primary restarted from the same snapshot.
+	if st.Snapshot() != nil {
+		s.refitBase = 1
+	} else {
+		s.refitBase = 0
+	}
+	s.refits.Store(s.refitBase + int64(st.Refits()))
+	s.seen.Store(int64(st.Seen()))
+	s.stream.Store(st)
+	s.logf("bootstrap: restored %d points from primary snapshot, resuming tail at seq %d",
+		st.Seen(), meta.coveredSeq)
+	return nil
+}
+
+// promote turns the replica into a primary at its replayed horizon. Runs
+// on the follower goroutine, so the stream and the applied-state maps are
+// stable while it works. Ordering matters: the WAL pointer and the accept
+// path's numbering are installed BEFORE the follower flag flips, so any
+// handler that observes "primary" sees a fully writable node.
+func (s *Server) promote() error {
+	if s.cfg.WALDir != "" {
+		wcfg := WALConfig{
+			Dir:          s.cfg.WALDir,
+			FS:           s.cfg.FS,
+			Fsync:        s.fsync,
+			FsyncEvery:   s.cfg.FsyncInterval,
+			SegmentBytes: s.cfg.WALSegmentBytes,
+			Logf:         s.cfg.Logf,
+			OnFsync: func(d time.Duration) {
+				s.tel.walFsyncs.Inc()
+				s.tel.walFsyncSec.Observe(d.Seconds())
+			},
+			OnRotate: func() { s.tel.walRotations.Inc() },
+		}
+		wal, err := OpenWAL(wcfg)
+		if err != nil {
+			return fmt.Errorf("promote: %w", err)
+		}
+		if wal.LastSeq() < s.appliedSeq {
+			// Fresh (or behind) local log: continue the replicated
+			// numbering so the first accepted write is appliedSeq+1.
+			wal.ForwardTo(s.appliedSeq)
+		} else if err := s.replayWAL(wal); err != nil {
+			// A previous primary incarnation left records past the
+			// replicated horizon; apply them rather than shadow them.
+			wal.Close()
+			return fmt.Errorf("promote: %w", err)
+		}
+		s.wal.Store(wal)
+	}
+	s.ingestMu.Lock()
+	s.nextSeq = s.appliedSeq
+	if wal := s.wal.Load(); wal != nil && wal.LastSeq() > s.nextSeq {
+		s.nextSeq = wal.LastSeq()
+	}
+	for p, q := range s.appliedProducers {
+		if s.lastSeen[p] < q {
+			s.lastSeen[p] = q
+		}
+	}
+	s.ingestMu.Unlock()
+	s.behindSince.Store(0)
+	s.follower.Store(false) // last: readers now see a writable primary
+	s.logf("promoted to primary at seq %d (was following %s)", s.nextSeq, s.cfg.FollowURL)
+	return nil
+}
+
+// handlePromote triggers promotion on a follower (POST /promote) and
+// waits for it to finish. A node that is already a primary answers 409.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.follower.Load() {
+		http.Error(w, "already a primary", http.StatusConflict)
+		return
+	}
+	s.promoteOnce.Do(func() { close(s.promoteCh) })
+	select {
+	case <-s.promotedDone:
+	case <-r.Context().Done():
+		return
+	}
+	if p := s.promoteErr.Load(); p != nil {
+		http.Error(w, (*p).Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"promoted":    true,
+		"applied_seq": s.appliedSeqA.Load(),
+	})
+}
+
+// rejectFollowerIngest answers an ingest aimed at a replica: 421
+// Misdirected Request with the primary's URL in both the X-KB2-Primary
+// header and the JSON body. 421 rather than a 3xx redirect because Go
+// clients transparently re-POST redirects, which would hide the
+// misdirection from the producer instead of surfacing it as a typed
+// error.
+func (s *Server) rejectFollowerIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("X-KB2-Primary", s.cfg.FollowURL)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":   "follower replica: ingest must go to the primary",
+		"primary": s.cfg.FollowURL,
+	})
+}

@@ -72,6 +72,26 @@ type Config struct {
 	RunID string
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
 	EnablePprof bool
+
+	// FollowURL, when set, runs this daemon as a follower replica: it
+	// tails the primary's WAL at the given base URL (GET /wal), replays
+	// every record into its own stream, and serves /label /model /stats
+	// /readyz from the replayed state while refusing /ingest with a typed
+	// 421 redirect to the primary. The stream flags must match the
+	// primary's exactly — replay is deterministic only under an identical
+	// configuration. WALDir, when also set, stays closed until the
+	// follower is promoted (POST /promote), at which point it opens at the
+	// replayed horizon and the node starts accepting writes.
+	FollowURL string
+	// FollowPoll is the long-poll wait the follower requests from the
+	// primary's tail endpoint when caught up (default 2s).
+	FollowPoll time.Duration
+	// FollowMaxBackoff caps the follower's reconnect backoff after a
+	// failed or dropped tail connection (default 5s).
+	FollowMaxBackoff time.Duration
+	// FollowHTTP is the HTTP client the follower tails with (default: a
+	// dedicated client; tests inject one bound to an httptest server).
+	FollowHTTP *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +119,12 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = obs.NewTracer(256)
 		c.Tracer.SetRunID(c.RunID)
+	}
+	if c.FollowPoll <= 0 {
+		c.FollowPoll = 2 * time.Second
+	}
+	if c.FollowMaxBackoff <= 0 {
+		c.FollowMaxBackoff = 5 * time.Second
 	}
 	return c
 }
@@ -155,6 +181,26 @@ type Stats struct {
 	Producers map[string]uint64 `json:"producers,omitempty"`
 	// WAL is nil when the write-ahead log is disabled.
 	WAL *WALInfo `json:"wal,omitempty"`
+	// Role is "primary" or "follower". A promoted node reports "primary"
+	// with Promoted set.
+	Role     string `json:"role"`
+	Promoted bool   `json:"promoted,omitempty"`
+	// Primary is the upstream base URL while following.
+	Primary string `json:"primary,omitempty"`
+	// AppliedSeq is the newest WAL sequence applied to the stream — on a
+	// primary that trails LastSeq by the queue depth, on a follower it is
+	// the replication horizon.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// PrimaryLastSeq (follower only) is the primary's newest WAL sequence
+	// as of the last completed tail round; AppliedSeq catching up to it
+	// means the replica is current.
+	PrimaryLastSeq uint64 `json:"primary_last_seq,omitempty"`
+	// TailReconnects (follower only) counts tail connection attempts that
+	// followed a failure.
+	TailReconnects int64 `json:"tail_reconnects,omitempty"`
+	// ReplicaLagSeconds (follower only) is how long the replica has been
+	// behind the primary's reported horizon (0 = caught up).
+	ReplicaLagSeconds float64 `json:"replica_lag_seconds,omitempty"`
 }
 
 // ingestItem is one accepted batch in flight between the HTTP edge and
@@ -188,10 +234,16 @@ type ingestItem struct {
 type Server struct {
 	cfg    Config
 	fs     FS
-	wal    *WAL
 	fsync  FsyncPolicy
 	tel    *telemetry
 	tracer *obs.Tracer
+
+	// wal and stream are atomic pointers because follower promotion
+	// installs a WAL (and a snapshot bootstrap replaces the stream) while
+	// read handlers are live; on a plain primary both are stored once in
+	// New and never change.
+	wal    atomic.Pointer[WAL]
+	stream atomic.Pointer[core.Stream]
 
 	// curTrace is the batch trace the writer goroutine is currently
 	// applying; RecordStage attaches stream-reported stage spans (refit)
@@ -199,11 +251,22 @@ type Server struct {
 	// elsewhere.
 	curTrace *obs.Trace
 
-	stream *core.Stream // owned by the writer goroutine after Start
-	queue  chan ingestItem
-	done   chan struct{}
-	wg     sync.WaitGroup
-	start  time.Time
+	queue chan ingestItem
+	done  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	// Follower-replica state (see replica.go). follower flips false
+	// exactly once, at promotion, after the WAL pointer is installed.
+	follower       atomic.Bool
+	promoteCh      chan struct{} // closed by /promote; observed by followRun
+	promoteOnce    sync.Once
+	promotedDone   chan struct{} // closed when promotion has completed (ok or not)
+	promoteErr     atomic.Pointer[error]
+	appliedSeqA    atomic.Uint64 // mirrors appliedSeq for readers
+	primaryLastSeq atomic.Uint64 // primary's lastSeq per the latest tail round
+	behindSince    atomic.Int64  // unix nanos the replica fell behind (0 = caught up)
+	tailReconnects atomic.Int64
 
 	// drainMu gates enqueues against shutdown: Stop takes the write lock
 	// to flip draining, after which no handler can be inside the enqueue
@@ -290,20 +353,23 @@ func New(cfg Config) (*Server, error) {
 		cfg:              cfg,
 		fs:               cfg.FS,
 		fsync:            fsyncPolicy,
-		tel:              newTelemetry(cfg.Registry, cfg.RunID, fsyncPolicy),
+		tel:              newTelemetry(cfg.Registry, cfg.RunID, fsyncPolicy, cfg.FollowURL != ""),
 		tracer:           cfg.Tracer,
-		stream:           st,
 		queue:            make(chan ingestItem, cfg.QueueDepth),
 		done:             make(chan struct{}),
+		promoteCh:        make(chan struct{}),
+		promotedDone:     make(chan struct{}),
 		start:            time.Now(),
 		lastSeen:         make(map[string]uint64),
 		appliedProducers: make(map[string]uint64),
 	}
+	s.stream.Store(st)
 	// The stream reports refit/warmup timings into the stage histogram
 	// (and, during apply, onto the active batch trace) from here on —
 	// including the refits WAL replay triggers below.
 	st.SetRecorder(s)
 	s.appliedSeq = ckptMeta.coveredSeq
+	s.appliedSeqA.Store(ckptMeta.coveredSeq)
 	s.nextSeq = ckptMeta.coveredSeq
 	s.coveredSeq.Store(ckptMeta.coveredSeq)
 	for p, q := range ckptMeta.producers {
@@ -311,7 +377,13 @@ func New(cfg Config) (*Server, error) {
 		s.lastSeen[p] = q
 	}
 
-	if cfg.WALDir != "" {
+	if cfg.FollowURL != "" {
+		// Follower: no WAL of its own until promotion (cfg.WALDir is held
+		// back for that moment); the local checkpoint restored above is
+		// the resume point — the tail restarts at its covered sequence.
+		s.follower.Store(true)
+		s.behindSince.Store(time.Now().UnixNano())
+	} else if cfg.WALDir != "" {
 		wcfg := WALConfig{
 			Dir:          cfg.WALDir,
 			FS:           cfg.FS,
@@ -346,7 +418,7 @@ func New(cfg Config) (*Server, error) {
 			wal.Close()
 			return nil, err
 		}
-		s.wal = wal
+		s.wal.Store(wal)
 		s.nextSeq = wal.LastSeq()
 		s.tel.walReplayedB.Add(s.replayedB)
 		s.tel.walReplayedP.Add(s.replayedP)
@@ -372,39 +444,14 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) replayWAL(wal *WAL) error {
 	from := s.appliedSeq
 	err := wal.Replay(from, func(seq uint64, entry []byte) error {
-		producer, pseq, raw, err := decodeWALEntry(entry)
-		if err != nil {
-			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
+		rows, applied, aerr := s.applyWALEntry(seq, entry)
+		if aerr != nil {
+			return fmt.Errorf("server: wal replay seq %d: %w", seq, aerr)
 		}
-		s.appliedSeq = seq
-		if producer != "" && pseq > 0 {
-			if last, ok := s.appliedProducers[producer]; ok && pseq <= last {
-				return nil // duplicate append; first copy already applied
-			}
+		if applied {
+			s.replayedB++
+			s.replayedP += int64(rows)
 		}
-		b, err := DecodeBatchAlias(raw, 0)
-		if err != nil {
-			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
-		}
-		rows := b.M.Rows
-		if b.M.Cols != s.cfg.Stream.Dims {
-			cols := b.M.Cols
-			b.Release()
-			return fmt.Errorf("server: wal replay seq %d: batch has %d dims, stream expects %d", seq, cols, s.cfg.Stream.Dims)
-		}
-		if _, err := s.stream.IngestBatch(&b.M); err != nil {
-			b.Release()
-			return fmt.Errorf("server: wal replay seq %d: %w", seq, err)
-		}
-		b.Release()
-		if producer != "" && pseq > 0 {
-			s.appliedProducers[producer] = pseq
-			if s.lastSeen[producer] < pseq {
-				s.lastSeen[producer] = pseq
-			}
-		}
-		s.replayedB++
-		s.replayedP += int64(rows)
 		return nil
 	})
 	if err != nil {
@@ -417,16 +464,67 @@ func (s *Server) replayWAL(wal *WAL) error {
 	return nil
 }
 
+// applyWALEntry decodes one WAL entry and feeds its batch into the
+// stream, advancing the applied horizon and the producer idempotency
+// maps. It is the single replay path shared by startup recovery and the
+// follower tail loop — one code path is what makes a replica
+// byte-identical to a primary that replayed the same log. The caller
+// must be the goroutine owning the stream. Returns the batch's row count
+// and whether it was applied (false = producer-sequence duplicate).
+func (s *Server) applyWALEntry(seq uint64, entry []byte) (rows int, applied bool, err error) {
+	producer, pseq, raw, err := decodeWALEntry(entry)
+	if err != nil {
+		return 0, false, err
+	}
+	s.appliedSeq = seq
+	s.appliedSeqA.Store(seq)
+	if producer != "" && pseq > 0 {
+		if last, ok := s.appliedProducers[producer]; ok && pseq <= last {
+			return 0, false, nil // duplicate append; first copy already applied
+		}
+	}
+	b, err := DecodeBatchAlias(raw, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	rows = b.M.Rows
+	if b.M.Cols != s.cfg.Stream.Dims {
+		cols := b.M.Cols
+		b.Release()
+		return 0, false, fmt.Errorf("batch has %d dims, stream expects %d", cols, s.cfg.Stream.Dims)
+	}
+	if _, err := s.stream.Load().IngestBatch(&b.M); err != nil {
+		b.Release()
+		return 0, false, err
+	}
+	b.Release()
+	if producer != "" && pseq > 0 {
+		s.appliedProducers[producer] = pseq
+		s.ingestMu.Lock()
+		if s.lastSeen[producer] < pseq {
+			s.lastSeen[producer] = pseq
+		}
+		s.ingestMu.Unlock()
+	}
+	return rows, true, nil
+}
+
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
 }
 
-// Start launches the writer goroutine. Call exactly once.
+// Start launches the writer goroutine — or, for a follower, the tail
+// loop (which becomes the writer goroutine at promotion). Call exactly
+// once.
 func (s *Server) Start() {
 	s.wg.Add(1)
-	go s.run()
+	if s.follower.Load() {
+		go s.followRun()
+	} else {
+		go s.run()
+	}
 }
 
 // Stop drains and shuts the serving core down: new ingests are refused,
@@ -454,8 +552,8 @@ func (s *Server) Stop(ctx context.Context) error {
 		return fmt.Errorf("server: shutdown timed out with %d batches undrained: %w", len(s.queue), ctx.Err())
 	}
 	var walErr error
-	if s.wal != nil {
-		walErr = s.wal.Close()
+	if wal := s.wal.Load(); wal != nil {
+		walErr = wal.Close()
 	}
 	if p := s.writerErr.Load(); p != nil {
 		return *p
@@ -466,6 +564,13 @@ func (s *Server) Stop(ctx context.Context) error {
 // run is the writer loop: the only goroutine that mutates the stream.
 func (s *Server) run() {
 	defer s.wg.Done()
+	s.runLoop()
+}
+
+// runLoop is the writer loop body. A follower calls it directly after
+// promotion — the tail goroutine becomes the writer goroutine, so stream
+// ownership transfers without a handoff window.
+func (s *Server) runLoop() {
 	var ckptC <-chan time.Time
 	if s.cfg.CheckpointPath != "" {
 		t := time.NewTicker(s.cfg.CheckpointEvery)
@@ -508,7 +613,8 @@ func (s *Server) apply(it ingestItem) {
 		s.curTrace = it.trace
 		applySpan = it.trace.Span("apply", obs.KV("points", b.M.Rows))
 	}
-	if _, err := s.stream.IngestBatch(&b.M); err != nil {
+	st := s.stream.Load()
+	if _, err := st.IngestBatch(&b.M); err != nil {
 		// Dimensionality was validated at the HTTP edge, so an error
 		// here is a refit failure — record it; the daemon keeps
 		// serving the previous model.
@@ -517,12 +623,13 @@ func (s *Server) apply(it ingestItem) {
 		s.logf("ingest error: %v", err)
 	}
 	s.appliedSeq = it.seq
+	s.appliedSeqA.Store(it.seq)
 	if it.producer != "" && it.pseq > 0 {
 		s.appliedProducers[it.producer] = it.pseq
 	}
 	s.batches.Add(1)
-	s.seen.Store(int64(s.stream.Seen()))
-	s.refits.Store(s.refitBase + int64(s.stream.Refits()))
+	s.seen.Store(int64(st.Seen()))
+	s.refits.Store(s.refitBase + int64(st.Refits()))
 	if it.trace != nil {
 		applySpan.End()
 		s.curTrace = nil
@@ -540,22 +647,23 @@ func (s *Server) checkpoint() {
 		return
 	}
 	ckptStart := time.Now()
-	if s.wal != nil {
+	wal := s.wal.Load()
+	if wal != nil {
 		// The checkpoint claims coverage through appliedSeq, and with the
 		// pipelined writer apply can outrun the group-commit fsync. Sync
 		// first, or a crash could leave a durable checkpoint covering WAL
 		// records that never reached the disk — a false WALStaleError on
 		// the next start.
-		if err := s.wal.Sync(); err != nil {
+		if err := wal.Sync(); err != nil {
 			s.logf("checkpoint: wal sync: %v", err)
 			return
 		}
 	}
 	var meta []byte
-	if s.wal != nil || len(s.appliedProducers) > 0 {
+	if wal != nil || len(s.appliedProducers) > 0 || s.follower.Load() {
 		meta = encodeWALCkptMeta(s.appliedSeq, s.appliedProducers)
 	}
-	blob, err := s.stream.EncodeWithMeta(meta)
+	blob, err := s.stream.Load().EncodeWithMeta(meta)
 	if err != nil {
 		return // pre-warmup: nothing to save yet
 	}
@@ -564,8 +672,8 @@ func (s *Server) checkpoint() {
 		return
 	}
 	s.coveredSeq.Store(s.appliedSeq)
-	if s.wal != nil {
-		if err := s.wal.TruncateThrough(s.appliedSeq); err != nil {
+	if wal != nil {
+		if err := wal.TruncateThrough(s.appliedSeq); err != nil {
 			s.logf("checkpoint: wal truncation: %v", err)
 		}
 	}
@@ -573,7 +681,7 @@ func (s *Server) checkpoint() {
 	s.lastCkpt.Store(time.Now().Unix())
 	s.tel.ckpts.Inc()
 	s.tel.ckptSec.Observe(time.Since(ckptStart).Seconds())
-	s.logf("checkpoint: %d points, %d bytes, covers wal seq %d", s.stream.Seen(), len(blob), s.appliedSeq)
+	s.logf("checkpoint: %d points, %d bytes, covers wal seq %d", s.stream.Load().Seen(), len(blob), s.appliedSeq)
 }
 
 // Stats returns the current counter snapshot. Safe from any goroutine.
@@ -605,9 +713,9 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	s.ingestMu.Unlock()
-	if s.wal != nil {
+	if wal := s.wal.Load(); wal != nil {
 		info := &WALInfo{
-			WALStats:        s.wal.Stats(),
+			WALStats:        wal.Stats(),
 			CoveredSeq:      s.coveredSeq.Load(),
 			Policy:          string(s.fsync),
 			ReplayedBatches: s.replayedB,
@@ -618,10 +726,31 @@ func (s *Server) Stats() Stats {
 		}
 		st.WAL = info
 	}
-	if m := s.stream.Snapshot(); m != nil {
+	st.AppliedSeq = s.appliedSeqA.Load()
+	if s.follower.Load() {
+		st.Role = "follower"
+		st.Primary = s.cfg.FollowURL
+		st.PrimaryLastSeq = s.primaryLastSeq.Load()
+		st.TailReconnects = s.tailReconnects.Load()
+		st.ReplicaLagSeconds = s.replicaLagSeconds()
+	} else {
+		st.Role = "primary"
+		st.Promoted = s.cfg.FollowURL != ""
+	}
+	if m := s.stream.Load().Snapshot(); m != nil {
 		st.Clusters = m.K()
 	}
 	return st
+}
+
+// replicaLagSeconds reports how long the replica has been behind the
+// primary's last reported horizon; 0 means caught up.
+func (s *Server) replicaLagSeconds() float64 {
+	since := s.behindSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, since)).Seconds()
 }
 
 // Handler returns the HTTP API:
@@ -634,6 +763,9 @@ func (s *Server) Stats() Stats {
 //	GET  /trace   → recent batch traces, JSON, newest first
 //	GET  /healthz → 200 "ok" (liveness)
 //	GET  /readyz  → 200 | 503 readiness: draining or a wedged WAL → 503
+//	GET  /wal     → framed WAL tail stream from ?from=<seq> (replication)
+//	GET  /snapshot → newest durable checkpoint blob (follower bootstrap)
+//	POST /promote → follower → primary promotion; 409 on a primary
 //	GET  /debug/pprof/* → net/http/pprof (only with Config.EnablePprof)
 //
 // Read endpoints answer GET (and HEAD) only; write endpoints answer POST
@@ -655,6 +787,9 @@ func (s *Server) Handler() http.Handler {
 		io.WriteString(w, "ok\n")
 	}))
 	mux.HandleFunc("/readyz", getOnly(s.handleReady))
+	mux.HandleFunc("/wal", getOnly(s.handleWALTail))
+	mux.HandleFunc("/snapshot", getOnly(s.handleSnapshot))
+	mux.HandleFunc("/promote", s.handlePromote)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", getOnly(pprof.Index))
 		mux.HandleFunc("/debug/pprof/cmdline", getOnly(pprof.Cmdline))
@@ -699,8 +834,8 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		resp = readiness{Reason: "draining"}
 	}
 	s.drainMu.RUnlock()
-	if resp.Ready && s.wal != nil {
-		ws := s.wal.Stats()
+	if wal := s.wal.Load(); resp.Ready && wal != nil {
+		ws := wal.Stats()
 		if ws.Err != "" {
 			resp = readiness{Reason: "wal wedged: " + ws.Err}
 		} else if cov := s.coveredSeq.Load(); ws.LastSeq > cov {
@@ -746,11 +881,19 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *Batch {
 		}
 	} else {
 		// Chunked request with no declared length: fall back to a plain
-		// bounded read; the decoder copy-decodes if alignment is off.
+		// bounded read; the decoder copy-decodes if alignment is off. The
+		// reader allows limit+1 bytes exactly so truncation is detectable:
+		// a body that filled the extra byte was over the limit and gets the
+		// same 413 as an oversized declared length, not a generic decode 400.
 		var err error
 		body, err = io.ReadAll(io.LimitReader(r.Body, limit+1))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil
+		}
+		if int64(len(body)) > limit {
+			http.Error(w, fmt.Sprintf("%v: chunked body exceeds %d bytes", ErrBatchTooLarge, limit),
+				http.StatusRequestEntityTooLarge)
 			return nil
 		}
 	}
@@ -778,6 +921,14 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *Batch {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ingestStart := time.Now()
+	if s.follower.Load() {
+		// A replica never takes writes: answer with a typed redirect to
+		// the primary before touching the body. 421 (not 3xx) because Go
+		// clients transparently re-POST redirects, which would hide the
+		// misdirection instead of surfacing it.
+		s.rejectFollowerIngest(w, r)
+		return
+	}
 	b := s.readBatch(w, r)
 	if b == nil {
 		return
@@ -811,8 +962,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// WAL wedged that promise may not be keepable (the original's
 		// group commit could be the very fsync that failed), so fail the
 		// retry instead of acking it.
-		if s.wal != nil {
-			if err := s.wal.Wedged(); err != nil {
+		if wal := s.wal.Load(); wal != nil {
+			if err := wal.Wedged(); err != nil {
 				s.tel.batchError.Inc()
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -834,9 +985,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		b.Release()
 		s.rejected.Add(1)
 		s.tel.batchRejected.Inc()
-		// Retry-After carries whole seconds per RFC 9110; the precise
-		// hint rides a dedicated header for the Go client.
-		secs := int(s.cfg.RetryAfter.Seconds())
+		// Retry-After carries whole seconds per RFC 9110, so the hint is
+		// rounded UP (minimum 1): truncation would turn a sub-second hint
+		// into "0", telling well-behaved clients to retry immediately and
+		// defeating the backpressure. The precise hint rides a dedicated
+		// millisecond header for the Go client.
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
@@ -853,13 +1007,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	tr.AddSpan("ingest", ingestStart, time.Since(ingestStart))
 	seq := s.nextSeq + 1
 	waitDurable := false
-	if s.wal != nil {
+	wal := s.wal.Load()
+	if wal != nil {
 		wstart := time.Now()
 		// Two-part append: the small header is framed into a reusable
 		// buffer and the raw KB2B bytes ride as-is — the WAL concatenates
 		// them into one record without this path copying the batch.
 		s.walHdrBuf = encodeWALEntryHeader(s.walHdrBuf[:0], producer, pseq)
-		res, err := s.wal.Append(s.walHdrBuf, b.Raw())
+		res, err := wal.Append(s.walHdrBuf, b.Raw())
 		if err != nil {
 			s.ingestMu.Unlock()
 			s.drainMu.RUnlock()
@@ -923,7 +1078,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// other's.
 	if waitDurable {
 		fstart := time.Now()
-		sw, err := s.wal.WaitDurable(seq)
+		sw, err := wal.WaitDurable(seq)
 		if err != nil {
 			// The batch is queued (the stream will still apply it) but its
 			// durability could not be confirmed: no ack. The WAL is wedged
@@ -967,7 +1122,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	defer b.Release()
 	rows := b.M.Rows
 	resp := labelResponse{Labels: make([]int, rows)}
-	m := s.stream.Snapshot()
+	m := s.stream.Load().Snapshot()
 	if m == nil {
 		for i := range resp.Labels {
 			resp.Labels[i] = -1
@@ -991,7 +1146,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	m := s.stream.Snapshot()
+	m := s.stream.Load().Snapshot()
 	if m == nil {
 		http.Error(w, "no model yet (stream warming up)", http.StatusNotFound)
 		return

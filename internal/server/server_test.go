@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -274,5 +275,93 @@ func TestRestoreRejectsCorruptCheckpoint(t *testing.T) {
 	}
 	if _, err := server.New(cfg); err == nil {
 		t.Fatal("started from a corrupt checkpoint")
+	}
+}
+
+// chunkedBody hides the reader's concrete type so http.NewRequest cannot
+// learn a Content-Length and the transport sends Transfer-Encoding:
+// chunked — the daemon sees ContentLength -1.
+type chunkedBody struct{ io.Reader }
+
+// TestChunkedIngestLimits pins the oversize contract for requests with no
+// declared length: a chunked body under the batch limit is accepted
+// normally, and one over it gets the same 413 as an oversized declared
+// length — not a generic decode 400.
+func TestChunkedIngestLimits(t *testing.T) {
+	srv, err := server.New(server.Config{Stream: testStreamConfig(3), MaxBatchPoints: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postChunked := func(body []byte) int {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", chunkedBody{bytes.NewReader(body)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if req.ContentLength != 0 {
+			t.Fatalf("test setup: Content-Length %d leaked, want chunked", req.ContentLength)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	under, _ := synth.AutoMixture(2, 3, 6, 1, xrand.New(1)).Sample(8, xrand.New(2))
+	if code := postChunked(server.EncodeBatch(under)); code != http.StatusAccepted {
+		t.Fatalf("chunked under-limit → %d, want 202", code)
+	}
+	over, _ := synth.AutoMixture(2, 3, 6, 1, xrand.New(1)).Sample(9, xrand.New(2))
+	if code := postChunked(server.EncodeBatch(over)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("chunked over-limit → %d, want 413", code)
+	}
+	if code := postChunked([]byte("junk, but small")); code != http.StatusBadRequest {
+		t.Fatalf("chunked junk → %d, want 400", code)
+	}
+}
+
+// TestRetryAfterHeaderRoundsUp: a sub-second retry hint must round UP to
+// Retry-After: 1 — "0" tells well-behaved clients to hammer immediately —
+// while the exact hint rides X-Retry-After-Ms.
+func TestRetryAfterHeaderRoundsUp(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Stream: testStreamConfig(3), QueueDepth: 1, RetryAfter: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No writer: the first batch fills the queue, the second is rejected.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch, _ := synth.AutoMixture(2, 3, 6, 1, xrand.New(1)).Sample(10, xrand.New(2))
+	raw := server.EncodeBatch(batch)
+	post := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch → %d", resp.StatusCode)
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second batch → %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After %q, want \"1\" (120ms rounds up, never down to 0)", got)
+	}
+	if got := resp.Header.Get("X-Retry-After-Ms"); got != "120" {
+		t.Fatalf("X-Retry-After-Ms %q, want \"120\"", got)
 	}
 }

@@ -198,6 +198,14 @@ type WAL struct {
 	wasEmpty  bool   // no segments existed at Open
 	recBuf    []byte // reusable record framing buffer (guarded by mu)
 
+	// appendC, when armed by AppendNotify, is closed on the next
+	// successful append so tail readers can long-poll for new records.
+	// Arm-on-demand keeps the append hot path allocation-free when no
+	// reader is waiting: the channel is (re)allocated by the poller, and
+	// Append only ever closes it.
+	appendC     chan struct{}
+	appendArmed bool
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
@@ -486,7 +494,26 @@ func (w *WAL) Append(entry ...[]byte) (AppendResult, error) {
 	w.dirty = true
 	w.lastSeq = seq
 	act.lastSeq = seq
+	if w.appendArmed {
+		close(w.appendC)
+		w.appendC = nil
+		w.appendArmed = false
+	}
 	return AppendResult{Seq: seq, Bytes: n}, nil
+}
+
+// AppendNotify returns a channel that is closed when the next record is
+// appended. Grab the channel BEFORE checking for new records: an append
+// that lands in between is then observed either by the check or by the
+// already-obtained channel, never missed.
+func (w *WAL) AppendNotify() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.appendC == nil {
+		w.appendC = make(chan struct{})
+	}
+	w.appendArmed = true
+	return w.appendC
 }
 
 // SyncWait reports how a durability wait was satisfied.

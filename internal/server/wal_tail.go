@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+)
+
+// WAL tail reads: the replication half of the log. A follower replica
+// consumes records through a TailCursor without ever touching the write
+// path — reads snapshot (lastSeq, segment list) under the lock, then
+// parse segment files with the lock RELEASED, so a tailing follower can
+// never block an append or a group-commit fsync.
+//
+// Concurrent-append safety: a record's bytes are fully written before
+// lastSeq advances under w.mu, so any record with seq <= the snapshot's
+// lastSeq is complete in a file read taken after the snapshot. Bytes past
+// the snapshot horizon may be a half-written append; the parser stops at
+// the horizon and never looks at them.
+
+// TailTruncatedError reports a tail read that asked for records the log
+// no longer holds: a checkpoint-coordinated truncation deleted them. The
+// reader must re-bootstrap from a checkpoint snapshot covering at least
+// OldestSeq-1 instead of resuming record-by-record.
+type TailTruncatedError struct {
+	FromSeq   uint64 // reader wanted records after this sequence
+	OldestSeq uint64 // oldest record the log still holds
+}
+
+func (e *TailTruncatedError) Error() string {
+	return fmt.Sprintf("wal: records after seq %d requested but the log now starts at seq %d (truncated)", e.FromSeq, e.OldestSeq)
+}
+
+// TailCursor is a reader's resume position. The zero value is invalid;
+// obtain one from CursorAt and thread it through ReadTail calls.
+// SegFirst/Offset are a seek hint — ReadTail re-derives them from NextSeq
+// when the hinted segment rotated or was truncated away.
+type TailCursor struct {
+	NextSeq  uint64 // next sequence the reader wants
+	SegFirst uint64 // firstSeq of the segment the hint points into
+	Offset   int64  // byte offset of the next record within that segment
+}
+
+// TailRecord is one replicated record: its sequence, the segment it came
+// from (boundary metadata for the wire protocol), and the entry bytes
+// exactly as Append stored them. Entry aliases a buffer owned by the
+// ReadTail call; it is valid only until the next ReadTail on the cursor.
+type TailRecord struct {
+	Seq      uint64
+	SegFirst uint64
+	Entry    []byte
+}
+
+// oldestAvailableLocked returns the oldest record sequence the log still
+// holds (lastSeq+1 when the log holds none — empty or fully forwarded).
+func (w *WAL) oldestAvailableLocked() uint64 {
+	for _, seg := range w.segments {
+		if seg.lastSeq >= seg.firstSeq {
+			return seg.firstSeq
+		}
+	}
+	return w.lastSeq + 1
+}
+
+// CursorAt positions a tail cursor after fromSeq, so the first record a
+// subsequent ReadTail returns is fromSeq+1. Returns *TailTruncatedError
+// when fromSeq+1 was truncated away (the reader needs a snapshot).
+func (w *WAL) CursorAt(fromSeq uint64) (TailCursor, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if next := fromSeq + 1; next <= w.lastSeq {
+		if oldest := w.oldestAvailableLocked(); next < oldest {
+			return TailCursor{}, &TailTruncatedError{FromSeq: fromSeq, OldestSeq: oldest}
+		}
+	}
+	return TailCursor{NextSeq: fromSeq + 1}, nil
+}
+
+// ReadTail returns records starting at cur.NextSeq, up to roughly
+// maxBytes of entry payload (always at least one record when any is
+// available), plus the advanced cursor and the log's lastSeq at the time
+// of the read. An empty result with err == nil means the cursor is caught
+// up to lastSeq. Returns *TailTruncatedError when the cursor's records
+// were truncated away since the last call.
+func (w *WAL) ReadTail(cur TailCursor, maxBytes int) ([]TailRecord, TailCursor, uint64, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	w.mu.Lock()
+	lastSeq := w.lastSeq
+	segs := append([]walSegment(nil), w.segments...)
+	oldest := w.oldestAvailableLocked()
+	w.mu.Unlock()
+
+	if cur.NextSeq == 0 {
+		cur.NextSeq = 1
+	}
+	if cur.NextSeq > lastSeq {
+		return nil, cur, lastSeq, nil // caught up
+	}
+	if cur.NextSeq < oldest {
+		return nil, cur, lastSeq, &TailTruncatedError{FromSeq: cur.NextSeq - 1, OldestSeq: oldest}
+	}
+
+	var out []TailRecord
+	budget := maxBytes
+	for _, seg := range segs {
+		if budget <= 0 || cur.NextSeq > lastSeq {
+			break
+		}
+		if seg.lastSeq < seg.firstSeq || seg.lastSeq < cur.NextSeq {
+			continue // empty or fully-consumed segment
+		}
+		blob, err := w.cfg.FS.ReadFile(filepath.Join(w.cfg.Dir, seg.name))
+		if err != nil {
+			return out, cur, lastSeq, &WALWriteError{Op: "tail read " + seg.name, Err: err}
+		}
+		off := int64(walHeaderSize)
+		if cur.SegFirst == seg.firstSeq && cur.Offset >= off && cur.Offset <= int64(len(blob)) {
+			off = cur.Offset // resume where the last call stopped
+		}
+		for off < int64(len(blob)) && budget > 0 {
+			rest := blob[off:]
+			if len(rest) < walRecHdrSize {
+				break // in-flight append past the snapshot horizon
+			}
+			n := binary.LittleEndian.Uint32(rest)
+			if n < 8 || n > walMaxRecord || int64(len(rest)) < walRecHdrSize+int64(n) {
+				break
+			}
+			payload := rest[walRecHdrSize : walRecHdrSize+int64(n)]
+			if crc := binary.LittleEndian.Uint32(rest[4:]); crc != crc32.Checksum(payload, walCRCTable) {
+				break
+			}
+			seq := binary.LittleEndian.Uint64(payload)
+			if seq > lastSeq {
+				break // beyond the snapshot horizon
+			}
+			off += walRecHdrSize + int64(n)
+			if seq < cur.NextSeq {
+				continue // scanning up to the resume point
+			}
+			out = append(out, TailRecord{Seq: seq, SegFirst: seg.firstSeq, Entry: payload[8:]})
+			budget -= len(payload)
+			cur = TailCursor{NextSeq: seq + 1, SegFirst: seg.firstSeq, Offset: off}
+		}
+	}
+	return out, cur, lastSeq, nil
+}

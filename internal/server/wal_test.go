@@ -286,3 +286,43 @@ func TestWALWriteFaults(t *testing.T) {
 		}
 	})
 }
+
+// TestWALTruncateReopenResumesHorizon is the checkpoint-coordination
+// regression: after TruncateThrough removes the covered head, a reopened
+// log must resume at EXACTLY the durable horizon — same lastSeq, next
+// append numbered lastSeq+1, and the uncovered tail fully replayable —
+// across a second reopen too.
+func TestWALTruncateReopenResumesHorizon(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, func(c *WALConfig) { c.SegmentBytes = 256 })
+	appendN(t, w, 30, "hz")
+	if err := w.TruncateThrough(25); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTestWAL(t, dir, func(c *WALConfig) { c.SegmentBytes = 256 })
+	if w2.LastSeq() != 30 {
+		t.Fatalf("reopened at seq %d, want 30", w2.LastSeq())
+	}
+	if res, err := w2.Append([]byte("hz-next")); err != nil || res.Seq != 31 {
+		t.Fatalf("append after truncated reopen: seq %d err %v", res.Seq, err)
+	}
+	got := collectReplay(t, w2, 25)
+	for seq := uint64(26); seq <= 31; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("seq %d missing from the uncovered tail", seq)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w3 := openTestWAL(t, dir, func(c *WALConfig) { c.SegmentBytes = 256 })
+	defer w3.Close()
+	if w3.LastSeq() != 31 {
+		t.Fatalf("second reopen at seq %d, want 31", w3.LastSeq())
+	}
+}
