@@ -15,6 +15,7 @@
 //	         [-fsync-interval 100ms] [-wal-segment-bytes 4194304]
 //	         [-log-level info] [-trace-log traces.jsonl] [-pprof]
 //	         [-follow http://primary:7420] [-follow-poll 2s]
+//	         [-node-id id] [-shard name]
 //
 // API (binary batches are "KB2B" | dims u32 | count u32 | float64s, LE):
 //
@@ -101,6 +102,8 @@ type daemonOpts struct {
 	pprof      bool
 	follow     string
 	followPoll time.Duration
+	nodeID     string
+	shard      string
 }
 
 func main() {
@@ -129,6 +132,8 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.StringVar(&o.follow, "follow", "", "run as a follower replica of the primary at this base URL (e.g. http://127.0.0.1:7420)")
 	flag.DurationVar(&o.followPoll, "follow-poll", 2*time.Second, "long-poll wait against the primary's WAL tail when caught up")
+	flag.StringVar(&o.nodeID, "node-id", "", "stable node identity for logs and /stats (default: the run_id, fresh per start)")
+	flag.StringVar(&o.shard, "shard", "", "shard label this node serves under a cluster router (informational)")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -198,6 +203,8 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		Logf:            log.Printf,
 		FollowURL:       o.follow,
 		FollowPoll:      o.followPoll,
+		NodeID:          o.nodeID,
+		Shard:           o.shard,
 	}
 	return cfg, nil
 }
@@ -239,8 +246,13 @@ func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	srv.Start()
+	nodeID := o.nodeID
+	if nodeID == "" {
+		nodeID = cfg.RunID // the server's own fallback
+	}
 	logger.Info("listening",
-		obs.KV("addr", ln.Addr()), obs.KV("dims", o.dims), obs.KV("queue", o.queueDepth),
+		obs.KV("addr", ln.Addr()), obs.KV("node_id", nodeID), obs.KV("shard", o.shard),
+		obs.KV("dims", o.dims), obs.KV("queue", o.queueDepth),
 		obs.KV("checkpoint", o.ckptPath), obs.KV("wal_dir", o.walDir), obs.KV("pprof", o.pprof))
 
 	httpErr := make(chan error, 1)

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"keybin2/internal/client"
+	"keybin2/internal/shardcluster"
+)
+
+// loadOutput is the report JSON: the standard load measurement, plus the
+// cluster distribution block when the target was a router (-cluster).
+type loadOutput struct {
+	client.LoadReport
+	Cluster *clusterReport `json:"cluster,omitempty"`
+}
+
+// clusterReport summarizes how the router's hash ring spread the run.
+type clusterReport struct {
+	Shards     int     `json:"shards"`
+	ShardsUp   int     `json:"shards_up"`
+	MergeEpoch int64   `json:"merge_epoch"`
+	GlobalSeen int64   `json:"global_seen"`
+	// BalanceCV is the ring's ownership skew (stddev/mean over live
+	// shards' hash-space fractions; ~0.1 at 64 vnodes).
+	BalanceCV float64        `json:"ring_balance_cv"`
+	PerShard  []shardLoadRow `json:"per_shard"`
+}
+
+type shardLoadRow struct {
+	URL     string `json:"url"`
+	Up      bool   `json:"up"`
+	Batches int64  `json:"batches"`
+	Points  int64  `json:"points"`
+	Labels  int64  `json:"labels"`
+	// PointShare is this shard's fraction of all routed points — compare
+	// with ring_balance_cv to see hash spread vs. actual traffic spread.
+	PointShare float64 `json:"point_share"`
+}
+
+// clusterDistribution scrapes the router's /stats and reshapes the
+// per-shard rows into the load report's distribution block.
+func clusterDistribution(ctx context.Context, addr string) (*clusterReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/stats: %s", addr, resp.Status)
+	}
+	var cs shardcluster.ClusterStats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return nil, err
+	}
+	if cs.Role != "router" {
+		return nil, fmt.Errorf("%s reports role %q — -cluster expects a keybin2router", addr, cs.Role)
+	}
+	out := &clusterReport{
+		Shards: cs.Shards, ShardsUp: cs.ShardsUp,
+		MergeEpoch: cs.MergeEpoch, GlobalSeen: cs.GlobalSeen, BalanceCV: cs.Balance,
+	}
+	var total int64
+	for _, row := range cs.ShardDetail {
+		total += row.Points
+	}
+	for _, row := range cs.ShardDetail {
+		r := shardLoadRow{
+			URL: row.URL, Up: row.Up,
+			Batches: row.Batches, Points: row.Points, Labels: row.Labels,
+		}
+		if total > 0 {
+			r.PointShare = float64(row.Points) / float64(total)
+		}
+		out.PerShard = append(out.PerShard, r)
+	}
+	return out, nil
+}

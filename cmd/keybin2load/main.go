@@ -8,6 +8,13 @@
 //	keybin2load -addr http://127.0.0.1:7420 [-points 100000] [-dims 16]
 //	            [-batch 512] [-ingesters 4] [-query-workers 2] [-seed 1]
 //	            [-o -] [-probe labels.json] [-no-load]
+//	            [-cluster] [-producer-prefix load]
+//
+// -cluster points the run at a keybin2router instead of a daemon: each
+// ingest worker gets its own producer identity (so the router's hash
+// ring spreads them across shards) and the report gains a per-shard
+// distribution block — batches/points per shard and the ring's balance
+// coefficient.
 //
 // -probe exercises restart consistency: it labels a deterministic probe
 // batch and writes the labels to the given file — or, when the file
@@ -62,6 +69,8 @@ func main() {
 		promote      = flag.Bool("promote", false, "with -crash-cycles: kill the PRIMARY of a replicated cluster and promote a follower instead of restarting")
 		replicas     = flag.Int("replicas", 2, "follower replicas per cluster in -promote chaos mode")
 		readAddrs    = flag.String("read-addrs", "", "comma-separated follower base URLs; label queries split across them and -addr")
+		clusterMode  = flag.Bool("cluster", false, "-addr is a keybin2router: tag each ingester as its own producer and report the per-shard distribution")
+		prodPrefix   = flag.String("producer-prefix", "", "per-worker producer id prefix (default with -cluster: \"load\"); spreads workers across a router's hash ring")
 	)
 	flag.Parse()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -95,16 +104,29 @@ func main() {
 		if *readAddrs != "" {
 			reads = strings.Split(*readAddrs, ",")
 		}
+		prefix := *prodPrefix
+		if prefix == "" && *clusterMode {
+			prefix = "load" // a router partitions by producer; workers need distinct ids
+		}
 		rep, err := client.RunLoad(ctx, c, client.LoadConfig{
 			Points: *points, Dims: *dims, BatchSize: *batch,
 			Ingesters: *ingest, QueryWorkers: *queryW, Seed: *seed,
-			ReadAddrs: reads,
+			ReadAddrs: reads, ProducerPrefix: prefix,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "keybin2load:", err)
 			os.Exit(1)
 		}
-		enc, _ := json.MarshalIndent(rep, "", "  ")
+		full := loadOutput{LoadReport: rep}
+		if *clusterMode {
+			cl, err := clusterDistribution(ctx, *addr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "keybin2load: cluster stats:", err)
+			} else {
+				full.Cluster = cl
+			}
+		}
+		enc, _ := json.MarshalIndent(full, "", "  ")
 		enc = append(enc, '\n')
 		if *out == "-" {
 			os.Stdout.Write(enc)
@@ -114,6 +136,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ingest %.0f pts/s, query p50 %.2f ms p99 %.2f ms, %d refits, %d clusters\n",
 			rep.IngestPointsPerSec, rep.QueryP50Ms, rep.QueryP99Ms, rep.FinalRefits, rep.FinalClusters)
+		if full.Cluster != nil {
+			fmt.Fprintf(os.Stderr, "cluster: %d/%d shards up, merge epoch %d, ring balance cv %.3f\n",
+				full.Cluster.ShardsUp, full.Cluster.Shards, full.Cluster.MergeEpoch, full.Cluster.BalanceCV)
+		}
 	}
 	if *probe != "" {
 		if err := runProbe(ctx, c, *probe, *dims, *probeN, *seed); err != nil {

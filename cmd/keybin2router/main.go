@@ -1,0 +1,207 @@
+// Command keybin2router fronts N keybin2d shards as one logical
+// clustering service. Producers POST /ingest at the router; a consistent
+// hash on the X-Producer header pins each producer to one shard (keeping
+// the daemon's per-producer dedupe exact), untagged traffic round-robins.
+// On a cadence — or on demand via POST /merge — the router runs the
+// histogram-merge collective: it pulls every live shard's binning
+// histograms (GET /hist), folds them into one global state, refits a
+// single global model with stable labels, and installs the identical
+// model bytes on every shard (POST /hist/install). After a merge epoch,
+// every shard answers /label exactly as a single daemon fed the whole
+// stream would.
+//
+// Shard death is survivable by construction: a dead shard's hash range
+// redistributes to survivors on the next request, merges proceed with
+// whoever is up, and a recovered shard is re-admitted by the health loop
+// and caught up to the current global model before it serves.
+//
+// Usage:
+//
+//	keybin2router -shards http://h1:7420,http://h2:7420,http://h3:7420
+//	              -dims 16 -range -10,10 [-addr :7410] [-trials 5]
+//	              [-seed 1] [-depth 0] [-vnodes 64] [-merge-every 10s]
+//	              [-health-every 500ms] [-shard-timeout 10s]
+//	              [-node-id id] [-log-level info]
+//
+// The stream flags (-dims -range -trials -seed -depth) MUST match the
+// shards' flags: the router re-derives the global model from the merged
+// histograms, so a mismatch is a config error, caught at startup where
+// possible. -range is required — congruent per-shard histograms are what
+// make the merge exact.
+//
+// API:
+//
+//	POST /ingest  → proxied to the producer's shard (bounded failover)
+//	POST /label   → proxied round-robin to any live shard
+//	GET  /stats   → cluster aggregate + per-shard breakdown
+//	GET  /ring    → hash-ring ownership, balance, liveness
+//	POST /merge   → run one merge epoch now
+//	GET  /metrics → Prometheus text exposition (keybin2router_* series)
+//	GET  /healthz → router liveness
+//	GET  /readyz  → 200 when ≥ 1 shard is up
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"keybin2/internal/core"
+	"keybin2/internal/obs"
+	"keybin2/internal/shardcluster"
+)
+
+type routerOpts struct {
+	addr         string
+	shards       string
+	dims         int
+	trials       int
+	seed         int64
+	depth        int
+	rawRange     string
+	vnodes       int
+	mergeEvery   time.Duration
+	healthEvery  time.Duration
+	shardTimeout time.Duration
+	nodeID       string
+	logLevel     string
+}
+
+func main() {
+	var o routerOpts
+	flag.StringVar(&o.addr, "addr", ":7410", "HTTP listen address")
+	flag.StringVar(&o.shards, "shards", "", "comma-separated keybin2d base URLs (required, ≥ 1)")
+	flag.IntVar(&o.dims, "dims", 0, "raw input dimensionality — must match the shards (required)")
+	flag.IntVar(&o.trials, "trials", 5, "bootstrap projection trials — must match the shards")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed — must match the shards")
+	flag.IntVar(&o.depth, "depth", 0, "binning tree depth — must match the shards")
+	flag.StringVar(&o.rawRange, "range", "", "per-dimension bounds 'lo,hi' — required, must match the shards")
+	flag.IntVar(&o.vnodes, "vnodes", 64, "virtual ring points per shard")
+	flag.DurationVar(&o.mergeEvery, "merge-every", 10*time.Second, "merge-epoch cadence (0 = manual via POST /merge)")
+	flag.DurationVar(&o.healthEvery, "health-every", 500*time.Millisecond, "shard health-probe cadence")
+	flag.DurationVar(&o.shardTimeout, "shard-timeout", 10*time.Second, "per-shard request deadline")
+	flag.StringVar(&o.nodeID, "node-id", "", "stable router identity for logs (default: the run_id)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
+	flag.Parse()
+
+	if err := run(o, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "keybin2router:", err)
+		os.Exit(1)
+	}
+}
+
+func buildConfig(o routerOpts) (shardcluster.Config, error) {
+	var cfg shardcluster.Config
+	if o.shards == "" {
+		return cfg, fmt.Errorf("-shards is required")
+	}
+	if o.dims <= 0 {
+		return cfg, fmt.Errorf("-dims is required (got %d)", o.dims)
+	}
+	if o.rawRange == "" {
+		return cfg, fmt.Errorf("-range is required: predetermined bounds are what make shard histograms congruent and the merge exact")
+	}
+	lohi := strings.SplitN(o.rawRange, ",", 2)
+	if len(lohi) != 2 {
+		return cfg, fmt.Errorf("-range wants 'lo,hi', got %q", o.rawRange)
+	}
+	lo, err1 := strconv.ParseFloat(strings.TrimSpace(lohi[0]), 64)
+	hi, err2 := strconv.ParseFloat(strings.TrimSpace(lohi[1]), 64)
+	if err1 != nil || err2 != nil || lo >= hi {
+		return cfg, fmt.Errorf("-range wants numeric lo < hi, got %q", o.rawRange)
+	}
+	ranges := make([][2]float64, o.dims)
+	for i := range ranges {
+		ranges[i] = [2]float64{lo, hi}
+	}
+	if _, err := obs.ParseLevel(o.logLevel); err != nil {
+		return cfg, fmt.Errorf("bad flags: %w", err)
+	}
+	var shards []string
+	for _, s := range strings.Split(o.shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	cfg = shardcluster.Config{
+		Shards: shards,
+		Stream: core.StreamConfig{
+			Config:    core.Config{Trials: o.trials, Seed: o.seed, Depth: o.depth},
+			Dims:      o.dims,
+			RawRanges: ranges,
+			Period:    1 << 30, // the router refits on merge epochs, never on a point cadence
+		},
+		VNodes:       o.vnodes,
+		MergeEvery:   o.mergeEvery,
+		HealthEvery:  o.healthEvery,
+		ShardTimeout: o.shardTimeout,
+		RunID:        obs.NewRunID(),
+	}
+	return cfg, nil
+}
+
+// run starts the router and blocks until a signal (or a close of stop,
+// which tests use). When ready is non-nil it receives the bound address.
+func run(o routerOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return err
+	}
+	lvl, _ := obs.ParseLevel(o.logLevel) // validated by buildConfig
+	nodeID := o.nodeID
+	if nodeID == "" {
+		nodeID = cfg.RunID
+	}
+	logger := obs.NewLogger(os.Stderr, lvl, obs.KV("run_id", cfg.RunID))
+	cfg.Logf = logger.Logf
+
+	r, err := shardcluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	hs := &http.Server{Handler: r.Handler()}
+	r.Start()
+	logger.Info("listening",
+		obs.KV("addr", ln.Addr()), obs.KV("node_id", nodeID), obs.KV("role", "router"),
+		obs.KV("shards", len(cfg.Shards)), obs.KV("vnodes", cfg.VNodes),
+		obs.KV("merge_every", o.mergeEvery))
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Info("stopping", obs.KV("signal", s))
+	case <-stop:
+		logger.Info("stopping", obs.KV("signal", "stop requested"))
+	case err := <-httpErr:
+		r.Stop()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	r.Stop()
+	logger.Info("stopped", obs.KV("merge_epoch", r.Epoch()))
+	return nil
+}

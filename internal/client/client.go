@@ -35,11 +35,12 @@ func (e *ErrBackpressure) Error() string {
 	return fmt.Sprintf("client: daemon queue full, retry after %s", e.RetryAfter)
 }
 
-// ErrNotPrimary reports an ingest aimed at a follower replica (HTTP 421):
-// the daemon serves reads but routes writes to the primary at Primary.
-// The producer must re-aim — the client never silently re-sends to the
-// primary, because which node takes writes is a topology decision the
-// caller owns.
+// ErrNotPrimary reports an ingest a follower replica refused (HTTP 421)
+// and the client could not redeem: the client follows the follower's
+// X-KB2-Primary hint for exactly one hop per request, so this error
+// surfaces only when the follower had no hint to offer (Primary == "")
+// or the hinted node itself answered 421 — a topology the caller must
+// sort out, not something to retry into.
 type ErrNotPrimary struct {
 	Primary string
 }
@@ -160,7 +161,11 @@ func (c *Client) Producer() string { return c.producer }
 func (c *Client) NextBatchSeq() uint64 { return c.pseq.Add(1) }
 
 func (c *Client) post(ctx context.Context, path string, body []byte, pseq uint64) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	return c.postTo(ctx, c.base, path, body, pseq)
+}
+
+func (c *Client) postTo(ctx context.Context, base, path string, body []byte, pseq uint64) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +210,22 @@ func (c *Client) IngestSeq(ctx context.Context, batch *linalg.Matrix, pseq uint6
 // count, used only for the fallback ack. The daemon still validates the
 // frame, so a malformed raw buffer is rejected, not mis-ingested.
 func (c *Client) IngestRawSeq(ctx context.Context, raw []byte, rows int, pseq uint64) (IngestAck, error) {
+	ack, err := c.ingestRawTo(ctx, c.base, raw, rows, pseq)
+	var np *ErrNotPrimary
+	if errors.As(err, &np) && np.Primary != "" {
+		// A follower told us who the primary is: follow the hint for ONE
+		// hop with the identical bytes and sequence (the primary dedupes a
+		// batch the follower somehow already forwarded). A second 421
+		// surfaces as ErrNotPrimary — hint-chasing loops are a topology
+		// bug, not something to absorb.
+		return c.ingestRawTo(ctx, strings.TrimRight(np.Primary, "/"), raw, rows, pseq)
+	}
+	return ack, err
+}
+
+func (c *Client) ingestRawTo(ctx context.Context, base string, raw []byte, rows int, pseq uint64) (IngestAck, error) {
 	var ack IngestAck
-	resp, err := c.post(ctx, "/ingest", raw, pseq)
+	resp, err := c.postTo(ctx, base, "/ingest", raw, pseq)
 	if err != nil {
 		return ack, err
 	}

@@ -40,6 +40,12 @@ type LoadConfig struct {
 	// read-path scale-out the replication tier exists for; ingest always
 	// goes to the primary.
 	ReadAddrs []string
+	// ProducerPrefix, when set, gives each ingest worker its OWN producer
+	// identity ("<prefix>-<worker>") instead of sharing c's. Against a
+	// shard router that partitions by producer, this is what spreads the
+	// workers across the hash ring; against a single daemon it simply
+	// means per-worker dedupe sequences.
+	ProducerPrefix string
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -205,25 +211,32 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 		if len(shards[w]) == 0 {
 			continue
 		}
+		sender := c
+		if cfg.ProducerPrefix != "" {
+			// Per-worker producer: own identity, own sequence counter,
+			// shared transport (the connection pool is per-host anyway).
+			sender = &Client{base: c.base, hc: c.hc, retry: c.retry,
+				producer: fmt.Sprintf("%s-%d", cfg.ProducerPrefix, w)}
+		}
 		iwg.Add(1)
-		go func(w int) {
+		go func(w int, sender *Client) {
 			defer iwg.Done()
 			for _, b := range shards[w] {
 				if ctx.Err() != nil {
 					return
 				}
 				var pseq uint64
-				if c.Producer() != "" {
-					pseq = c.NextBatchSeq()
+				if sender.Producer() != "" {
+					pseq = sender.NextBatchSeq()
 				}
-				if _, err := c.ingestRawRetry(ctx, b.raw, b.rows, pseq, pol); err != nil {
+				if _, err := sender.ingestRawRetry(ctx, b.raw, b.rows, pseq, pol); err != nil {
 					if ctx.Err() == nil {
 						ingestErr.Store(&err)
 					}
 					return
 				}
 			}
-		}(w)
+		}(w, sender)
 	}
 	iwg.Wait()
 	ingestWall := time.Since(start)

@@ -46,6 +46,13 @@ type telemetry struct {
 	stageSec obs.HistogramVec
 	httpSec  obs.HistogramVec
 
+	// Shard-cluster merge instruments (see shard.go).
+	histExports    *obs.Counter
+	histStateBytes *obs.Gauge
+	histInstalls   *obs.Counter
+	histInstallSec *obs.Histogram
+	mergeEpoch     *obs.Gauge
+
 	// Replica instruments; nil unless the daemon started as a follower
 	// (they keep reporting after promotion — the history is the point).
 	replicaAppliedSeq *obs.Gauge
@@ -117,6 +124,16 @@ func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy, follower b
 			"Completed checkpoint writes."),
 		ckptSec: reg.Histogram("keybin2d_checkpoint_seconds",
 			"Checkpoint write duration (encode, durable write, WAL truncation).", nil),
+		histExports: reg.Counter("keybin2d_hist_exports_total",
+			"Shard-state exports served at GET /hist (merge collective pulls)."),
+		histStateBytes: reg.Gauge("keybin2d_hist_state_bytes",
+			"Size of the last exported shard state — the merge payload, bounded by bins, not points."),
+		histInstalls: reg.Counter("keybin2d_merge_installs_total",
+			"Global models installed via POST /hist/install."),
+		histInstallSec: reg.Histogram("keybin2d_merge_install_seconds",
+			"Global-model install duration (decode excluded; swap + bookkeeping).", nil),
+		mergeEpoch: reg.Gauge("keybin2d_merge_epoch",
+			"Newest cluster merge epoch installed on this shard (0 = serving the local model)."),
 		stageSec: reg.HistogramVec("keybin2d_stage_seconds",
 			"Pipeline stage durations reported by the stream (refit, warmup_init).", nil, "stage"),
 		httpSec: reg.HistogramVec("keybin2d_http_request_seconds",
@@ -147,8 +164,9 @@ func (t *telemetry) installCollect(s *Server) {
 		t.queueDepth.SetInt(int64(len(s.queue)))
 		t.pointsSeen.SetInt(s.seen.Load())
 		t.modelVersion.SetInt(s.refits.Load())
+		t.mergeEpoch.SetInt(s.mergeEpoch.Load())
 		st := s.stream.Load()
-		if m := st.Snapshot(); m != nil {
+		if m, _ := s.servingModel(); m != nil {
 			t.modelClusters.SetInt(int64(m.K()))
 		} else {
 			t.modelClusters.Set(0)

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -174,17 +173,19 @@ func TestFollowerClusterServesIdenticalLabels(t *testing.T) {
 		t.Fatal("primary exports follower gauges")
 	}
 
-	// Writes aimed at a replica come back as the typed redirect carrying
-	// the primary's URL — on the wire as 421 + X-KB2-Primary, through the
-	// client as ErrNotPrimary.
-	batch, _ := spec.Sample(10, rng)
-	err = f1.c.IngestOnce(ctx, batch)
-	var np *client.ErrNotPrimary
-	if !errors.As(err, &np) {
-		t.Fatalf("follower ingest: got %v, want ErrNotPrimary", err)
+	// Writes aimed at a replica are redirected on the wire (421 +
+	// X-KB2-Primary) and redeemed by the client, which follows the hint
+	// for one hop: the batch lands on the primary, not in an error.
+	before, err := primary.c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if np.Primary != primary.ts.URL {
-		t.Fatalf("redirect names %q, want %q", np.Primary, primary.ts.URL)
+	batch, _ := spec.Sample(10, rng)
+	if err := f1.c.IngestOnce(ctx, batch); err != nil {
+		t.Fatalf("follower ingest should follow the primary hint: %v", err)
+	}
+	if err := primary.c.WaitSeen(ctx, before.Seen+10); err != nil {
+		t.Fatalf("followed batch never reached the primary: %v", err)
 	}
 	resp, err := http.Post(f1.ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(probe))
 	if err != nil {

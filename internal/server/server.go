@@ -70,6 +70,14 @@ type Config struct {
 	// RunID identifies this daemon incarnation in /stats and the
 	// build-info metric (default: a fresh obs.NewRunID()).
 	RunID string
+	// NodeID is this node's stable identity across restarts — what a shard
+	// router or chaos harness addresses instead of inferring identity from
+	// listen addresses. Unlike RunID it survives a restart. Defaults to
+	// RunID (so a standalone daemon needs no flag).
+	NodeID string
+	// Shard names this node's shard assignment in a sharded cluster
+	// (reported in /stats and the startup identity; empty standalone).
+	Shard string
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
 	EnablePprof bool
 
@@ -116,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.RunID == "" {
 		c.RunID = obs.NewRunID()
 	}
+	if c.NodeID == "" {
+		c.NodeID = c.RunID
+	}
 	if c.Tracer == nil {
 		c.Tracer = obs.NewTracer(256)
 		c.Tracer.SetRunID(c.RunID)
@@ -149,6 +160,17 @@ type Stats struct {
 	// restart, which is how clients and the chaos harness correlate
 	// /stats snapshots, log lines, and metrics across a crash cycle.
 	RunID string `json:"run_id,omitempty"`
+	// NodeID is the stable node identity (Config.NodeID; survives
+	// restarts, unlike RunID). Shard is the node's shard assignment when
+	// part of a sharded cluster.
+	NodeID string `json:"node_id,omitempty"`
+	Shard  string `json:"shard,omitempty"`
+	// MergeEpoch is the newest cluster merge epoch whose global model this
+	// node has installed (0 = serving its local model). GlobalSeen is the
+	// merged point count behind that model — cluster-wide, not this
+	// shard's.
+	MergeEpoch int64 `json:"merge_epoch,omitempty"`
+	GlobalSeen int64 `json:"global_seen,omitempty"`
 	// Seen is the number of points applied to the stream (including any
 	// restored from a checkpoint or replayed from the WAL).
 	Seen int64 `json:"seen"`
@@ -256,6 +278,16 @@ type Server struct {
 	wg    sync.WaitGroup
 	start time.Time
 
+	// Shard-cluster state (see shard.go). histC round-trips /hist requests
+	// through the writer goroutine; globalModel is the merged cluster
+	// model the read path prefers once a coordinator installs one.
+	// mergeMu orders installs so epochs only move forward.
+	histC       chan chan histResult
+	globalModel atomic.Pointer[core.Model]
+	globalSeen  atomic.Int64
+	mergeEpoch  atomic.Int64
+	mergeMu     sync.Mutex
+
 	// Follower-replica state (see replica.go). follower flips false
 	// exactly once, at promotion, after the WAL pointer is installed.
 	follower       atomic.Bool
@@ -356,6 +388,7 @@ func New(cfg Config) (*Server, error) {
 		tel:              newTelemetry(cfg.Registry, cfg.RunID, fsyncPolicy, cfg.FollowURL != ""),
 		tracer:           cfg.Tracer,
 		queue:            make(chan ingestItem, cfg.QueueDepth),
+		histC:            make(chan chan histResult),
 		done:             make(chan struct{}),
 		promoteCh:        make(chan struct{}),
 		promotedDone:     make(chan struct{}),
@@ -581,6 +614,8 @@ func (s *Server) runLoop() {
 		select {
 		case it := <-s.queue:
 			s.apply(it)
+		case resp := <-s.histC:
+			s.exportHist(resp)
 		case <-ckptC:
 			s.checkpoint()
 		case <-s.done:
@@ -691,6 +726,10 @@ func (s *Server) Stats() Stats {
 	s.drainMu.RUnlock()
 	st := Stats{
 		RunID:              s.cfg.RunID,
+		NodeID:             s.cfg.NodeID,
+		Shard:              s.cfg.Shard,
+		MergeEpoch:         s.mergeEpoch.Load(),
+		GlobalSeen:         s.globalSeen.Load(),
 		Seen:               s.seen.Load(),
 		Accepted:           s.accepted.Load(),
 		RejectedBatches:    s.rejected.Load(),
@@ -737,7 +776,7 @@ func (s *Server) Stats() Stats {
 		st.Role = "primary"
 		st.Promoted = s.cfg.FollowURL != ""
 	}
-	if m := s.stream.Load().Snapshot(); m != nil {
+	if m, _ := s.servingModel(); m != nil {
 		st.Clusters = m.K()
 	}
 	return st
@@ -766,6 +805,8 @@ func (s *Server) replicaLagSeconds() float64 {
 //	GET  /wal     → framed WAL tail stream from ?from=<seq> (replication)
 //	GET  /snapshot → newest durable checkpoint blob (follower bootstrap)
 //	POST /promote → follower → primary promotion; 409 on a primary
+//	GET  /hist    → cumulative shard histogram state (merge collective)
+//	POST /hist/install?epoch=N → install the merged global model
 //	GET  /debug/pprof/* → net/http/pprof (only with Config.EnablePprof)
 //
 // Read endpoints answer GET (and HEAD) only; write endpoints answer POST
@@ -790,6 +831,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/wal", getOnly(s.handleWALTail))
 	mux.HandleFunc("/snapshot", getOnly(s.handleSnapshot))
 	mux.HandleFunc("/promote", s.handlePromote)
+	mux.HandleFunc("/hist", s.instrument("hist", getOnly(s.handleHist)))
+	mux.HandleFunc("/hist/install", s.instrument("hist_install", s.handleHistInstall))
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", getOnly(pprof.Index))
 		mux.HandleFunc("/debug/pprof/cmdline", getOnly(pprof.Cmdline))
@@ -1122,13 +1165,13 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	defer b.Release()
 	rows := b.M.Rows
 	resp := labelResponse{Labels: make([]int, rows)}
-	m := s.stream.Load().Snapshot()
+	m, gen := s.servingModel()
 	if m == nil {
 		for i := range resp.Labels {
 			resp.Labels[i] = -1
 		}
 	} else {
-		resp.ModelGen = s.refits.Load()
+		resp.ModelGen = gen
 		resp.Clusters = m.K()
 		for i := 0; i < rows; i++ {
 			l, err := m.Assign(b.M.Row(i))
@@ -1146,14 +1189,14 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	m := s.stream.Load().Snapshot()
+	m, gen := s.servingModel()
 	if m == nil {
 		http.Error(w, "no model yet (stream warming up)", http.StatusNotFound)
 		return
 	}
 	blob := m.Encode()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Model-Gen", strconv.FormatInt(s.refits.Load(), 10))
+	w.Header().Set("X-Model-Gen", strconv.FormatInt(gen, 10))
 	w.Write(blob)
 }
 

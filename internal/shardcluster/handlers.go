@@ -1,0 +1,341 @@
+package shardcluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+
+	"keybin2/internal/server"
+)
+
+// Handler returns the router's HTTP API:
+//
+//	POST /ingest  → proxied to the producer's hash-ring shard
+//	POST /label   → proxied round-robin to any live shard
+//	GET  /stats   → ClusterStats: aggregate + per-shard breakdown
+//	GET  /ring    → hash-ring ownership and shard liveness
+//	POST /merge   → run one merge epoch now; returns MergeResult
+//	GET  /metrics → Prometheus text exposition (router's own series)
+//	GET  /healthz → 200 (router liveness)
+//	GET  /readyz  → 200 when ≥ 1 shard is up, else 503
+//
+// Ingest routing: the X-Producer header (the same idempotency identity
+// the daemon dedupes on) hashes onto the ring, so one producer's batches
+// always land on one shard — which is what keeps the daemon's per-producer
+// sequence dedupe exact under retries. Untagged batches round-robin.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", r.handleIngest)
+	mux.HandleFunc("/label", r.handleLabel)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/ring", r.handleRing)
+	mux.HandleFunc("/merge", r.handleMerge)
+	mux.Handle("/metrics", r.cfg.Registry.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", r.handleReady)
+	return mux
+}
+
+// batchPoints parses the point count out of a KB2B batch header (count
+// u32 at offset 8) for per-shard distribution accounting. 0 for anything
+// that isn't a well-formed header — the shard will reject those anyway.
+func batchPoints(body []byte) int64 {
+	if len(body) < 12 || string(body[:4]) != "KB2B" {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint32(body[8:12]))
+}
+
+// proxy forwards body to one shard and relays the response verbatim
+// (status, headers of interest, body). Returns false on a transport
+// error, after marking the shard down — the caller picks a survivor and
+// retries with the same bytes.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request, sh *shard, path string, body []byte) bool {
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ShardTimeout)
+	defer cancel()
+	// A fresh bytes.Reader per attempt: failover retries must resend the
+	// identical body.
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.url+path, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return true // not a shard failure; don't fail over
+	}
+	for _, h := range []string{"X-Producer", "X-Batch-Seq", "Content-Type"} {
+		if v := req.Header.Get(h); v != "" {
+			preq.Header.Set(h, v)
+		}
+	}
+	resp, err := r.hc.Do(preq)
+	if err != nil {
+		if req.Context().Err() != nil {
+			// The producer hung up; nothing to fail over for, and the shard
+			// did nothing wrong.
+			return true
+		}
+		r.markDown(sh, path+" proxy: "+err.Error())
+		r.tel.failovers.Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Retry-After-Ms", "X-KB2-Primary", "X-Model-Gen"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-KB2-Shard", sh.url)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, r.cfg.MaxBodyBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > r.cfg.MaxBodyBytes {
+		http.Error(w, "batch exceeds router body limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	producer := req.Header.Get("X-Producer")
+	// Bounded failover: at most one attempt per cluster member. Each
+	// transport failure marks its target down, so the next Lookup sees a
+	// smaller up-set — the ring has already rebalanced.
+	for attempt := 0; attempt < len(r.order); attempt++ {
+		var sh *shard
+		if producer != "" {
+			if name := r.ring.Lookup(producer, r.isUp); name != "" {
+				sh = r.shards[name]
+			}
+		} else if up := r.upShards(); len(up) > 0 {
+			sh = up[int(r.rr.Add(1))%len(up)]
+		}
+		if sh == nil {
+			break
+		}
+		if r.proxy(w, req, sh, "/ingest", body) {
+			sh.batches.Add(1)
+			sh.points.Add(batchPoints(body))
+			r.tel.proxiedBatches.Inc()
+			return
+		}
+	}
+	http.Error(w, "no shards available", http.StatusServiceUnavailable)
+}
+
+func (r *Router) handleLabel(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, r.cfg.MaxBodyBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > r.cfg.MaxBodyBytes {
+		http.Error(w, "batch exceeds router body limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// Post-merge every shard serves the identical global model, so ANY
+	// live shard answers correctly — that indifference is the point of the
+	// collective, and what makes the read path scale with shard count.
+	for attempt := 0; attempt < len(r.order); attempt++ {
+		up := r.upShards()
+		if len(up) == 0 {
+			break
+		}
+		sh := up[int(r.rr.Add(1))%len(up)]
+		if r.proxy(w, req, sh, "/label", body) {
+			sh.labels.Add(1)
+			r.tel.proxiedLabels.Inc()
+			return
+		}
+	}
+	http.Error(w, "no shards available", http.StatusServiceUnavailable)
+}
+
+// ShardStatus is one member's row in ClusterStats.
+type ShardStatus struct {
+	URL string `json:"url"`
+	Up  bool   `json:"up"`
+	// Batches/Points/Labels are what this router proxied to the shard —
+	// the ingest distribution the hash ring produced.
+	Batches int64 `json:"proxied_batches"`
+	Points  int64 `json:"proxied_points"`
+	Labels  int64 `json:"proxied_labels"`
+	// Epoch is the newest merge epoch this router installed on the shard.
+	Epoch int64 `json:"merge_epoch"`
+	// Stats is the shard's own /stats snapshot (nil when unreachable).
+	Stats *server.Stats `json:"stats,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// ClusterStats aggregates the cluster for GET /stats. The top-level
+// fields are a compatible superset of the single-daemon Stats JSON —
+// seen/accepted/labeled/clusters/role — so existing tooling (the Go
+// client's WaitSeen, the chaos harness's scrapes) works unchanged when
+// pointed at a router instead of a daemon.
+type ClusterStats struct {
+	RunID      string  `json:"run_id"`
+	Role       string  `json:"role"` // always "router"
+	Seen       int64   `json:"seen"`
+	Accepted   int64   `json:"accepted"`
+	Labeled    int64   `json:"labeled"`
+	Clusters   int     `json:"clusters"`
+	MergeEpoch int64   `json:"merge_epoch"`
+	GlobalSeen int64   `json:"global_seen"`
+	ShardsUp   int     `json:"shards_up"`
+	Shards     int     `json:"shards"`
+	Balance    float64 `json:"ring_balance_cv"`
+
+	ShardDetail []ShardStatus `json:"shard_detail"`
+}
+
+// Stats fans /stats out to every shard concurrently and aggregates.
+func (r *Router) Stats(ctx context.Context) ClusterStats {
+	cs := ClusterStats{
+		RunID:      r.cfg.RunID,
+		Role:       "router",
+		MergeEpoch: r.epoch.Load(),
+		Shards:     len(r.order),
+		Balance:    r.ring.BalanceCoefficient(r.isUp),
+	}
+	if li := r.lastInstall.Load(); li != nil {
+		cs.GlobalSeen = li.seen
+	}
+	rows := make([]ShardStatus, len(r.order))
+	var wg sync.WaitGroup
+	for i, n := range r.order {
+		sh := r.shards[n]
+		rows[i] = ShardStatus{
+			URL: sh.url, Up: sh.up.Load(),
+			Batches: sh.batches.Load(), Points: sh.points.Load(), Labels: sh.labels.Load(),
+			Epoch: sh.epoch.Load(),
+		}
+		if !rows[i].Up {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(cctx, http.MethodGet, sh.url+"/stats", nil)
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			resp, err := r.hc.Do(req)
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			var st server.Stats
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			rows[i].Stats = &st
+		}(i, sh)
+	}
+	wg.Wait()
+	for i := range rows {
+		if rows[i].Up {
+			cs.ShardsUp++
+		}
+		if st := rows[i].Stats; st != nil {
+			cs.Seen += st.Seen
+			cs.Accepted += st.Accepted
+			cs.Labeled += st.Labeled
+			if st.Clusters > cs.Clusters {
+				cs.Clusters = st.Clusters
+			}
+		}
+	}
+	cs.ShardDetail = rows
+	return cs
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(r.Stats(req.Context()))
+}
+
+// ringInfo is the GET /ring payload.
+type ringInfo struct {
+	VNodes    int                `json:"vnodes_per_shard"`
+	Ownership map[string]float64 `json:"ownership"`
+	Balance   float64            `json:"balance_cv"`
+	Up        map[string]bool    `json:"up"`
+}
+
+func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	info := ringInfo{
+		VNodes:    r.cfg.VNodes,
+		Ownership: r.ring.Ownership(r.isUp),
+		Balance:   r.ring.BalanceCoefficient(r.isUp),
+		Up:        make(map[string]bool, len(r.order)),
+	}
+	for _, n := range r.order {
+		info.Up[n] = r.shards[n].up.Load()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+func (r *Router) handleMerge(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	res, err := r.MergeOnce(req.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+func (r *Router) handleReady(w http.ResponseWriter, req *http.Request) {
+	up := len(r.upShards())
+	w.Header().Set("Content-Type", "application/json")
+	if up == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready": up > 0, "shards_up": up, "shards": len(r.order),
+	})
+}
+
+// OwnerOf reports which shard a producer currently hashes to ("" when no
+// shard is up) — diagnostics for tests and the load generator.
+func (r *Router) OwnerOf(producer string) string {
+	return r.ring.Lookup(producer, r.isUp)
+}

@@ -1,0 +1,119 @@
+package shardcluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingDeterministicLookup(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{nodes[2], nodes[0], nodes[1]}, 64) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("producer-%d", i)
+		if a, b := r1.Lookup(key, nil), r2.Lookup(key, nil); a != b {
+			t.Fatalf("key %q: %q vs %q under reordered construction", key, a, b)
+		}
+	}
+}
+
+func TestRingRebalanceOnDeath(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://b:1"
+	alive := func(n string) bool { return n != dead }
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("producer-%d", i)
+		before := r.Lookup(key, nil)
+		after := r.Lookup(key, alive)
+		if after == dead {
+			t.Fatalf("key %q still lands on the dead shard", key)
+		}
+		if before != dead && after != before {
+			// Minimal disruption: keys owned by survivors must not move.
+			t.Fatalf("key %q moved %q → %q though its owner survived", key, before, after)
+		}
+		if before == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the dead shard — fixture is vacuous")
+	}
+	// Recovery restores the exact original assignment.
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("producer-%d", i)
+		if r.Lookup(key, nil) != r.Lookup(key, func(string) bool { return true }) {
+			t.Fatalf("key %q: recovered ring differs from original", key)
+		}
+	}
+}
+
+func TestRingOwnershipAndBalance(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := r.Ownership(nil)
+	if len(own) != 4 {
+		t.Fatalf("ownership over %d shards, want 4", len(own))
+	}
+	sum := 0.0
+	for n, f := range own {
+		if f <= 0 {
+			t.Fatalf("shard %q owns %v of the ring", n, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership sums to %v, want 1", sum)
+	}
+	if cv := r.BalanceCoefficient(nil); cv <= 0 || cv > 0.5 {
+		t.Fatalf("balance coefficient %v out of the plausible vnode band", cv)
+	}
+	// With one shard down, survivors own everything.
+	own = r.Ownership(func(n string) bool { return n != "c" })
+	if _, has := own["c"]; has {
+		t.Fatal("dead shard still owns ring range")
+	}
+	sum = 0
+	for _, f := range own {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("post-death ownership sums to %v, want 1", sum)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("want error for empty ring")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("want error for duplicate shard")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Fatal("want error for empty shard name")
+	}
+	r, err := NewRing([]string{"only"}, 0) // vnodes clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Lookup("anything", nil); got != "only" {
+		t.Fatalf("single-shard lookup = %q", got)
+	}
+	if got := r.Lookup("anything", func(string) bool { return false }); got != "" {
+		t.Fatalf("all-down lookup = %q, want empty", got)
+	}
+}

@@ -1,0 +1,476 @@
+package shardcluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keybin2/internal/core"
+	"keybin2/internal/obs"
+)
+
+// Config tunes a shard Router.
+type Config struct {
+	// Shards are the keybin2d base URLs forming the cluster (required,
+	// ≥ 1). The URL doubles as the shard's ring name.
+	Shards []string
+	// Stream must equal the StreamConfig every shard runs — the router
+	// derives the global model with it. RawRanges is required (shards need
+	// congruent histograms) and DecayFactor must be off.
+	Stream core.StreamConfig
+	// VNodes is the virtual points per shard on the hash ring (default 64).
+	VNodes int
+	// MergeEvery is the merge-epoch cadence (0 = manual only via
+	// POST /merge — tests and CI drive epochs explicitly).
+	MergeEvery time.Duration
+	// HealthEvery is the health-probe cadence (default 500ms).
+	HealthEvery time.Duration
+	// FailThreshold is how many consecutive health-probe failures mark a
+	// shard down (default 2). Transport errors on proxied traffic mark it
+	// down immediately — a refused connection is not a maybe.
+	FailThreshold int
+	// ShardTimeout bounds every proxied or collective request to one
+	// shard (default 10s).
+	ShardTimeout time.Duration
+	// MaxBodyBytes bounds proxied request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// HTTPClient overrides the pooled transport (tests inject one bound
+	// to httptest servers).
+	HTTPClient *http.Client
+	// Registry backs GET /metrics (default: fresh).
+	Registry *obs.Registry
+	// Logf receives operational log lines.
+	Logf func(format string, args ...any)
+	// RunID identifies this router incarnation (default: minted).
+	RunID string
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = 500 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.RunID == "" {
+		c.RunID = obs.NewRunID()
+	}
+	return c
+}
+
+// shard is one cluster member's runtime state.
+type shard struct {
+	name string // ring name == base URL
+	url  string
+
+	up          atomic.Bool
+	consecFails atomic.Int32
+	// epoch is the newest merge epoch successfully installed on this
+	// shard; a rejoining shard below the cluster epoch gets a catch-up
+	// install from the health loop.
+	epoch atomic.Int64
+
+	// Distribution accounting for /stats and the loadgen balance report.
+	batches atomic.Int64
+	points  atomic.Int64
+	labels  atomic.Int64
+}
+
+// installedBlob is the last merged model shipped to shards — what a
+// rejoining shard catches up with.
+type installedBlob struct {
+	blob  []byte
+	epoch int64
+	seen  int64
+}
+
+// Router runs N keybin2d shards as one logical service: consistent-hash
+// ingest partitioning by producer, round-robin label fan-out, cluster
+// /stats//metrics aggregation, and the merge collective that keeps every
+// shard serving the identical global model. Start launches the health and
+// merge loops; Stop halts them. Handler is the HTTP surface.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	shards map[string]*shard
+	order  []string // cfg.Shards order, for stable display
+	global *core.GlobalModelState
+	hc     *http.Client
+	tel    *routerTelemetry
+
+	// mergeMu serializes merge epochs (ticker + manual POST /merge +
+	// catch-up installs all contend); epoch and lastInstall publish the
+	// outcome to readers.
+	mergeMu     sync.Mutex
+	epoch       atomic.Int64
+	lastInstall atomic.Pointer[installedBlob]
+
+	rr   atomic.Uint64 // round-robin cursor for untagged ingest + labels
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Router. Every shard starts presumed up; the first health
+// round corrects that within HealthEvery.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shardcluster: router needs at least one shard")
+	}
+	global, err := core.NewGlobalModelState(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(cfg.Shards))
+	shards := make(map[string]*shard, len(cfg.Shards))
+	for _, raw := range cfg.Shards {
+		u := strings.TrimRight(raw, "/")
+		if u == "" {
+			return nil, fmt.Errorf("shardcluster: empty shard URL")
+		}
+		if _, dup := shards[u]; dup {
+			return nil, fmt.Errorf("shardcluster: duplicate shard %q", u)
+		}
+		sh := &shard{name: u, url: u}
+		sh.up.Store(true)
+		shards[u] = sh
+		names = append(names, u)
+	}
+	ring, err := NewRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			MaxIdleConnsPerHost: 32,
+			WriteBufferSize:     128 << 10,
+			ReadBufferSize:      64 << 10,
+		}}
+	}
+	r := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		shards: shards,
+		order:  names,
+		global: global,
+		hc:     hc,
+		done:   make(chan struct{}),
+	}
+	r.tel = newRouterTelemetry(cfg.Registry, cfg.RunID, r)
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Start launches the health loop and, with MergeEvery set, the merge
+// ticker. Call once; Stop reverses it.
+func (r *Router) Start() {
+	r.wg.Add(1)
+	go r.healthLoop()
+	if r.cfg.MergeEvery > 0 {
+		r.wg.Add(1)
+		go r.mergeLoop()
+	}
+}
+
+// Stop halts the loops. In-flight proxied requests are not interrupted.
+func (r *Router) Stop() {
+	close(r.done)
+	r.wg.Wait()
+}
+
+func (r *Router) isUp(name string) bool {
+	sh := r.shards[name]
+	return sh != nil && sh.up.Load()
+}
+
+// upShards returns the live members in stable order.
+func (r *Router) upShards() []*shard {
+	var up []*shard
+	for _, n := range r.order {
+		if sh := r.shards[n]; sh.up.Load() {
+			up = append(up, sh)
+		}
+	}
+	return up
+}
+
+// markDown records a shard failure observed on live traffic or a health
+// probe. The hash ring rebalances implicitly: Lookup's up-predicate now
+// skips the shard, so its producers flow to ring successors on the very
+// next request.
+func (r *Router) markDown(sh *shard, why string) {
+	if sh.up.CompareAndSwap(true, false) {
+		r.tel.shardDown.Inc()
+		r.logf("shard %s marked down (%s); ring rebalanced across %d survivors",
+			sh.url, why, len(r.upShards()))
+	}
+}
+
+// markUp records a recovered shard. Its old hash range reverts to it
+// automatically (the up-predicate admits it again); if the cluster has
+// moved past the shard's last installed merge epoch, ship the current
+// global model immediately rather than leaving it stale until the next
+// epoch.
+func (r *Router) markUp(sh *shard) {
+	if !sh.up.CompareAndSwap(false, true) {
+		return
+	}
+	r.tel.shardUp.Inc()
+	r.logf("shard %s recovered; ring range restored", sh.url)
+	if li := r.lastInstall.Load(); li != nil && sh.epoch.Load() < li.epoch {
+		if err := r.installOn(sh, li); err != nil {
+			r.logf("shard %s: catch-up install epoch %d: %v", sh.url, li.epoch, err)
+		} else {
+			r.logf("shard %s: caught up to merge epoch %d", sh.url, li.epoch)
+		}
+	}
+}
+
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.healthRound()
+		}
+	}
+}
+
+func (r *Router) healthRound() {
+	var wg sync.WaitGroup
+	for _, n := range r.order {
+		sh := r.shards[n]
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
+			resp, err := r.hc.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				sh.consecFails.Store(0)
+				r.markUp(sh)
+				return
+			}
+			if fails := sh.consecFails.Add(1); int(fails) >= r.cfg.FailThreshold {
+				why := "health probe failed"
+				if err != nil {
+					why = err.Error()
+				}
+				r.markDown(sh, why)
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (r *Router) mergeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.MergeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			if _, err := r.MergeOnce(context.Background()); err != nil {
+				r.logf("merge epoch failed: %v", err)
+			}
+		}
+	}
+}
+
+// MergeResult reports one completed merge epoch.
+type MergeResult struct {
+	Epoch      int64  `json:"epoch"`
+	Clusters   int    `json:"clusters"`
+	MergedSeen int64  `json:"merged_seen"`
+	Shards     int    `json:"shards_merged"`
+	Installed  int    `json:"shards_installed"`
+	StateBytes int    `json:"state_bytes"`
+	RunID      string `json:"run_id"`
+}
+
+// MergeOnce runs one merge epoch: pull /hist from every live shard, fold
+// the states (core.MergeShardStates — order-independent), derive the
+// global model with stabilized labels (the router is the cluster's single
+// label-continuity authority), and install the encoded model on every
+// live shard. Degrades gracefully: shards that fail the pull are marked
+// down and the epoch proceeds with the survivors' states; shards that
+// fail the install keep their previous model and catch up when the health
+// loop readmits them. An error means NO epoch happened (nothing merged or
+// installed).
+func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	start := time.Now()
+
+	up := r.upShards()
+	if len(up) == 0 {
+		return MergeResult{}, fmt.Errorf("shardcluster: no shards up")
+	}
+	// Pull phase — concurrent, failures demote.
+	type pull struct {
+		sh    *shard
+		state []byte
+		err   error
+	}
+	pulls := make([]pull, len(up))
+	var wg sync.WaitGroup
+	for i, sh := range up {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(cctx, http.MethodGet, sh.url+"/hist", nil)
+			if err != nil {
+				pulls[i] = pull{sh: sh, err: err}
+				return
+			}
+			resp, err := r.hc.Do(req)
+			if err != nil {
+				r.markDown(sh, "hist pull: "+err.Error())
+				pulls[i] = pull{sh: sh, err: err}
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxBodyBytes))
+			resp.Body.Close()
+			if err != nil {
+				r.markDown(sh, "hist read: "+err.Error())
+				pulls[i] = pull{sh: sh, err: err}
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				// 409 = pre-warmup or draining — the shard is alive but has
+				// nothing to contribute this epoch; not a death.
+				pulls[i] = pull{sh: sh, err: fmt.Errorf("hist: %d %s", resp.StatusCode, strings.TrimSpace(string(body)))}
+				return
+			}
+			pulls[i] = pull{sh: sh, state: body}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var states [][]byte
+	contributed := 0
+	for _, p := range pulls {
+		if p.err != nil {
+			r.logf("merge: shard %s skipped: %v", p.sh.url, p.err)
+			continue
+		}
+		states = append(states, p.state)
+		contributed++
+	}
+	if len(states) == 0 {
+		r.tel.mergeFailures.Inc()
+		return MergeResult{}, fmt.Errorf("shardcluster: merge epoch aborted: no shard states (cluster of %d)", len(up))
+	}
+
+	merged, err := core.MergeShardStates(states...)
+	if err != nil {
+		r.tel.mergeFailures.Inc()
+		return MergeResult{}, fmt.Errorf("shardcluster: merge: %w", err)
+	}
+	model, err := r.global.Install(merged)
+	if err != nil {
+		r.tel.mergeFailures.Inc()
+		return MergeResult{}, fmt.Errorf("shardcluster: global refit: %w", err)
+	}
+
+	epoch := r.epoch.Load() + 1
+	li := &installedBlob{blob: model.Encode(), epoch: epoch, seen: int64(r.global.Seen())}
+
+	// Install phase — every live shard gets the identical bytes. A shard
+	// that fails here is marked down; it will catch up on recovery.
+	installed := 0
+	for _, sh := range r.upShards() {
+		if err := r.installOn(sh, li); err != nil {
+			r.logf("merge: install on %s failed: %v", sh.url, err)
+			continue
+		}
+		installed++
+	}
+	r.epoch.Store(epoch)
+	r.lastInstall.Store(li)
+	r.tel.mergeEpochs.Inc()
+	r.tel.mergeSeconds.Observe(time.Since(start).Seconds())
+	r.tel.mergeStateBytes.SetInt(int64(len(merged)))
+	r.tel.mergedSeen.SetInt(li.seen)
+	r.logf("merge epoch %d: %d/%d shards contributed %d points, %d clusters, installed on %d shards (%.1fms)",
+		epoch, contributed, len(up), li.seen, model.K(), installed,
+		float64(time.Since(start).Microseconds())/1000)
+	return MergeResult{
+		Epoch: epoch, Clusters: model.K(), MergedSeen: li.seen,
+		Shards: contributed, Installed: installed, StateBytes: len(merged), RunID: r.cfg.RunID,
+	}, nil
+}
+
+// installOn ships the merged model to one shard. Transport failure marks
+// it down; a 409 (the shard already holds a newer epoch) is success — the
+// model there is newer than or equal to ours, never stale.
+func (r *Router) installOn(sh *shard, li *installedBlob) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/hist/install?epoch=%d&seen=%d", sh.url, li.epoch, li.seen)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(li.blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.markDown(sh, "install: "+err.Error())
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("install: %d %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	// Monotone update: a catch-up install racing a live merge epoch must
+	// not roll the recorded epoch back.
+	for {
+		cur := sh.epoch.Load()
+		if li.epoch <= cur || sh.epoch.CompareAndSwap(cur, li.epoch) {
+			break
+		}
+	}
+	return nil
+}
+
+// Epoch returns the newest completed merge epoch.
+func (r *Router) Epoch() int64 { return r.epoch.Load() }
