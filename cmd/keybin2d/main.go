@@ -15,7 +15,7 @@
 //	         [-fsync-interval 100ms] [-wal-segment-bytes 4194304]
 //	         [-log-level info] [-trace-log traces.jsonl] [-pprof]
 //	         [-follow http://primary:7420] [-follow-poll 2s]
-//	         [-node-id id] [-shard name]
+//	         [-node-id id] [-shard name] [-epoch 0]
 //
 // API (binary batches are "KB2B" | dims u32 | count u32 | float64s, LE):
 //
@@ -27,9 +27,15 @@
 //	GET  /trace   → recent pipeline traces as JSON
 //	GET  /healthz → ok (liveness)
 //	GET  /readyz  → 200 | 503 (draining or wedged WAL)
-//	GET  /wal     → framed WAL tail from ?from=<seq> (replication)
+//	GET  /wal     → framed WAL tail from ?from=<seq> (replication;
+//	               ?epoch=<e> is fenced like a write)
 //	GET  /snapshot → newest checkpoint blob (follower bootstrap)
-//	POST /promote → follower → primary promotion
+//	POST /promote → follower → primary promotion (?epoch=<e> mints or
+//	               adopts a fencing epoch; see below)
+//	POST /fence   → adopt a newer epoch: a follower re-points at
+//	               ?primary=<url>, a primary is fenced off the write
+//	               path (and demoted in place when ?primary is given)
+//	POST /epoch   → primary-only epoch adoption (supervisor bootstrap)
 //	GET  /debug/pprof/* → runtime profiles (only with -pprof)
 //
 // Logs are leveled key=value lines; every line carries a run_id unique to
@@ -55,6 +61,14 @@
 // /ingest with 421 + the primary's URL. POST /promote turns it into a
 // primary at its replayed horizon — with -wal-dir also set, the local WAL
 // opens at that horizon and acks become durable again.
+//
+// Under a failover supervisor (cmd/keybin2failover) promotions carry
+// monotone fencing epochs: a node at epoch E answers any request tokened
+// with a NEWER epoch with 412 + {"error":"stale epoch",...} — the typed
+// signal that it is a fenced zombie, not the primary. Epochs are
+// deliberately not persisted; a restarted node rejoins at -epoch
+// (default 0, unmanaged) and the supervisor re-fences it from the
+// fleet's live epoch.
 package main
 
 import (
@@ -104,6 +118,7 @@ type daemonOpts struct {
 	followPoll time.Duration
 	nodeID     string
 	shard      string
+	epoch      int64
 }
 
 func main() {
@@ -134,6 +149,7 @@ func main() {
 	flag.DurationVar(&o.followPoll, "follow-poll", 2*time.Second, "long-poll wait against the primary's WAL tail when caught up")
 	flag.StringVar(&o.nodeID, "node-id", "", "stable node identity for logs and /stats (default: the run_id, fresh per start)")
 	flag.StringVar(&o.shard, "shard", "", "shard label this node serves under a cluster router (informational)")
+	flag.Int64Var(&o.epoch, "epoch", 0, "initial fencing epoch (0 = unmanaged; a failover supervisor raises it)")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -184,6 +200,9 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 	if _, err := server.ParseFsyncPolicy(o.fsync); err != nil {
 		return cfg, fmt.Errorf("bad flags: %w", err)
 	}
+	if o.epoch < 0 {
+		return cfg, fmt.Errorf("-epoch must be ≥ 0 (got %d)", o.epoch)
+	}
 	if _, err := obs.ParseLevel(o.logLevel); err != nil {
 		return cfg, fmt.Errorf("bad flags: %w", err)
 	}
@@ -205,6 +224,7 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		FollowPoll:      o.followPoll,
 		NodeID:          o.nodeID,
 		Shard:           o.shard,
+		Epoch:           o.epoch,
 	}
 	return cfg, nil
 }

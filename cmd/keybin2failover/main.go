@@ -1,0 +1,174 @@
+// Command keybin2failover is the replica-set control plane: it supervises
+// one keybin2d primary and its followers, detects primary failure with a
+// consecutive-miss detector (flap hysteresis, jittered probes), elects
+// the most-caught-up live follower, promotes it under a freshly minted
+// fencing epoch, and converges stragglers — a revived ex-primary is
+// fenced and demoted in place into a follower of the new primary.
+//
+// The supervisor holds no durable state. On start it re-learns the
+// cluster epoch from the fleet's /stats and adopts the best live
+// unfenced primary (minting epoch 1 over an unmanaged group), so it can
+// itself be killed and restarted at any time without disturbing the
+// replica set.
+//
+// Usage:
+//
+//	keybin2failover -nodes http://a:7420,http://b:7421,http://c:7422
+//	                [-addr :7430] [-probe-every 500ms] [-probe-timeout 2s]
+//	                [-fail-after 3] [-recover-after 2] [-jitter 0.2]
+//	                [-seed 1] [-log-level info]
+//
+// API:
+//
+//	GET /status  → cluster view: epoch, primary, per-node liveness
+//	GET /metrics → Prometheus text exposition (keybin2failover_* series)
+//	GET /healthz → supervisor liveness
+//
+// Election is deterministic: live followers ordered by highest replayed
+// sequence, then lowest node id. A zombie whose applied horizon is AT OR
+// BEHIND the elected primary's is demoted into its replica set; one that
+// diverged past it is fenced off the write path and left for the
+// operator — demoting it would discard acknowledged writes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"keybin2/internal/failover"
+	"keybin2/internal/obs"
+)
+
+type supervisorOpts struct {
+	addr         string
+	nodes        string
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	failAfter    int
+	recoverAfter int
+	jitter       float64
+	seed         int64
+	logLevel     string
+}
+
+func main() {
+	var o supervisorOpts
+	flag.StringVar(&o.addr, "addr", ":7430", "HTTP listen address for /status, /metrics, /healthz")
+	flag.StringVar(&o.nodes, "nodes", "", "comma-separated keybin2d base URLs of the replica set (required, ≥ 1)")
+	flag.DurationVar(&o.probeEvery, "probe-every", 500*time.Millisecond, "probe-round cadence")
+	flag.DurationVar(&o.probeTimeout, "probe-timeout", 2*time.Second, "per-node probe deadline (control calls get 5x)")
+	flag.IntVar(&o.failAfter, "fail-after", 3, "consecutive missed probes before a node is declared down")
+	flag.IntVar(&o.recoverAfter, "recover-after", 2, "consecutive successful probes before a down node is readmitted")
+	flag.Float64Var(&o.jitter, "jitter", 0.2, "per-node probe jitter as a fraction of -probe-every")
+	flag.Int64Var(&o.seed, "seed", 1, "probe-jitter random seed")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
+	flag.Parse()
+
+	if err := run(o, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "keybin2failover:", err)
+		os.Exit(1)
+	}
+}
+
+func buildConfig(o supervisorOpts) (failover.Config, error) {
+	var cfg failover.Config
+	if o.nodes == "" {
+		return cfg, fmt.Errorf("-nodes is required")
+	}
+	var nodes []string
+	for _, n := range strings.Split(o.nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return cfg, fmt.Errorf("-nodes is required")
+	}
+	if o.failAfter < 1 || o.recoverAfter < 1 {
+		return cfg, fmt.Errorf("-fail-after and -recover-after must be ≥ 1 (got %d/%d)", o.failAfter, o.recoverAfter)
+	}
+	if o.jitter < 0 || o.jitter >= 1 {
+		return cfg, fmt.Errorf("-jitter wants a fraction in [0,1), got %g", o.jitter)
+	}
+	if _, err := obs.ParseLevel(o.logLevel); err != nil {
+		return cfg, fmt.Errorf("bad flags: %w", err)
+	}
+	cfg = failover.Config{
+		Nodes:        nodes,
+		ProbeEvery:   o.probeEvery,
+		ProbeTimeout: o.probeTimeout,
+		FailAfter:    o.failAfter,
+		RecoverAfter: o.recoverAfter,
+		Jitter:       o.jitter,
+		Seed:         o.seed,
+		Registry:     obs.NewRegistry(),
+	}
+	return cfg, nil
+}
+
+// run starts the supervisor and blocks until a signal (or a close of
+// stop, which tests use). When ready is non-nil it receives the bound
+// listen address once serving.
+func run(o supervisorOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return err
+	}
+	lvl, _ := obs.ParseLevel(o.logLevel) // validated by buildConfig
+	runID := obs.NewRunID()
+	logger := obs.NewLogger(os.Stderr, lvl, obs.KV("run_id", runID))
+	cfg.Logf = logger.Logf
+
+	sup, err := failover.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	hs := &http.Server{Handler: sup.Handler()}
+	sup.Start()
+	logger.Info("listening",
+		obs.KV("addr", ln.Addr()), obs.KV("role", "failover-supervisor"),
+		obs.KV("nodes", len(cfg.Nodes)), obs.KV("probe_every", o.probeEvery),
+		obs.KV("fail_after", o.failAfter), obs.KV("recover_after", o.recoverAfter))
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Info("stopping", obs.KV("signal", s))
+	case <-stop:
+		logger.Info("stopping", obs.KV("signal", "stop requested"))
+	case err := <-httpErr:
+		sup.Stop()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	sup.Stop()
+	st := sup.Status()
+	logger.Info("stopped",
+		obs.KV("cluster_epoch", st.ClusterEpoch), obs.KV("primary", st.Primary),
+		obs.KV("elections", st.Elections), obs.KV("fences", st.Fences))
+	return nil
+}

@@ -19,10 +19,10 @@ type loadOutput struct {
 
 // clusterReport summarizes how the router's hash ring spread the run.
 type clusterReport struct {
-	Shards     int     `json:"shards"`
-	ShardsUp   int     `json:"shards_up"`
-	MergeEpoch int64   `json:"merge_epoch"`
-	GlobalSeen int64   `json:"global_seen"`
+	Shards     int   `json:"shards"`
+	ShardsUp   int   `json:"shards_up"`
+	MergeEpoch int64 `json:"merge_epoch"`
+	GlobalSeen int64 `json:"global_seen"`
 	// BalanceCV is the ring's ownership skew (stddev/mean over live
 	// shards' hash-space fractions; ~0.1 at 64 vnodes).
 	BalanceCV float64        `json:"ring_balance_cv"`

@@ -1,0 +1,440 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"keybin2/internal/client"
+	"keybin2/internal/failover"
+	"keybin2/internal/linalg"
+	"keybin2/internal/server"
+	"keybin2/internal/synth"
+	"keybin2/internal/xrand"
+)
+
+// Failover chaos: the no-operator version of the promote cycles. Every
+// cycle builds a 1-primary/N-follower cluster SUPERVISED by an embedded
+// failover control plane, then kill -9s the primary mid-load and touches
+// nothing: the supervisor must detect the death, elect the most
+// caught-up follower under a new fencing epoch, and the pool-mode client
+// must re-discover the new primary on its own. The invariants:
+//
+//  1. writes resume via election alone — the first post-kill ack lands
+//     within a bounded window, carries the post-election epoch, and no
+//     human (or harness) promoted anything,
+//  2. no acked batch is lost: the elected primary's producer high-water
+//     mark covers every 202 the harness holds, and its applied points
+//     reach the acked volume,
+//  3. the revived zombie is fenced: restarted on its ORIGINAL address
+//     (epoch 0, still thinks it is a primary), a client carrying the
+//     post-election epoch token gets the typed stale-epoch rejection
+//     even with no supervisor running,
+//  4. a FRESH supervisor re-learns the cluster epoch from the fleet —
+//     no re-mint, no primary flap — and demotes the zombie in place
+//     into a follower that converges on the new primary's history.
+
+type failoverChaosConfig struct {
+	daemon   string
+	cycles   int
+	replicas int
+	dims     int
+	batch    int // points per batch
+	perCycle int // batches acked before the primary is killed
+	seed     int64
+	dir      string
+	fsync    string
+}
+
+type failoverChaosReport struct {
+	Cycles          int     `json:"cycles"`
+	Replicas        int     `json:"replicas"`
+	BatchesAcked    int64   `json:"batches_acked"`
+	PointsAcked     int64   `json:"points_acked"`
+	Elections       int64   `json:"elections"`
+	WorstResumeMs   float64 `json:"worst_resume_ms"`
+	ZombiesFenced   int     `json:"zombies_fenced"`
+	ZombiesRejoined int     `json:"zombies_rejoined"`
+	ProbeLabels     int     `json:"probe_labels"`
+	ProbeModelGen   int64   `json:"probe_model_gen"`
+}
+
+// resumeWindow bounds how long writes may stall across a primary kill
+// before the harness declares the election dead.
+const resumeWindow = 45 * time.Second
+
+func runFailoverChaos(ctx context.Context, fc failoverChaosConfig) error {
+	if fc.cycles <= 0 {
+		return nil
+	}
+	if fc.replicas < 2 {
+		fc.replicas = 2 // an election needs somebody to win it
+	}
+	if fc.dir == "" {
+		d, err := os.MkdirTemp("", "kb2failover-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		fc.dir = d
+	} else if err := os.MkdirAll(fc.dir, 0o755); err != nil {
+		return err
+	}
+	logF, err := os.Create(filepath.Join(fc.dir, "cluster.log"))
+	if err != nil {
+		return err
+	}
+	defer logF.Close()
+
+	spec := synth.AutoMixture(4, fc.dims, 6, 1, xrand.New(fc.seed))
+	probe, _ := spec.Sample(256, xrand.New(fc.seed+7))
+	rng := xrand.New(fc.seed + 13)
+	mkBatch := func() *linalg.Matrix {
+		b, _ := spec.Sample(fc.batch, rng)
+		return b
+	}
+
+	rep := failoverChaosReport{Cycles: fc.cycles, Replicas: fc.replicas}
+	for cycle := 1; cycle <= fc.cycles; cycle++ {
+		if err := runFailoverCycle(ctx, fc, cycle, logF, mkBatch, probe, &rep); err != nil {
+			return fmt.Errorf("failover cycle %d: %w", cycle, err)
+		}
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	os.Stdout.Write(append(enc, '\n'))
+	fmt.Fprintf(os.Stderr,
+		"failover: %d cycles × (1 primary + %d followers), %d batches (%d points) acked, %d elections, worst resume %.0f ms, %d zombies fenced+rejoined, 0 lost\n",
+		rep.Cycles, rep.Replicas, rep.BatchesAcked, rep.PointsAcked, rep.Elections, rep.WorstResumeMs, rep.ZombiesRejoined)
+	return nil
+}
+
+func runFailoverCycle(ctx context.Context, fc failoverChaosConfig, cycle int, logF *os.File,
+	mkBatch func() *linalg.Matrix, probe *linalg.Matrix, rep *failoverChaosReport) error {
+
+	dir := filepath.Join(fc.dir, fmt.Sprintf("cycle%d", cycle))
+	nodeDir := func(i int) string { return filepath.Join(dir, fmt.Sprintf("node%d", i)) }
+	common := func(i int) []string {
+		return []string{
+			"-addr", "127.0.0.1:0",
+			"-dims", strconv.Itoa(fc.dims),
+			"-range", "-12,12",
+			"-trials", "2",
+			"-period", "1000",
+			"-seed", strconv.FormatInt(fc.seed, 10),
+			"-node-id", fmt.Sprintf("node%d", i),
+			"-checkpoint", filepath.Join(nodeDir(i), "state.kb2s"),
+			"-checkpoint-every", "300ms",
+			"-wal-dir", filepath.Join(nodeDir(i), "wal"),
+			"-fsync", fc.fsync,
+			"-follow-poll", "250ms",
+		}
+	}
+
+	primary, err := startNode(fc.daemon, logF, common(0)...)
+	if err != nil {
+		return err
+	}
+	primaryUp := true
+	defer func() {
+		if primaryUp {
+			primary.kill()
+		}
+	}()
+	primaryBase := "http://" + primary.addr
+	if err := waitHealthy(ctx, primaryBase); err != nil {
+		return err
+	}
+
+	bases := []string{primaryBase}
+	followers := make([]*daemonProc, fc.replicas)
+	for i := range followers {
+		followers[i], err = startNode(fc.daemon, logF,
+			append(common(i+1), "-follow", primaryBase)...)
+		if err != nil {
+			return err
+		}
+		defer followers[i].stop()
+		base := "http://" + followers[i].addr
+		bases = append(bases, base)
+		if err := waitHealthy(ctx, base); err != nil {
+			return err
+		}
+	}
+
+	// The control plane. RecoverAfter 1 readmits the revived zombie on
+	// its first answered probe, so the rejoin half of the cycle is quick.
+	supLogf := func(format string, args ...any) {
+		fmt.Fprintf(logF, "supervisor: "+format+"\n", args...)
+	}
+	sup, err := failover.New(failover.Config{
+		Nodes:        bases,
+		ProbeEvery:   150 * time.Millisecond,
+		ProbeTimeout: time.Second,
+		FailAfter:    3,
+		RecoverAfter: 1,
+		Logf:         supLogf,
+	})
+	if err != nil {
+		return err
+	}
+	sup.Start()
+	supUp := true
+	defer func() {
+		if supUp {
+			sup.Stop()
+		}
+	}()
+	if err := waitSupervisor(ctx, sup, func(st failover.Status) bool {
+		return st.Primary == primaryBase && st.ClusterEpoch >= 1
+	}, "adoption of the starting primary"); err != nil {
+		return err
+	}
+
+	// The write path: one pool-mode client, endpoints = the whole replica
+	// set, generous retries. Everything after this line — including
+	// riding out the kill — goes through this client untouched.
+	pc := client.NewWithHTTPClient(primaryBase, &http.Client{Timeout: 5 * time.Second})
+	pc.SetEndpoints(bases...)
+	pc.SetProducer("chaos")
+	pc.SetRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 200, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second,
+	})
+
+	var ackedBatches uint64
+	var ackedPoints int64
+	sendAcked := func(pctx context.Context) (client.IngestAck, error) {
+		ack, err := pc.IngestTracked(pctx, mkBatch())
+		if err != nil {
+			return ack, err
+		}
+		ackedBatches++
+		ackedPoints += int64(fc.batch)
+		rep.BatchesAcked++
+		rep.PointsAcked += int64(fc.batch)
+		return ack, nil
+	}
+	for i := 0; i < fc.perCycle; i++ {
+		if _, err := sendAcked(ctx); err != nil {
+			return fmt.Errorf("pre-kill ingest: %w", err)
+		}
+	}
+
+	// Followers must be caught up before the kill: the election picks the
+	// most advanced replayed horizon, and nothing acked may be beyond it.
+	followerClients := make([]*client.Client, fc.replicas)
+	for i, dp := range followers {
+		followerClients[i] = client.NewWithHTTPClient("http://"+dp.addr, &http.Client{Timeout: 5 * time.Second})
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := followerClients[i].WaitSeen(wctx, ackedPoints)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("follower %d never converged to %d points: %w", i, ackedPoints, err)
+		}
+	}
+
+	// The chaos event: kill -9, no drain — and from here on NOBODY calls
+	// /promote but the supervisor.
+	primary.kill()
+	primaryUp = false
+	killedAt := time.Now()
+	fmt.Fprintf(os.Stderr, "failover: cycle %d killed primary at %d acked batches (%d points)\n",
+		cycle, ackedBatches, ackedPoints)
+
+	rctx, cancel := context.WithTimeout(ctx, resumeWindow)
+	ack, err := sendAcked(rctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("writes did not resume via election alone within %s: %w", resumeWindow, err)
+	}
+	resume := time.Since(killedAt)
+	if ms := float64(resume.Milliseconds()); ms > rep.WorstResumeMs {
+		rep.WorstResumeMs = ms
+	}
+	if ack.Epoch < 2 {
+		return fmt.Errorf("first post-kill ack carries epoch %d, want the post-election epoch ≥ 2", ack.Epoch)
+	}
+	newEpoch := ack.Epoch
+	fmt.Fprintf(os.Stderr, "failover: cycle %d writes resumed %.0f ms after the kill at epoch %d\n",
+		cycle, float64(resume.Milliseconds()), newEpoch)
+	for i := 0; i < 3; i++ { // keep the post-election WAL moving
+		if _, err := sendAcked(ctx); err != nil {
+			return fmt.Errorf("post-election ingest: %w", err)
+		}
+	}
+
+	// The supervisor's view must agree with the data path: a follower won,
+	// and nothing acked died with the old primary.
+	st := sup.Status()
+	if st.Primary == primaryBase || st.Primary == "" {
+		return fmt.Errorf("supervisor still names %q as primary after the kill", st.Primary)
+	}
+	if st.Elections < 1 {
+		return fmt.Errorf("writes resumed but the supervisor reports %d elections", st.Elections)
+	}
+	rep.Elections += st.Elections
+	newPrimaryBase := st.Primary
+	npc := client.NewWithHTTPClient(newPrimaryBase, &http.Client{Timeout: 5 * time.Second})
+	nst, err := npc.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if nst.Producers["chaos"] < ackedBatches {
+		return fmt.Errorf("ACKED BATCH LOST IN FAILOVER: elected primary recovered producer seq %d, harness holds ack for %d",
+			nst.Producers["chaos"], ackedBatches)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = npc.WaitSeen(wctx, ackedPoints)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("acked points missing on the elected primary: %w", err)
+	}
+
+	// Stop the supervisor BEFORE reviving the zombie: the first fencing
+	// assertion must hold with no control plane around to help — client
+	// epoch tokens alone keep the zombie out of the write path.
+	sup.Stop()
+	supUp = false
+
+	zombie, err := startNode(fc.daemon, logF,
+		append(common(0), "-addr", primary.addr)...) // the ORIGINAL address; later -addr wins
+	if err != nil {
+		return fmt.Errorf("zombie revival: %w", err)
+	}
+	defer zombie.stop()
+	if err := waitHealthy(ctx, primaryBase); err != nil {
+		return fmt.Errorf("zombie revival: %w", err)
+	}
+
+	zc := client.NewWithHTTPClient(primaryBase, &http.Client{Timeout: 5 * time.Second})
+	zc.SetProducer("chaos")
+	zc.SetKnownEpoch(newEpoch)
+	_, err = zc.IngestSeq(ctx, mkBatch(), ackedBatches+100)
+	var stale *client.ErrStaleEpoch
+	if !errors.As(err, &stale) {
+		return fmt.Errorf("tokened write to the revived zombie: got %v, want ErrStaleEpoch", err)
+	}
+	if stale.RequestEpoch != newEpoch || stale.NodeEpoch >= newEpoch {
+		return fmt.Errorf("stale-epoch detail %+v, want request %d against an older node epoch", stale, newEpoch)
+	}
+	rep.ZombiesFenced++
+
+	// A fresh supervisor — no memory of the election — must re-learn the
+	// epoch from the fleet, keep the elected primary (no flap, no
+	// re-mint), and demote the zombie in place into a follower.
+	sup2, err := failover.New(failover.Config{
+		Nodes:        bases,
+		ProbeEvery:   150 * time.Millisecond,
+		ProbeTimeout: time.Second,
+		FailAfter:    3,
+		RecoverAfter: 1,
+		Logf:         supLogf,
+	})
+	if err != nil {
+		return err
+	}
+	sup2.Start()
+	defer sup2.Stop()
+	if err := waitSupervisor(ctx, sup2, func(st failover.Status) bool {
+		return st.Primary == newPrimaryBase && st.ClusterEpoch == newEpoch
+	}, "epoch re-learn by the fresh supervisor"); err != nil {
+		return err
+	}
+	zombieDemoted := func(st failover.Status) bool {
+		for _, n := range st.Nodes {
+			if n.URL == primaryBase {
+				return n.Role == "follower" && n.Epoch == newEpoch
+			}
+		}
+		return false
+	}
+	if err := waitSupervisor(ctx, sup2, zombieDemoted, "zombie demotion"); err != nil {
+		return err
+	}
+	if st := sup2.Status(); st.Elections != 0 {
+		return fmt.Errorf("fresh supervisor ran %d elections over a healthy fleet", st.Elections)
+	}
+	zst, err := zc.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if zst.Role != "follower" || zst.Epoch != newEpoch || zst.Primary != newPrimaryBase {
+		return fmt.Errorf("zombie rejoined as role=%q epoch=%d primary=%q, want follower/%d/%q",
+			zst.Role, zst.Epoch, zst.Primary, newEpoch, newPrimaryBase)
+	}
+	// A plain write aimed at the demoted node must be refused locally with
+	// the 421 redirect naming the elected primary. The client would
+	// transparently redeem that redirect — which is the typed reply's
+	// whole point — so this assertion goes to the wire directly.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, primaryBase+"/ingest",
+		bytes.NewReader(server.EncodeBatch(mkBatch())))
+	if err != nil {
+		return err
+	}
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Do(req)
+	if err != nil {
+		return fmt.Errorf("demoted zombie ingest: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		return fmt.Errorf("demoted zombie answered a plain ingest with %d, want the 421 primary redirect", resp.StatusCode)
+	}
+	if hint := resp.Header.Get("X-KB2-Primary"); hint != newPrimaryBase {
+		return fmt.Errorf("zombie's 421 redirect names %q, want %q", hint, newPrimaryBase)
+	}
+	rep.ZombiesRejoined++
+
+	// One more acked batch through the pool, then the whole replica set —
+	// zombie included — must converge and answer the probe identically.
+	if _, err := sendAcked(ctx); err != nil {
+		return fmt.Errorf("post-rejoin ingest: %w", err)
+	}
+	allClients := append([]*client.Client{npc, zc}, followerClients...)
+	for i, c := range allClients {
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := c.WaitSeen(wctx, ackedPoints)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("node %d never converged to %d points after the rejoin: %w", i, ackedPoints, err)
+		}
+	}
+	want, err := npc.Label(ctx, probe)
+	if err != nil {
+		return err
+	}
+	for i, c := range allClients[1:] {
+		got, err := c.Label(ctx, probe)
+		if err != nil {
+			return fmt.Errorf("node %d probe: %w", i, err)
+		}
+		if err := compareLabels(want, got); err != nil {
+			return fmt.Errorf("node %d diverged after the failover round-trip: %w", i, err)
+		}
+	}
+	rep.ProbeLabels = len(want.Labels)
+	rep.ProbeModelGen = want.ModelGen
+	return nil
+}
+
+// waitSupervisor polls the supervisor's fleet view until the condition
+// holds (the supervisor probes on its own cadence; the harness only
+// watches).
+func waitSupervisor(ctx context.Context, sup *failover.Supervisor, cond func(failover.Status) bool, what string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if cond(sup.Status()) {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("supervisor never reached %s (status %+v)", what, sup.Status())
+}

@@ -30,6 +30,15 @@
 //
 //	keybin2load -crash-cycles 20 -daemon ./keybin2d [-fsync interval]
 //	            [-crash-dir dir] [-crash-batches 6]
+//
+// -promote additionally builds a 1-primary/N-follower replica set each
+// cycle and promotes a follower by hand after the kill; -failover goes
+// the last step: an embedded failover supervisor watches the replica
+// set, the harness kill -9s the primary and touches NOTHING — writes
+// must resume through a pool-mode client via election alone, no acked
+// batch may be lost, and the ex-primary revived on its original address
+// must be rejected with the typed stale-epoch error and then demoted in
+// place into a follower by a fresh supervisor.
 package main
 
 import (
@@ -67,6 +76,7 @@ func main() {
 		crashBatches = flag.Int("crash-batches", 6, "batches acked per chaos cycle before the kill")
 		fsync        = flag.String("fsync", "always", "WAL fsync policy for the chaos daemon")
 		promote      = flag.Bool("promote", false, "with -crash-cycles: kill the PRIMARY of a replicated cluster and promote a follower instead of restarting")
+		failoverM    = flag.Bool("failover", false, "with -crash-cycles: kill the PRIMARY under a failover supervisor and assert writes resume via election alone, with the revived zombie fenced")
 		replicas     = flag.Int("replicas", 2, "follower replicas per cluster in -promote chaos mode")
 		readAddrs    = flag.String("read-addrs", "", "comma-separated follower base URLs; label queries split across them and -addr")
 		clusterMode  = flag.Bool("cluster", false, "-addr is a keybin2router: tag each ingester as its own producer and report the per-shard distribution")
@@ -78,7 +88,13 @@ func main() {
 
 	if *crashCycles > 0 {
 		var err error
-		if *promote {
+		if *failoverM {
+			err = runFailoverChaos(ctx, failoverChaosConfig{
+				daemon: *daemonPath, cycles: *crashCycles, replicas: *replicas,
+				dims: *dims, batch: *batch, perCycle: *crashBatches, seed: *seed,
+				dir: *crashDir, fsync: *fsync,
+			})
+		} else if *promote {
 			err = runReplicaChaos(ctx, replicaChaosConfig{
 				daemon: *daemonPath, cycles: *crashCycles, replicas: *replicas,
 				dims: *dims, batch: *batch, perCycle: *crashBatches, seed: *seed,

@@ -13,7 +13,11 @@
 // Shard death is survivable by construction: a dead shard's hash range
 // redistributes to survivors on the next request, merges proceed with
 // whoever is up, and a recovered shard is re-admitted by the health loop
-// and caught up to the current global model before it serves.
+// and caught up to the current global model before it serves. The health
+// loop runs the failure detector from internal/failover: -fail-after
+// consecutive missed probes mark a shard down, -recover-after consecutive
+// hits readmit it (flap hysteresis), and each shard's probe is jittered
+// by ±(-probe-jitter × -health-every) so probes never land in lockstep.
 //
 // Usage:
 //
@@ -21,6 +25,7 @@
 //	              -dims 16 -range -10,10 [-addr :7410] [-trials 5]
 //	              [-seed 1] [-depth 0] [-vnodes 64] [-merge-every 10s]
 //	              [-health-every 500ms] [-shard-timeout 10s]
+//	              [-fail-after 2] [-recover-after 2] [-probe-jitter 0.2]
 //	              [-node-id id] [-log-level info]
 //
 // The stream flags (-dims -range -trials -seed -depth) MUST match the
@@ -71,6 +76,9 @@ type routerOpts struct {
 	mergeEvery   time.Duration
 	healthEvery  time.Duration
 	shardTimeout time.Duration
+	failAfter    int
+	recoverAfter int
+	probeJitter  float64
 	nodeID       string
 	logLevel     string
 }
@@ -88,6 +96,9 @@ func main() {
 	flag.DurationVar(&o.mergeEvery, "merge-every", 10*time.Second, "merge-epoch cadence (0 = manual via POST /merge)")
 	flag.DurationVar(&o.healthEvery, "health-every", 500*time.Millisecond, "shard health-probe cadence")
 	flag.DurationVar(&o.shardTimeout, "shard-timeout", 10*time.Second, "per-shard request deadline")
+	flag.IntVar(&o.failAfter, "fail-after", 2, "consecutive missed health probes before a shard is marked down")
+	flag.IntVar(&o.recoverAfter, "recover-after", 2, "consecutive successful probes before a down shard is readmitted")
+	flag.Float64Var(&o.probeJitter, "probe-jitter", 0.2, "per-shard probe jitter as a fraction of -health-every")
 	flag.StringVar(&o.nodeID, "node-id", "", "stable router identity for logs (default: the run_id)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
 	flag.Parse()
@@ -125,6 +136,12 @@ func buildConfig(o routerOpts) (shardcluster.Config, error) {
 	if _, err := obs.ParseLevel(o.logLevel); err != nil {
 		return cfg, fmt.Errorf("bad flags: %w", err)
 	}
+	if o.failAfter < 1 || o.recoverAfter < 1 {
+		return cfg, fmt.Errorf("-fail-after and -recover-after must be ≥ 1 (got %d/%d)", o.failAfter, o.recoverAfter)
+	}
+	if o.probeJitter < 0 || o.probeJitter >= 1 {
+		return cfg, fmt.Errorf("-probe-jitter wants a fraction in [0,1), got %g", o.probeJitter)
+	}
 	var shards []string
 	for _, s := range strings.Split(o.shards, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -139,11 +156,14 @@ func buildConfig(o routerOpts) (shardcluster.Config, error) {
 			RawRanges: ranges,
 			Period:    1 << 30, // the router refits on merge epochs, never on a point cadence
 		},
-		VNodes:       o.vnodes,
-		MergeEvery:   o.mergeEvery,
-		HealthEvery:  o.healthEvery,
-		ShardTimeout: o.shardTimeout,
-		RunID:        obs.NewRunID(),
+		VNodes:           o.vnodes,
+		MergeEvery:       o.mergeEvery,
+		HealthEvery:      o.healthEvery,
+		FailThreshold:    o.failAfter,
+		RecoverThreshold: o.recoverAfter,
+		ProbeJitter:      o.probeJitter,
+		ShardTimeout:     o.shardTimeout,
+		RunID:            obs.NewRunID(),
 	}
 	return cfg, nil
 }

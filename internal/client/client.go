@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -47,6 +48,23 @@ type ErrNotPrimary struct {
 
 func (e *ErrNotPrimary) Error() string {
 	return fmt.Sprintf("client: node is a follower replica; ingest must go to the primary at %s", e.Primary)
+}
+
+// ErrStaleEpoch reports an ingest rejected by epoch fencing (HTTP 412):
+// the node answering is — or believes the request is — behind the
+// cluster's fencing epoch. When the client carried a token newer than
+// the node's epoch, the NODE is the stale party (a fenced or zombie
+// ex-primary); Primary, when present, names the node's best-known
+// leader. See internal/server/failover.go for the fencing invariants.
+type ErrStaleEpoch struct {
+	NodeEpoch    int64
+	RequestEpoch int64
+	Primary      string
+}
+
+func (e *ErrStaleEpoch) Error() string {
+	return fmt.Sprintf("client: stale epoch (node %d, request %d, primary %q)",
+		e.NodeEpoch, e.RequestEpoch, e.Primary)
 }
 
 // ErrRetriesExhausted reports an Ingest that gave up after
@@ -110,9 +128,16 @@ type IngestAck struct {
 	// Duplicate reports a batch the daemon had already acknowledged under
 	// this producer sequence — a retry whose original ack was lost.
 	Duplicate bool `json:"duplicate"`
+	// Epoch is the primary's fencing epoch at ack time (0 = unmanaged).
+	// The client adopts it as its token for subsequent ingests, which is
+	// what fences a zombie ex-primary after a failover.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
-// Client talks to one keybin2d daemon.
+// Client talks to one keybin2d daemon — or, with SetEndpoints, to a
+// replica set: ingest rotates through the endpoint pool on transport
+// errors, follower redirects, and stale-epoch rejections until it finds
+// the live primary, re-discovering it across automatic failovers.
 type Client struct {
 	base     string
 	hc       *http.Client
@@ -120,6 +145,15 @@ type Client struct {
 	producer string
 	pseq     atomic.Uint64
 	rng      atomic.Pointer[xrand.Stream] // jitter source (nil → seeded lazily)
+
+	// Replica-set state: pool is the endpoint list (nil = single-node
+	// mode), poolIdx the current cursor into it, epoch the newest fencing
+	// epoch learned from acks/rejections — sent as the X-KB2-Epoch token
+	// on every ingest so a zombie ex-primary answers 412 instead of
+	// silently accepting the write.
+	pool    atomic.Pointer[[]string]
+	poolIdx atomic.Int64
+	epoch   atomic.Int64
 }
 
 // New builds a client for the daemon at base (e.g. "http://127.0.0.1:7420").
@@ -160,6 +194,79 @@ func (c *Client) Producer() string { return c.producer }
 // IngestTracked call it implicitly; use it directly only with IngestSeq.
 func (c *Client) NextBatchSeq() uint64 { return c.pseq.Add(1) }
 
+// SetEndpoints switches the client into replica-set mode: ingest targets
+// rotate through the given base URLs on transport errors, unredeemable
+// follower redirects, and stale-epoch rejections (backpressure still
+// backs off against the same endpoint — the primary is alive, just
+// busy). A 421 hint naming a pool member jumps the cursor straight to
+// it. Call before issuing requests; an empty list restores single-node
+// mode.
+func (c *Client) SetEndpoints(urls ...string) {
+	if len(urls) == 0 {
+		c.pool.Store(nil)
+		return
+	}
+	eps := make([]string, len(urls))
+	for i, u := range urls {
+		eps[i] = strings.TrimRight(u, "/")
+	}
+	c.pool.Store(&eps)
+	c.poolIdx.Store(0)
+}
+
+// SetKnownEpoch arms the client's fencing token directly — chaos
+// harnesses use it to prove a revived zombie rejects a tokened write.
+// Normal clients learn the epoch from acks and 412s instead.
+func (c *Client) SetKnownEpoch(e int64) { c.epoch.Store(e) }
+
+// KnownEpoch is the newest fencing epoch this client has learned (0 =
+// none seen).
+func (c *Client) KnownEpoch() int64 { return c.epoch.Load() }
+
+// learnEpoch adopts a newer fencing epoch (monotone CAS max).
+func (c *Client) learnEpoch(e int64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// currentBase is the ingest target: the pool cursor in replica-set mode,
+// the fixed base otherwise.
+func (c *Client) currentBase() string {
+	p := c.pool.Load()
+	if p == nil || len(*p) == 0 {
+		return c.base
+	}
+	eps := *p
+	return eps[int(c.poolIdx.Load())%len(eps)]
+}
+
+// rotateEndpoint advances the pool cursor past a failed endpoint, unless
+// another goroutine already moved it.
+func (c *Client) rotateEndpoint(from string) {
+	if p := c.pool.Load(); p != nil && len(*p) > 0 && c.currentBase() == from {
+		c.poolIdx.Add(1)
+	}
+}
+
+// adoptEndpoint points the pool cursor at a hinted primary when the hint
+// is a pool member — the next ingest goes straight there.
+func (c *Client) adoptEndpoint(hint string) {
+	p := c.pool.Load()
+	if p == nil {
+		return
+	}
+	for i, u := range *p {
+		if u == hint {
+			c.poolIdx.Store(int64(i))
+			return
+		}
+	}
+}
+
 func (c *Client) post(ctx context.Context, path string, body []byte, pseq uint64) (*http.Response, error) {
 	return c.postTo(ctx, c.base, path, body, pseq)
 }
@@ -173,6 +280,13 @@ func (c *Client) postTo(ctx context.Context, base, path string, body []byte, pse
 	if c.producer != "" && pseq > 0 {
 		req.Header.Set("X-Producer", c.producer)
 		req.Header.Set("X-Batch-Seq", strconv.FormatUint(pseq, 10))
+	}
+	if path == "/ingest" {
+		if e := c.epoch.Load(); e > 0 {
+			// The fencing token: a node whose epoch is older than this
+			// answers 412 instead of accepting the write (zombie fencing).
+			req.Header.Set("X-KB2-Epoch", strconv.FormatInt(e, 10))
+		}
 	}
 	return c.hc.Do(req)
 }
@@ -210,15 +324,22 @@ func (c *Client) IngestSeq(ctx context.Context, batch *linalg.Matrix, pseq uint6
 // count, used only for the fallback ack. The daemon still validates the
 // frame, so a malformed raw buffer is rejected, not mis-ingested.
 func (c *Client) IngestRawSeq(ctx context.Context, raw []byte, rows int, pseq uint64) (IngestAck, error) {
-	ack, err := c.ingestRawTo(ctx, c.base, raw, rows, pseq)
+	return c.ingestRawSeqTo(ctx, c.currentBase(), raw, rows, pseq)
+}
+
+func (c *Client) ingestRawSeqTo(ctx context.Context, base string, raw []byte, rows int, pseq uint64) (IngestAck, error) {
+	ack, err := c.ingestRawTo(ctx, base, raw, rows, pseq)
 	var np *ErrNotPrimary
 	if errors.As(err, &np) && np.Primary != "" {
 		// A follower told us who the primary is: follow the hint for ONE
 		// hop with the identical bytes and sequence (the primary dedupes a
 		// batch the follower somehow already forwarded). A second 421
 		// surfaces as ErrNotPrimary — hint-chasing loops are a topology
-		// bug, not something to absorb.
-		return c.ingestRawTo(ctx, strings.TrimRight(np.Primary, "/"), raw, rows, pseq)
+		// bug, not something to absorb. In replica-set mode the cursor
+		// jumps to a hinted pool member so later batches skip the hop.
+		hint := strings.TrimRight(np.Primary, "/")
+		c.adoptEndpoint(hint)
+		return c.ingestRawTo(ctx, hint, raw, rows, pseq)
 	}
 	return ack, err
 }
@@ -230,6 +351,13 @@ func (c *Client) ingestRawTo(ctx context.Context, base string, raw []byte, rows 
 		return ack, err
 	}
 	defer resp.Body.Close()
+	if v := resp.Header.Get("X-KB2-Epoch"); v != "" {
+		// Any epoch the fleet shows us — on acks, redirects, or fencing
+		// rejections — arms the token for subsequent ingests.
+		if e, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+			c.learnEpoch(e)
+		}
+	}
 	switch resp.StatusCode {
 	case http.StatusAccepted:
 		if derr := json.NewDecoder(resp.Body).Decode(&ack); derr != nil {
@@ -237,11 +365,24 @@ func (c *Client) ingestRawTo(ctx context.Context, base string, raw []byte, rows 
 			// success into a retry (which would re-send the batch).
 			ack = IngestAck{Queued: rows}
 		}
+		c.learnEpoch(ack.Epoch)
 		return ack, nil
 	case http.StatusTooManyRequests:
 		return ack, &ErrBackpressure{RetryAfter: retryAfter(resp)}
 	case http.StatusMisdirectedRequest:
 		return ack, &ErrNotPrimary{Primary: resp.Header.Get("X-KB2-Primary")}
+	case http.StatusPreconditionFailed:
+		se := &ErrStaleEpoch{}
+		var body struct {
+			NodeEpoch    int64  `json:"node_epoch"`
+			RequestEpoch int64  `json:"request_epoch"`
+			Primary      string `json:"primary"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&body); derr == nil {
+			se.NodeEpoch, se.RequestEpoch, se.Primary = body.NodeEpoch, body.RequestEpoch, body.Primary
+			c.learnEpoch(body.NodeEpoch)
+		}
+		return ack, se
 	default:
 		return ack, httpError(resp)
 	}
@@ -301,20 +442,40 @@ func (c *Client) ingestRetry(ctx context.Context, batch *linalg.Matrix, pseq uin
 	return c.ingestRawRetry(ctx, server.EncodeBatch(batch), batch.Rows, pseq, p)
 }
 
-// ingestRawRetry is ingestRetry over pre-encoded wire bytes.
+// ingestRawRetry is ingestRetry over pre-encoded wire bytes. In
+// single-node mode only backpressure is retried, as ever. In replica-set
+// mode (SetEndpoints) the loop additionally rotates to the next pool
+// endpoint on transport errors, unredeemed follower redirects, and
+// stale-epoch rejections — the primary re-discovery that rides out an
+// automatic failover — under the same bounded, jittered backoff.
 func (c *Client) ingestRawRetry(ctx context.Context, raw []byte, rows int, pseq uint64, p RetryPolicy) (IngestAck, error) {
 	wait := time.Duration(0)
 	for attempt := 1; ; attempt++ {
-		ack, err := c.IngestRawSeq(ctx, raw, rows, pseq)
+		base := c.currentBase()
+		ack, err := c.ingestRawSeqTo(ctx, base, raw, rows, pseq)
+		if err == nil {
+			return ack, nil
+		}
 		var bp *ErrBackpressure
-		if !errors.As(err, &bp) {
+		switch {
+		case errors.As(err, &bp):
+			// The endpoint is alive and is the primary — back off against
+			// it, never rotate away from it.
+		case c.rotatableError(ctx, err):
+			c.rotateEndpoint(base)
+		default:
 			return ack, err
+		}
+		if ctx.Err() != nil {
+			return ack, ctx.Err()
 		}
 		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
 			return ack, &ErrRetriesExhausted{Attempts: attempt, Last: err}
 		}
 		if wait == 0 {
-			wait = bp.RetryAfter
+			if bp != nil {
+				wait = bp.RetryAfter
+			}
 			if wait < p.BaseBackoff {
 				wait = p.BaseBackoff
 			}
@@ -334,6 +495,26 @@ func (c *Client) ingestRawRetry(ctx context.Context, raw []byte, rows int, pseq 
 			return ack, ctx.Err()
 		}
 	}
+}
+
+// rotatableError reports whether an ingest failure should move a
+// replica-set client to the next pool endpoint: the node is down
+// (transport error), not the primary (unredeemed 421), or fenced behind
+// the cluster epoch (412). Only meaningful in pool mode. Transport
+// timeouts rotate too — a black-holed endpoint looks exactly like one —
+// so the only excluded case is the caller's own context expiring, which
+// is checked against ctx itself (net/http timeout errors also match
+// errors.Is(err, context.DeadlineExceeded), so matching on the error
+// would misread a dead endpoint as a caller cancellation).
+func (c *Client) rotatableError(ctx context.Context, err error) bool {
+	if p := c.pool.Load(); p == nil || len(*p) < 2 {
+		return false
+	}
+	var np *ErrNotPrimary
+	var se *ErrStaleEpoch
+	var ue *url.Error
+	return errors.As(err, &np) || errors.As(err, &se) ||
+		(errors.As(err, &ue) && ctx.Err() == nil)
 }
 
 // LabelResult carries /label's reply: per-point labels and the generation
@@ -446,28 +627,94 @@ func (c *Client) Ready(ctx context.Context) error {
 
 // Promote asks a follower replica to become the primary (POST /promote),
 // returning its applied WAL sequence — the horizon the new primary will
-// number writes from. A node that is already a primary answers 409, which
-// surfaces as an error.
+// number writes from. The node mints the next fencing epoch itself. A
+// node that is already a primary answers 409, which surfaces as an
+// error.
 func (c *Client) Promote(ctx context.Context) (uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/promote", nil)
+	seq, _, err := c.PromoteEpoch(ctx, 0)
+	return seq, err
+}
+
+// PromoteEpoch is Promote with an explicit fencing epoch (0 = let the
+// node mint current+1): the supervisor's election path, where the epoch
+// is chosen centrally so the new primary outranks every fenced loser.
+// Returns the promoted node's applied sequence and its (now current)
+// epoch. The client adopts the epoch as its own token.
+func (c *Client) PromoteEpoch(ctx context.Context, epoch int64) (uint64, int64, error) {
+	path := "/promote"
+	if epoch > 0 {
+		path += "?epoch=" + strconv.FormatInt(epoch, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, httpError(resp)
+		return 0, 0, httpError(resp)
 	}
 	var out struct {
 		AppliedSeq uint64 `json:"applied_seq"`
+		Epoch      int64  `json:"epoch"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return out.AppliedSeq, nil
+	c.learnEpoch(out.Epoch)
+	return out.AppliedSeq, out.Epoch, nil
+}
+
+// Fence fences the node at the given epoch (POST /fence). With a primary
+// URL, a fenced ex-primary demotes in place into a follower of it, and a
+// follower re-points its tail there; without one the node is only cut
+// off the write path. Used by the failover supervisor; idempotent at the
+// same epoch.
+func (c *Client) Fence(ctx context.Context, epoch int64, primary string) error {
+	q := "/fence?epoch=" + strconv.FormatInt(epoch, 10)
+	if primary != "" {
+		q += "&primary=" + url.QueryEscape(strings.TrimRight(primary, "/"))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+q, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	c.learnEpoch(epoch)
+	return nil
+}
+
+// AdoptEpoch raises the epoch of a CURRENT primary (POST /epoch) — the
+// supervisor's adoption path when it first manages an unmanaged group or
+// re-learns a restarted primary. A follower answers 409.
+func (c *Client) AdoptEpoch(ctx context.Context, epoch int64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/epoch?epoch="+strconv.FormatInt(epoch, 10), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	c.learnEpoch(epoch)
+	return nil
 }
 
 // WaitSeen polls /stats until the daemon has applied at least n points or

@@ -59,6 +59,15 @@ type telemetry struct {
 	replicaPrimarySeq *obs.Gauge
 	replicaLagSec     *obs.Gauge
 	tailReconnects    *obs.Counter
+
+	// Failover / fencing instruments (see failover.go); always present —
+	// any node can be promoted, fenced, or demoted over its lifetime.
+	clusterEpochG     *obs.Gauge
+	fencedG           *obs.Gauge
+	staleEpochRejects *obs.Counter
+	promotions        *obs.Counter
+	demotions         *obs.Counter
+	fences            *obs.Counter
 }
 
 // fsyncBuckets resolve the latency band that matters for the durability
@@ -134,6 +143,18 @@ func newTelemetry(reg *obs.Registry, runID string, fsync FsyncPolicy, follower b
 			"Global-model install duration (decode excluded; swap + bookkeeping).", nil),
 		mergeEpoch: reg.Gauge("keybin2d_merge_epoch",
 			"Newest cluster merge epoch installed on this shard (0 = serving the local model)."),
+		clusterEpochG: reg.Gauge("keybin2d_cluster_epoch",
+			"This node's fencing epoch (0 = unmanaged; raised by promote/fence/epoch)."),
+		fencedG: reg.Gauge("keybin2d_fenced",
+			"1 while this primary is fenced off the write path by a newer epoch."),
+		staleEpochRejects: reg.Counter("keybin2d_stale_epoch_rejects_total",
+			"Requests rejected with 412 stale epoch (zombie writes and fenced accepts)."),
+		promotions: reg.Counter("keybin2d_promotions_total",
+			"Follower-to-primary promotions completed by this process."),
+		demotions: reg.Counter("keybin2d_demotions_total",
+			"Primary-to-follower in-place demotions completed by this process."),
+		fences: reg.Counter("keybin2d_fences_total",
+			"Times this node was fenced at a new epoch while serving as primary."),
 		stageSec: reg.HistogramVec("keybin2d_stage_seconds",
 			"Pipeline stage durations reported by the stream (refit, warmup_init).", nil, "stage"),
 		httpSec: reg.HistogramVec("keybin2d_http_request_seconds",
@@ -183,6 +204,12 @@ func (t *telemetry) installCollect(s *Server) {
 			t.replicaAppliedSeq.SetInt(int64(s.appliedSeqA.Load()))
 			t.replicaPrimarySeq.SetInt(int64(s.primaryLastSeq.Load()))
 			t.replicaLagSec.Set(s.replicaLagSeconds())
+		}
+		t.clusterEpochG.SetInt(s.clusterEpoch.Load())
+		if s.fenced.Load() {
+			t.fencedG.Set(1)
+		} else {
+			t.fencedG.Set(0)
 		}
 	})
 }

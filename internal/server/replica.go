@@ -3,51 +3,65 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"keybin2/internal/core"
 )
 
-// Follower replica: the daemon runs followRun instead of the writer loop.
-// It tails the primary's WAL (GET /wal), replays every record into its own
-// stream through the same applyWALEntry path startup recovery uses — which
-// is what makes its /label answers byte-identical to the primary's — and
-// periodically checkpoints so a restart resumes the tail from its covered
-// sequence instead of seq 0.
+// Follower replica: the serving loop runs followLoop instead of the
+// writer loop. It tails the primary's WAL (GET /wal), replays every
+// record into its own stream through the same applyWALEntry path startup
+// recovery uses — which is what makes its /label answers byte-identical
+// to the primary's — and periodically checkpoints so a restart resumes
+// the tail from its covered sequence instead of seq 0.
 //
 // Promotion (POST /promote) happens on this same goroutine: it opens the
 // local WAL at the applied horizon, aligns the accept path's sequence
-// numbering and idempotency map with what replication delivered, flips the
-// follower flag last, and then calls runLoop — the tail goroutine becomes
-// the writer goroutine, so ownership of the stream never has a gap.
+// numbering and idempotency map with what replication delivered, flips
+// the follower flag last, and then returns to serve() — the tail
+// goroutine becomes the writer goroutine, so ownership of the stream
+// never has a gap. Demotion (a /fence with a primary target) is the
+// inverse and lands in runLoop; both directions are re-armable, so a
+// node can cycle follower → primary → follower across failovers.
 
-// followRun is the replica's main loop: tail, apply, checkpoint, and —
-// when asked — promote. Owns the stream and the writer-goroutine state.
-func (s *Server) followRun() {
-	defer s.wg.Done()
+// defaultFollowClient builds the HTTP client the follower tails with.
+// Connection setup and time-to-first-byte are bounded — a hung (not
+// dead) primary must fail the round instead of wedging the tail forever
+// — but there is no overall request timeout: the response header arrives
+// before the primary parks in its long poll, and a healthy tail body may
+// legitimately stream for a long time.
+func defaultFollowClient(poll time.Duration) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: poll + 5*time.Second,
+			MaxIdleConnsPerHost:   2,
+		},
+	}
+}
+
+// errTailInterrupted marks a tail round canceled by a nudge (a pending
+// promote/fence/shutdown) rather than by a transport failure: the loop
+// re-enters its select immediately, with no reconnect backoff.
+var errTailInterrupted = errors.New("tail interrupted")
+
+// followLoop is the replica's serving loop body: tail, apply,
+// checkpoint, and — when asked — switch roles. Returns false on
+// shutdown, true after a promotion switched the node's role (serve()
+// re-enters as runLoop on this same goroutine).
+func (s *Server) followLoop() bool {
 	client := s.cfg.FollowHTTP
 	if client == nil {
-		client = &http.Client{}
+		client = defaultFollowClient(s.cfg.FollowPoll)
 	}
-	// Cancel an in-flight tail request (it may be parked in a long poll on
-	// the primary) the moment shutdown or promotion is requested.
-	ctx, cancel := context.WithCancel(context.Background())
-	stop := make(chan struct{})
-	defer close(stop)
-	defer cancel()
-	go func() {
-		select {
-		case <-s.done:
-		case <-s.promoteCh:
-		case <-stop:
-		}
-		cancel()
-	}()
-
 	var ckptC <-chan time.Time
 	if s.cfg.CheckpointPath != "" {
 		t := time.NewTicker(s.cfg.CheckpointEvery)
@@ -55,25 +69,26 @@ func (s *Server) followRun() {
 		ckptC = t.C
 	}
 
-	promoteC := s.promoteCh
 	backoff := 50 * time.Millisecond
 	reconnecting := false
 	for {
 		select {
 		case <-s.done:
 			s.checkpoint()
-			return
-		case <-promoteC:
-			if err := s.promote(); err != nil {
+			return false
+		case req := <-s.promoteCh:
+			if err := s.promote(req.epoch); err != nil {
 				s.logf("promote: %v", err)
-				s.promoteErr.Store(&err)
-				close(s.promotedDone)
-				promoteC = nil // stay a follower; the closed channel must not spin
-				continue
+				req.done <- roleResult{err: err, epoch: s.clusterEpoch.Load(), appliedSeq: s.appliedSeqA.Load()}
+				continue // stay a follower, keep tailing
 			}
-			close(s.promotedDone)
-			s.runLoop() // this goroutine is now the writer
-			return
+			req.done <- roleResult{epoch: s.clusterEpoch.Load(), appliedSeq: s.appliedSeqA.Load()}
+			return true // now a primary; serve() switches loops
+		case req := <-s.demoteCh:
+			// Already a follower: the fence handler has adopted the epoch
+			// and re-pointed the tail; there is no writer to demote.
+			req.done <- roleResult{err: errNotPrimary, epoch: s.clusterEpoch.Load(), appliedSeq: s.appliedSeqA.Load()}
+			continue
 		case <-ckptC:
 			s.checkpoint()
 			continue
@@ -81,23 +96,27 @@ func (s *Server) followRun() {
 		}
 		if reconnecting {
 			s.tailReconnects.Add(1)
-			s.tel.tailReconnects.Inc()
+			if s.tel.tailReconnects != nil {
+				s.tel.tailReconnects.Inc()
+			}
 		}
-		err := s.tailOnce(ctx, client)
+		err := s.tailRound(client)
 		if err == nil {
 			reconnecting = false
 			backoff = 50 * time.Millisecond
 			continue
 		}
-		if ctx.Err() != nil {
-			continue // shutdown or promotion raced the request; resolve above
+		if errors.Is(err, errTailInterrupted) {
+			continue // a role change or shutdown nudged us; resolve above
 		}
-		s.logf("follow %s: %v", s.cfg.FollowURL, err)
+		s.logf("follow %s: %v", s.primaryHint(), err)
 		reconnecting = true
 		select {
 		case <-time.After(backoff):
 		case <-s.done:
-		case <-promoteC:
+		case <-s.nudge:
+			// A role change (or re-point) wants attention now; the nudge is
+			// consumed, but the pending request is picked up at the select.
 		}
 		if backoff *= 2; backoff > s.cfg.FollowMaxBackoff {
 			backoff = s.cfg.FollowMaxBackoff
@@ -105,13 +124,48 @@ func (s *Server) followRun() {
 	}
 }
 
+// tailRound runs one tail request under a per-round context that a
+// nudge (promote, fence re-point, shutdown) cancels — an in-flight long
+// poll on the primary breaks immediately instead of delaying the role
+// change by up to FollowPoll.
+func (s *Server) tailRound(client *http.Client) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.done:
+			cancel()
+		case <-s.nudge:
+			cancel()
+		case <-stop:
+		}
+	}()
+	err := s.tailOnce(ctx, client)
+	if err != nil && ctx.Err() != nil {
+		return errTailInterrupted
+	}
+	return err
+}
+
 // tailOnce performs one tail round: request records after the replica's
 // applied sequence (long-polling when caught up), apply every returned
 // record, and refresh the lag bookkeeping from the 'E' horizon frame.
+// The round carries the replica's fencing epoch: a primary that is
+// staler than we are answers 412 and we refuse its records, and a
+// response carrying a newer epoch is adopted — fencing news travels
+// through the tail as well as the control plane.
 func (s *Server) tailOnce(ctx context.Context, client *http.Client) error {
-	base := strings.TrimRight(s.cfg.FollowURL, "/")
+	base := s.primaryHint()
+	if base == "" {
+		return errors.New("tail: no primary to follow")
+	}
 	url := fmt.Sprintf("%s/wal?from=%d&wait=%s&max_bytes=%d",
 		base, s.appliedSeq, s.cfg.FollowPoll, 4<<20)
+	if e := s.clusterEpoch.Load(); e > 0 {
+		url += "&epoch=" + strconv.FormatInt(e, 10)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -121,6 +175,17 @@ func (s *Server) tailOnce(ctx context.Context, client *http.Client) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if v := resp.Header.Get("X-KB2-Epoch"); v != "" {
+		if respEpoch, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+			if respEpoch < s.clusterEpoch.Load() {
+				// A primary behind our epoch is a zombie; applying its
+				// records could replay a fenced-off history.
+				return fmt.Errorf("tail: primary %s is at stale epoch %d (we are at %d)",
+					base, respEpoch, s.clusterEpoch.Load())
+			}
+			s.raiseEpoch(respEpoch)
+		}
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:
@@ -223,12 +288,21 @@ func (s *Server) bootstrapFromSnapshot(ctx context.Context, client *http.Client,
 	return nil
 }
 
-// promote turns the replica into a primary at its replayed horizon. Runs
-// on the follower goroutine, so the stream and the applied-state maps are
-// stable while it works. Ordering matters: the WAL pointer and the accept
-// path's numbering are installed BEFORE the follower flag flips, so any
-// handler that observes "primary" sees a fully writable node.
-func (s *Server) promote() error {
+// promote turns the replica into a primary at its replayed horizon,
+// minting (epoch 0) or adopting (epoch > current) a fencing epoch. Runs
+// on the serving-loop goroutine, so the stream and the applied-state
+// maps are stable while it works. Ordering matters: the WAL pointer and
+// the accept path's numbering are installed BEFORE the follower flag
+// flips, so any handler that observes "primary" sees a fully writable
+// node.
+func (s *Server) promote(epoch int64) error {
+	cur := s.clusterEpoch.Load()
+	switch {
+	case epoch == 0:
+		epoch = cur + 1
+	case epoch <= cur:
+		return &staleEpochError{NodeEpoch: cur, RequestEpoch: epoch}
+	}
 	if s.cfg.WALDir != "" {
 		wcfg := WALConfig{
 			Dir:          s.cfg.WALDir,
@@ -270,38 +344,64 @@ func (s *Server) promote() error {
 		}
 	}
 	s.ingestMu.Unlock()
+	s.raiseEpoch(epoch)
+	s.fenced.Store(false)
 	s.behindSince.Store(0)
 	s.follower.Store(false) // last: readers now see a writable primary
-	s.logf("promoted to primary at seq %d (was following %s)", s.nextSeq, s.cfg.FollowURL)
+	s.tel.promotions.Inc()
+	s.logf("promoted to primary at seq %d epoch %d (was following %s)", s.nextSeq, epoch, s.primaryHint())
 	return nil
 }
 
 // handlePromote triggers promotion on a follower (POST /promote) and
-// waits for it to finish. A node that is already a primary answers 409.
+// waits for it to finish. ?epoch=N adopts the given fencing epoch (it
+// must exceed the node's current epoch); without it the promotion mints
+// current+1. A node that is already a primary answers 409, as does a
+// stale epoch — both leave the node untouched.
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	var epoch int64
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		var err error
+		epoch, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || epoch < 1 {
+			http.Error(w, "bad epoch: must be an integer >= 1", http.StatusBadRequest)
+			return
+		}
+	}
 	if !s.follower.Load() {
 		http.Error(w, "already a primary", http.StatusConflict)
 		return
 	}
-	s.promoteOnce.Do(func() { close(s.promoteCh) })
-	select {
-	case <-s.promotedDone:
-	case <-r.Context().Done():
+	req := &roleReq{epoch: epoch, done: make(chan roleResult, 1)}
+	res, err := s.roleRequest(s.promoteCh, req, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	if p := s.promoteErr.Load(); p != nil {
-		http.Error(w, (*p).Error(), http.StatusInternalServerError)
+	var stale *staleEpochError
+	switch {
+	case res.err == nil:
+	case errors.Is(res.err, errAlreadyPrimary):
+		http.Error(w, "already a primary", http.StatusConflict)
+		return
+	case errors.As(res.err, &stale):
+		http.Error(w, res.err.Error(), http.StatusConflict)
+		return
+	default:
+		http.Error(w, res.err.Error(), http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("X-KB2-Epoch", strconv.FormatInt(res.epoch, 10))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"promoted":    true,
-		"applied_seq": s.appliedSeqA.Load(),
+		"applied_seq": res.appliedSeq,
+		"epoch":       res.epoch,
 	})
 }
 
@@ -317,11 +417,15 @@ func (s *Server) rejectFollowerIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("X-KB2-Primary", s.cfg.FollowURL)
+	primary := s.primaryHint()
+	w.Header().Set("X-KB2-Primary", primary)
+	if e := s.clusterEpoch.Load(); e > 0 {
+		w.Header().Set("X-KB2-Epoch", strconv.FormatInt(e, 10))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusMisdirectedRequest)
 	json.NewEncoder(w).Encode(map[string]any{
 		"error":   "follower replica: ingest must go to the primary",
-		"primary": s.cfg.FollowURL,
+		"primary": primary,
 	})
 }

@@ -98,8 +98,13 @@ type Config struct {
 	// failed or dropped tail connection (default 5s).
 	FollowMaxBackoff time.Duration
 	// FollowHTTP is the HTTP client the follower tails with (default: a
-	// dedicated client; tests inject one bound to an httptest server).
+	// dedicated client with bounded dial/TLS/first-byte timeouts; tests
+	// inject one bound to an httptest server).
 	FollowHTTP *http.Client
+	// Epoch is the node's initial fencing epoch (default 0 = unmanaged).
+	// A failover supervisor raises it via /promote, /fence, or /epoch;
+	// see failover.go for the fencing invariants.
+	Epoch int64
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +212,10 @@ type Stats struct {
 	// with Promoted set.
 	Role     string `json:"role"`
 	Promoted bool   `json:"promoted,omitempty"`
+	// Epoch is the node's fencing epoch (0 = unmanaged); Fenced reports a
+	// primary that has been fenced off the write path by a newer epoch.
+	Epoch  int64 `json:"epoch,omitempty"`
+	Fenced bool  `json:"fenced,omitempty"`
 	// Primary is the upstream base URL while following.
 	Primary string `json:"primary,omitempty"`
 	// AppliedSeq is the newest WAL sequence applied to the stream — on a
@@ -288,13 +297,19 @@ type Server struct {
 	mergeEpoch  atomic.Int64
 	mergeMu     sync.Mutex
 
-	// Follower-replica state (see replica.go). follower flips false
-	// exactly once, at promotion, after the WAL pointer is installed.
+	// Replica-set state (see replica.go and failover.go). follower flips
+	// at promotion (after the WAL pointer is installed) and back at
+	// demotion (after the WAL is closed); the serving loop alternates
+	// between runLoop and followLoop on it. promoteCh/demoteCh carry role
+	// changes onto that loop; nudge breaks a parked tail long poll so a
+	// pending role change is observed immediately.
 	follower       atomic.Bool
-	promoteCh      chan struct{} // closed by /promote; observed by followRun
-	promoteOnce    sync.Once
-	promotedDone   chan struct{} // closed when promotion has completed (ok or not)
-	promoteErr     atomic.Pointer[error]
+	promoteCh      chan *roleReq
+	demoteCh       chan *roleReq
+	nudge          chan struct{}
+	clusterEpoch   atomic.Int64 // fencing epoch; only moves forward
+	fenced         atomic.Bool  // primary fenced off the write path
+	primaryURL     atomic.Pointer[string]
 	appliedSeqA    atomic.Uint64 // mirrors appliedSeq for readers
 	primaryLastSeq atomic.Uint64 // primary's lastSeq per the latest tail round
 	behindSince    atomic.Int64  // unix nanos the replica fell behind (0 = caught up)
@@ -390,13 +405,16 @@ func New(cfg Config) (*Server, error) {
 		queue:            make(chan ingestItem, cfg.QueueDepth),
 		histC:            make(chan chan histResult),
 		done:             make(chan struct{}),
-		promoteCh:        make(chan struct{}),
-		promotedDone:     make(chan struct{}),
+		promoteCh:        make(chan *roleReq),
+		demoteCh:         make(chan *roleReq),
+		nudge:            make(chan struct{}, 1),
 		start:            time.Now(),
 		lastSeen:         make(map[string]uint64),
 		appliedProducers: make(map[string]uint64),
 	}
 	s.stream.Store(st)
+	s.clusterEpoch.Store(cfg.Epoch)
+	s.setPrimaryURL(cfg.FollowURL)
 	// The stream reports refit/warmup timings into the stage histogram
 	// (and, during apply, onto the active batch trace) from here on —
 	// including the refits WAL replay triggers below.
@@ -548,15 +566,28 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Start launches the writer goroutine — or, for a follower, the tail
-// loop (which becomes the writer goroutine at promotion). Call exactly
-// once.
+// Start launches the serving-loop goroutine. Call exactly once.
 func (s *Server) Start() {
 	s.wg.Add(1)
-	if s.follower.Load() {
-		go s.followRun()
-	} else {
-		go s.run()
+	go s.serve()
+}
+
+// serve is the node's role loop: the single goroutine that owns the
+// stream runs the writer loop while primary and the tail loop while
+// following, switching in place on promote/demote — ownership of the
+// stream never has a gap or a second owner.
+func (s *Server) serve() {
+	defer s.wg.Done()
+	for {
+		var again bool
+		if s.follower.Load() {
+			again = s.followLoop()
+		} else {
+			again = s.runLoop()
+		}
+		if !again {
+			return
+		}
 	}
 }
 
@@ -594,16 +625,10 @@ func (s *Server) Stop(ctx context.Context) error {
 	return walErr
 }
 
-// run is the writer loop: the only goroutine that mutates the stream.
-func (s *Server) run() {
-	defer s.wg.Done()
-	s.runLoop()
-}
-
-// runLoop is the writer loop body. A follower calls it directly after
-// promotion — the tail goroutine becomes the writer goroutine, so stream
-// ownership transfers without a handoff window.
-func (s *Server) runLoop() {
+// runLoop is the writer loop body: serve() runs it while the node is a
+// primary. Returns false on shutdown, true after a demotion switched the
+// node's role (serve() re-enters as followLoop on this same goroutine).
+func (s *Server) runLoop() bool {
 	var ckptC <-chan time.Time
 	if s.cfg.CheckpointPath != "" {
 		t := time.NewTicker(s.cfg.CheckpointEvery)
@@ -616,6 +641,14 @@ func (s *Server) runLoop() {
 			s.apply(it)
 		case resp := <-s.histC:
 			s.exportHist(resp)
+		case req := <-s.promoteCh:
+			req.done <- roleResult{err: errAlreadyPrimary, epoch: s.clusterEpoch.Load(), appliedSeq: s.appliedSeqA.Load()}
+		case req := <-s.demoteCh:
+			err := s.demote(req.primary, req.epoch)
+			req.done <- roleResult{err: err, epoch: s.clusterEpoch.Load(), appliedSeq: s.appliedSeqA.Load()}
+			if err == nil {
+				return true // now a follower; serve() switches loops
+			}
 		case <-ckptC:
 			s.checkpoint()
 		case <-s.done:
@@ -627,7 +660,7 @@ func (s *Server) runLoop() {
 					s.apply(it)
 				default:
 					s.checkpoint()
-					return
+					return false
 				}
 			}
 		}
@@ -766,9 +799,11 @@ func (s *Server) Stats() Stats {
 		st.WAL = info
 	}
 	st.AppliedSeq = s.appliedSeqA.Load()
+	st.Epoch = s.clusterEpoch.Load()
+	st.Fenced = s.fenced.Load()
 	if s.follower.Load() {
 		st.Role = "follower"
-		st.Primary = s.cfg.FollowURL
+		st.Primary = s.primaryHint()
 		st.PrimaryLastSeq = s.primaryLastSeq.Load()
 		st.TailReconnects = s.tailReconnects.Load()
 		st.ReplicaLagSeconds = s.replicaLagSeconds()
@@ -804,7 +839,12 @@ func (s *Server) replicaLagSeconds() float64 {
 //	GET  /readyz  → 200 | 503 readiness: draining or a wedged WAL → 503
 //	GET  /wal     → framed WAL tail stream from ?from=<seq> (replication)
 //	GET  /snapshot → newest durable checkpoint blob (follower bootstrap)
-//	POST /promote → follower → primary promotion; 409 on a primary
+//	POST /promote → follower → primary promotion (?epoch=N mints/adopts a
+//	               fencing epoch); 409 on a primary or a stale epoch
+//	POST /fence   → ?epoch=N[&primary=URL]: fence this node at epoch N;
+//	               a primary with a primary= target demotes in place
+//	POST /epoch   → ?epoch=N: raise the current primary's epoch
+//	               (supervisor adoption); 409 on a follower
 //	GET  /hist    → cumulative shard histogram state (merge collective)
 //	POST /hist/install?epoch=N → install the merged global model
 //	GET  /debug/pprof/* → net/http/pprof (only with Config.EnablePprof)
@@ -831,6 +871,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/wal", getOnly(s.handleWALTail))
 	mux.HandleFunc("/snapshot", getOnly(s.handleSnapshot))
 	mux.HandleFunc("/promote", s.handlePromote)
+	mux.HandleFunc("/fence", s.handleFence)
+	mux.HandleFunc("/epoch", s.handleEpoch)
 	mux.HandleFunc("/hist", s.instrument("hist", getOnly(s.handleHist)))
 	mux.HandleFunc("/hist/install", s.instrument("hist_install", s.handleHistInstall))
 	if s.cfg.EnablePprof {
@@ -964,6 +1006,15 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) *Batch {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ingestStart := time.Now()
+	// Fencing first: a request carrying an epoch token newer than this
+	// node's epoch means the node is a stale zombie — 412 before any
+	// other answer (even the follower redirect would mislead: this node's
+	// idea of the primary is as stale as its epoch). A fenced node takes
+	// no writes at all.
+	reqEpoch, ok := s.checkIngestEpoch(w, r)
+	if !ok {
+		return
+	}
 	if s.follower.Load() {
 		// A replica never takes writes: answer with a typed redirect to
 		// the primary before touching the body. 421 (not 3xx) because Go
@@ -997,6 +1048,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ingestMu.Lock()
+	if s.fenced.Load() {
+		// Re-check under ingestMu: a fence that landed after the entry
+		// check must not let this batch into the WAL — demote() takes
+		// ingestMu as its drain barrier, so a batch that passes here is
+		// guaranteed to be applied before the role flips.
+		s.ingestMu.Unlock()
+		s.drainMu.RUnlock()
+		b.Release()
+		s.writeStaleEpoch(w, reqEpoch)
+		return
+	}
 	if producer != "" && pseq > 0 && pseq <= s.lastSeen[producer] {
 		s.ingestMu.Unlock()
 		s.drainMu.RUnlock()
@@ -1014,8 +1076,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		s.duplicates.Add(1)
 		s.tel.batchDuplicate.Inc()
+		dup := map[string]any{"queued": 0, "duplicate": true}
+		if e := s.clusterEpoch.Load(); e > 0 {
+			w.Header().Set("X-KB2-Epoch", strconv.FormatInt(e, 10))
+			dup["epoch"] = e
+		}
 		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(map[string]any{"queued": 0, "duplicate": true})
+		json.NewEncoder(w).Encode(dup)
 		return
 	}
 	// Exact queue-full check: every enqueue holds ingestMu, so a passing
@@ -1142,11 +1209,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		tr.Finish()
 	}
+	if s.fenced.Load() {
+		// Late-ack fencing: a fence landed while this batch waited on the
+		// group commit. The batch is durable locally and will be drained
+		// by the demotion, but a 202 now would be a promise made past the
+		// fence line — the caller must re-send to the new primary instead.
+		s.writeStaleEpoch(w, reqEpoch)
+		return
+	}
 	s.accepted.Add(int64(rows))
 	s.tel.acceptedPoints.Add(int64(rows))
 	s.tel.batchAccepted.Inc()
+	ack := map[string]any{"queued": rows, "seq": seq}
+	if e := s.clusterEpoch.Load(); e > 0 {
+		// The ack carries the epoch so clients learn fencing news from
+		// normal traffic (and arm their own tokens for zombie rejection).
+		w.Header().Set("X-KB2-Epoch", strconv.FormatInt(e, 10))
+		ack["epoch"] = e
+	}
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]any{"queued": rows, "seq": seq})
+	json.NewEncoder(w).Encode(ack)
 }
 
 // labelResponse is the /label reply. ModelGen 0 means no model has been

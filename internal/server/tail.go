@@ -74,6 +74,20 @@ func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 		}
 		maxBytes = n
 	}
+	if v := q.Get("epoch"); v != "" {
+		// The follower's fencing epoch rides along: a follower that has
+		// seen a newer epoch than this node must not be fed from this log
+		// — this node is the stale party (a fenced-off zombie).
+		reqEpoch, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || reqEpoch < 0 {
+			http.Error(w, "bad epoch", http.StatusBadRequest)
+			return
+		}
+		if reqEpoch > s.clusterEpoch.Load() {
+			s.writeStaleEpoch(w, reqEpoch)
+			return
+		}
+	}
 
 	cur, err := wal.CursorAt(from)
 	if err != nil {
@@ -112,6 +126,11 @@ func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if e := s.clusterEpoch.Load(); e > 0 {
+		// Fencing news travels with the tail: the follower adopts a newer
+		// epoch from this header without waiting for the control plane.
+		w.Header().Set("X-KB2-Epoch", strconv.FormatInt(e, 10))
+	}
 	w.Header().Set("Content-Type", "application/x-kb2-tail")
 	bw := bufio.NewWriterSize(w, 64<<10)
 	var scratch [13]byte

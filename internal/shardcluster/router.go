@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"keybin2/internal/core"
+	"keybin2/internal/failover"
 	"keybin2/internal/obs"
+	"keybin2/internal/xrand"
 )
 
 // Config tunes a shard Router.
@@ -35,6 +37,16 @@ type Config struct {
 	// shard down (default 2). Transport errors on proxied traffic mark it
 	// down immediately — a refused connection is not a maybe.
 	FailThreshold int
+	// RecoverThreshold is how many consecutive successful probes readmit
+	// a down shard (default 2) — the flap hysteresis: a shard oscillating
+	// at the probe cadence stays down instead of thrashing the ring.
+	RecoverThreshold int
+	// ProbeJitter spreads each shard's probe within the round by this
+	// fraction of HealthEvery (default 0.2), so a cluster of shards never
+	// sees the router's probes land in lockstep.
+	ProbeJitter float64
+	// Seed fixes the probe-jitter stream (default 1).
+	Seed int64
 	// ShardTimeout bounds every proxied or collective request to one
 	// shard (default 10s).
 	ShardTimeout time.Duration
@@ -61,6 +73,15 @@ func (c Config) withDefaults() Config {
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = 2
 	}
+	if c.RecoverThreshold <= 0 {
+		c.RecoverThreshold = 2
+	}
+	if c.ProbeJitter <= 0 {
+		c.ProbeJitter = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	if c.ShardTimeout <= 0 {
 		c.ShardTimeout = 10 * time.Second
 	}
@@ -81,8 +102,14 @@ type shard struct {
 	name string // ring name == base URL
 	url  string
 
-	up          atomic.Bool
-	consecFails atomic.Int32
+	// up mirrors the detector's verdict for the lock-free hot paths
+	// (ring lookups, upShards); det holds the actual state — a
+	// consecutive-miss failure detector with recovery hysteresis, fed by
+	// health probes (Observe) and by traffic-path transport errors
+	// (ForceDown), guarded by detMu because both report concurrently.
+	up    atomic.Bool
+	detMu sync.Mutex
+	det   *failover.Detector
 	// epoch is the newest merge epoch successfully installed on this
 	// shard; a rejoining shard below the cluster epoch gets a catch-up
 	// install from the health loop.
@@ -115,6 +142,7 @@ type Router struct {
 	global *core.GlobalModelState
 	hc     *http.Client
 	tel    *routerTelemetry
+	rng    *xrand.Stream // probe jitter; only touched on the health loop goroutine
 
 	// mergeMu serializes merge epochs (ticker + manual POST /merge +
 	// catch-up installs all contend); epoch and lastInstall publish the
@@ -149,7 +177,8 @@ func New(cfg Config) (*Router, error) {
 		if _, dup := shards[u]; dup {
 			return nil, fmt.Errorf("shardcluster: duplicate shard %q", u)
 		}
-		sh := &shard{name: u, url: u}
+		sh := &shard{name: u, url: u,
+			det: failover.NewDetector(cfg.FailThreshold, cfg.RecoverThreshold)}
 		sh.up.Store(true)
 		shards[u] = sh
 		names = append(names, u)
@@ -174,6 +203,7 @@ func New(cfg Config) (*Router, error) {
 		order:  names,
 		global: global,
 		hc:     hc,
+		rng:    xrand.New(cfg.Seed),
 		done:   make(chan struct{}),
 	}
 	r.tel = newRouterTelemetry(cfg.Registry, cfg.RunID, r)
@@ -219,16 +249,41 @@ func (r *Router) upShards() []*shard {
 	return up
 }
 
-// markDown records a shard failure observed on live traffic or a health
-// probe. The hash ring rebalances implicitly: Lookup's up-predicate now
-// skips the shard, so its producers flow to ring successors on the very
-// next request.
+// markDown records direct failure evidence — a transport error on
+// proxied traffic, a failed pull or install. That outranks any number of
+// pending probes (Detector.ForceDown), and the hash ring rebalances
+// implicitly: Lookup's up-predicate now skips the shard, so its
+// producers flow to ring successors on the very next request.
 func (r *Router) markDown(sh *shard, why string) {
-	if sh.up.CompareAndSwap(true, false) {
+	sh.detMu.Lock()
+	changed := sh.det.ForceDown()
+	sh.detMu.Unlock()
+	if changed {
+		sh.up.Store(false)
 		r.tel.shardDown.Inc()
 		r.logf("shard %s marked down (%s); ring rebalanced across %d survivors",
 			sh.url, why, len(r.upShards()))
 	}
+}
+
+// observeProbe feeds one health-probe outcome into the shard's failure
+// detector: FailThreshold consecutive misses demote, RecoverThreshold
+// consecutive hits readmit — nothing flips on a single observation.
+func (r *Router) observeProbe(sh *shard, ok bool, why string) {
+	sh.detMu.Lock()
+	up, changed := sh.det.Observe(ok)
+	sh.detMu.Unlock()
+	if !changed {
+		return
+	}
+	if up {
+		r.markUp(sh)
+		return
+	}
+	sh.up.Store(false)
+	r.tel.shardDown.Inc()
+	r.logf("shard %s marked down (%s); ring rebalanced across %d survivors",
+		sh.url, why, len(r.upShards()))
 }
 
 // markUp records a recovered shard. Its old hash range reverts to it
@@ -237,9 +292,7 @@ func (r *Router) markDown(sh *shard, why string) {
 // global model immediately rather than leaving it stale until the next
 // epoch.
 func (r *Router) markUp(sh *shard) {
-	if !sh.up.CompareAndSwap(false, true) {
-		return
-	}
+	sh.up.Store(true)
 	r.tel.shardUp.Inc()
 	r.logf("shard %s recovered; ring range restored", sh.url)
 	if li := r.lastInstall.Load(); li != nil && sh.epoch.Load() < li.epoch {
@@ -269,9 +322,18 @@ func (r *Router) healthRound() {
 	var wg sync.WaitGroup
 	for _, n := range r.order {
 		sh := r.shards[n]
+		// The jitter stream is not concurrency-safe: each shard's probe
+		// offset is drawn here, on the health-loop goroutine, and handed
+		// into the probe.
+		delay := time.Duration(r.rng.Float64() * r.cfg.ProbeJitter * float64(r.cfg.HealthEvery))
 		wg.Add(1)
-		go func(sh *shard) {
+		go func(sh *shard, delay time.Duration) {
 			defer wg.Done()
+			select {
+			case <-time.After(delay):
+			case <-r.done:
+				return // shutdown: a skipped probe must not count as a miss
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
 			defer cancel()
 			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
@@ -281,18 +343,15 @@ func (r *Router) healthRound() {
 				resp.Body.Close()
 			}
 			if err == nil && resp.StatusCode == http.StatusOK {
-				sh.consecFails.Store(0)
-				r.markUp(sh)
+				r.observeProbe(sh, true, "")
 				return
 			}
-			if fails := sh.consecFails.Add(1); int(fails) >= r.cfg.FailThreshold {
-				why := "health probe failed"
-				if err != nil {
-					why = err.Error()
-				}
-				r.markDown(sh, why)
+			why := "health probe failed"
+			if err != nil {
+				why = err.Error()
 			}
-		}(sh)
+			r.observeProbe(sh, false, why)
+		}(sh, delay)
 	}
 	wg.Wait()
 }
