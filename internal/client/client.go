@@ -291,9 +291,23 @@ func (c *Client) postTo(ctx context.Context, base, path string, body []byte, pse
 	return c.hc.Do(req)
 }
 
+// StatusError is a non-2xx HTTP response surfaced as an error. Callers
+// that must branch on the code — the failover supervisor distinguishes
+// an own-epoch 409 fence refusal from transport failure — unwrap it
+// with errors.As; everything else just prints it.
+type StatusError struct {
+	Code   int    // HTTP status code
+	Status string // e.g. "409 Conflict"
+	Msg    string // trimmed response body (first 512 bytes)
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: %s: %s", e.Status, e.Msg)
+}
+
 func httpError(resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	return &StatusError{Code: resp.StatusCode, Status: resp.Status, Msg: strings.TrimSpace(string(msg))}
 }
 
 // IngestOnce submits one batch without retrying. A full daemon queue

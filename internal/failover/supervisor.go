@@ -3,6 +3,7 @@ package failover
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -268,15 +269,23 @@ func (s *Supervisor) convergeLocked(ctx context.Context) {
 	cur := s.memberByURL(s.primaryURL)
 	if cur == nil {
 		cur = s.adoptLocked(ctx)
-	}
-	if cur != nil && (!cur.det.Up() || (cur.seen && cur.stats.Role != "primary")) {
-		// The recorded primary is dead — or demoted itself out from under
-		// us (an operator fence): elect a replacement.
+		if cur == nil {
+			// No live unfenced primary anywhere in the fleet: this
+			// supervisor started (or restarted) over an already-dead or
+			// operator-fenced primary. Adoption alone would wedge here
+			// forever — elect from the live followers instead (electLocked
+			// handles the nothing-probed and no-candidates cases).
+			cur = s.electLocked(ctx)
+		}
+	} else if !cur.det.Up() || (cur.seen && (cur.stats.Role != "primary" || cur.stats.Fenced)) {
+		// The recorded primary is dead, demoted itself out from under us,
+		// or was fenced off the write path without a rejoin target (an
+		// operator /fence with no primary=): elect a replacement.
 		if won := s.electLocked(ctx); won != nil {
 			cur = won
 		}
 	}
-	if cur == nil || !cur.det.Up() || !cur.seen {
+	if cur == nil || !cur.det.Up() || !cur.seen || cur.stats.Role != "primary" || cur.stats.Fenced {
 		return // nothing electable yet; the next round retries
 	}
 	cctx, cancel := s.ctrlCtx(ctx)
@@ -300,7 +309,7 @@ func (s *Supervisor) convergeLocked(ctx context.Context) {
 			// A live unfenced primary that is not the elected one: a
 			// zombie back from a partition or restart.
 			if m.stats.AppliedSeq <= cur.stats.AppliedSeq {
-				if err := m.cl.Fence(cctx, s.clusterEpoch, cur.url); err != nil {
+				if err := s.fenceLocked(cctx, cur, m, cur.url); err != nil {
 					s.logf("failover: fence zombie %s: %v", m.url, err)
 				} else {
 					s.fenceOps++
@@ -314,12 +323,13 @@ func (s *Supervisor) convergeLocked(ctx context.Context) {
 				// horizon — demoting would silently discard them. Fence it
 				// off the write path and leave the divergence to the
 				// operator.
-				if err := m.cl.Fence(cctx, s.clusterEpoch, ""); err != nil {
+				if err := s.fenceLocked(cctx, cur, m, ""); err != nil {
 					s.logf("failover: fence diverged zombie %s: %v", m.url, err)
 				} else {
 					s.fenceOps++
 					s.tel.fences.Inc()
 					m.stats.Fenced = true
+					m.stats.Epoch = s.clusterEpoch
 					s.logf("failover: zombie %s DIVERGED (applied %d > primary %d): fenced, operator must reconcile",
 						m.url, m.stats.AppliedSeq, cur.stats.AppliedSeq)
 				}
@@ -336,6 +346,30 @@ func (s *Supervisor) convergeLocked(ctx context.Context) {
 			}
 		}
 	}
+}
+
+// fenceLocked fences m at the cluster epoch with the given rejoin
+// target, handling the own-epoch refusal: an unfenced primary answers
+// 409 to a fence at its own epoch (it is that epoch's legitimate
+// owner), which a zombie can hold when it was promoted independently —
+// dual manual promotes, or a second supervisor. Retrying the same fence
+// would 409 forever while split-brain persists, so mint the next epoch
+// through the elected primary and fence the zombie at that instead.
+func (s *Supervisor) fenceLocked(ctx context.Context, cur, m *member, rejoin string) error {
+	err := m.cl.Fence(ctx, s.clusterEpoch, rejoin)
+	var se *client.StatusError
+	if err == nil || !errors.As(err, &se) || se.Code != http.StatusConflict {
+		return err
+	}
+	next := s.clusterEpoch + 1
+	if aerr := cur.cl.AdoptEpoch(ctx, next); aerr != nil {
+		return fmt.Errorf("mint epoch %d on %s: %v (fence refused: %w)", next, cur.url, aerr, err)
+	}
+	s.clusterEpoch = next
+	cur.stats.Epoch = next
+	s.logf("failover: zombie %s owns epoch %d; minted %d on %s to outrank it",
+		m.url, next-1, next, cur.url)
+	return m.cl.Fence(ctx, next, rejoin)
 }
 
 // adoptLocked discovers the primary of a group this supervisor has no

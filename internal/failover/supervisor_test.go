@@ -72,6 +72,12 @@ func newFakeNode(t *testing.T, role, nodeID string, epoch int64, applied uint64)
 			http.Error(w, "stale epoch", http.StatusPreconditionFailed)
 			return
 		}
+		if f.st.Role == "primary" && !f.st.Fenced && epoch == f.st.Epoch {
+			// Mirrors the real handleFence: the unfenced primary is its own
+			// epoch's legitimate owner; fencing it takes a newer epoch.
+			http.Error(w, "node is the primary at this epoch", http.StatusConflict)
+			return
+		}
 		f.st.Epoch = epoch
 		if f.st.Role == "primary" {
 			if primary != "" {
@@ -308,6 +314,80 @@ func TestSupervisorDivergedZombieFencedWithoutDemotion(t *testing.T) {
 		if c == "fence:2:"+follower.srv.URL {
 			t.Fatal("diverged zombie was given a rejoin target")
 		}
+	}
+}
+
+func TestSupervisorElectsWhenStartedOverDeadPrimary(t *testing.T) {
+	// A supervisor started (or restarted) while the primary is already
+	// dead has nothing to adopt — it must fall through to election, not
+	// wait forever for a primary that will never answer.
+	primary := newFakeNode(t, "primary", "node-a", 0, 100)
+	follower := newFakeNode(t, "follower", "node-b", 0, 90)
+	primary.setDown(true)
+	sup := newTestSupervisor(t, 1, primary, follower)
+
+	sup.Round(context.Background())
+
+	st := sup.Status()
+	if st.Primary != follower.srv.URL {
+		t.Fatalf("primary = %q, want elected follower %q", st.Primary, follower.srv.URL)
+	}
+	if st.Elections != 1 {
+		t.Fatalf("elections = %d, want 1", st.Elections)
+	}
+	if s := follower.snapshot(); s.Role != "primary" || s.Epoch != 1 {
+		t.Fatalf("winner state = %+v, want primary at epoch 1", s)
+	}
+}
+
+func TestSupervisorElectsPastOperatorFencedPrimary(t *testing.T) {
+	// An operator /fence?epoch=N with no primary= leaves the node role
+	// "primary" but fenced — no write path. The supervisor must elect a
+	// replacement rather than treat the fenced node as a healthy primary.
+	primary := newFakeNode(t, "primary", "node-a", 0, 100)
+	follower := newFakeNode(t, "follower", "node-b", 0, 100)
+	sup := newTestSupervisor(t, 1, primary, follower)
+	ctx := context.Background()
+
+	sup.Round(ctx) // adopt at epoch 1
+	primary.mu.Lock()
+	primary.st.Fenced = true
+	primary.mu.Unlock()
+	sup.Round(ctx)
+
+	st := sup.Status()
+	if st.Primary != follower.srv.URL {
+		t.Fatalf("primary = %q, want elected follower %q", st.Primary, follower.srv.URL)
+	}
+	if st.ClusterEpoch != 2 {
+		t.Fatalf("cluster epoch = %d, want 2 minted by the election", st.ClusterEpoch)
+	}
+	if s := follower.snapshot(); s.Role != "primary" || s.Epoch != 2 {
+		t.Fatalf("winner state = %+v, want primary at epoch 2", s)
+	}
+}
+
+func TestSupervisorFencesOwnEpochZombie(t *testing.T) {
+	// Dual promotes (a second supervisor, or two operators) leave two
+	// unfenced primaries at the SAME epoch. Fencing the loser at that
+	// epoch is refused 409 — the supervisor must mint the next epoch on
+	// the elected primary and fence the zombie at it, not retry the 409
+	// forever while split-brain persists.
+	a := newFakeNode(t, "primary", "node-a", 2, 100)
+	b := newFakeNode(t, "primary", "node-b", 2, 90)
+	sup := newTestSupervisor(t, 1, a, b)
+
+	sup.Round(context.Background())
+
+	s := b.snapshot()
+	if s.Role != "follower" || s.Epoch != 3 || s.Primary != a.srv.URL {
+		t.Fatalf("zombie state = %+v, want follower at epoch 3 tailing %q", s, a.srv.URL)
+	}
+	if got := a.snapshot().Epoch; got != 3 {
+		t.Fatalf("elected primary epoch = %d, want 3 minted past the own-epoch zombie", got)
+	}
+	if got := sup.Status().ClusterEpoch; got != 3 {
+		t.Fatalf("cluster epoch = %d, want 3", got)
 	}
 }
 

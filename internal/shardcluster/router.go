@@ -257,9 +257,16 @@ func (r *Router) upShards() []*shard {
 func (r *Router) markDown(sh *shard, why string) {
 	sh.detMu.Lock()
 	changed := sh.det.ForceDown()
+	if changed {
+		// The up mirror is updated under detMu so it can never diverge
+		// from the detector's verdict: a recovery transition in
+		// observeProbe racing this store would otherwise leave up=true
+		// over a detector that says down — and with changed=false here
+		// ever after, nothing would put it right until a real recovery.
+		sh.up.Store(false)
+	}
 	sh.detMu.Unlock()
 	if changed {
-		sh.up.Store(false)
 		r.tel.shardDown.Inc()
 		r.logf("shard %s marked down (%s); ring rebalanced across %d survivors",
 			sh.url, why, len(r.upShards()))
@@ -272,6 +279,9 @@ func (r *Router) markDown(sh *shard, why string) {
 func (r *Router) observeProbe(sh *shard, ok bool, why string) {
 	sh.detMu.Lock()
 	up, changed := sh.det.Observe(ok)
+	if changed {
+		sh.up.Store(up) // mirror updated under detMu; see markDown
+	}
 	sh.detMu.Unlock()
 	if !changed {
 		return
@@ -280,19 +290,18 @@ func (r *Router) observeProbe(sh *shard, ok bool, why string) {
 		r.markUp(sh)
 		return
 	}
-	sh.up.Store(false)
 	r.tel.shardDown.Inc()
 	r.logf("shard %s marked down (%s); ring rebalanced across %d survivors",
 		sh.url, why, len(r.upShards()))
 }
 
-// markUp records a recovered shard. Its old hash range reverts to it
-// automatically (the up-predicate admits it again); if the cluster has
-// moved past the shard's last installed merge epoch, ship the current
-// global model immediately rather than leaving it stale until the next
-// epoch.
+// markUp handles the side effects of a recovery (the up mirror itself
+// was already flipped under detMu in observeProbe). The shard's old
+// hash range reverts to it automatically (the up-predicate admits it
+// again); if the cluster has moved past the shard's last installed
+// merge epoch, ship the current global model immediately rather than
+// leaving it stale until the next epoch.
 func (r *Router) markUp(sh *shard) {
-	sh.up.Store(true)
 	r.tel.shardUp.Inc()
 	r.logf("shard %s recovered; ring range restored", sh.url)
 	if li := r.lastInstall.Load(); li != nil && sh.epoch.Load() < li.epoch {

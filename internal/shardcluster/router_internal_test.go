@@ -1,0 +1,65 @@
+package shardcluster
+
+import (
+	"sync"
+	"testing"
+
+	"keybin2/internal/core"
+)
+
+func internalTestStream() core.StreamConfig {
+	rr := make([][2]float64, 2)
+	for i := range rr {
+		rr[i] = [2]float64{-1, 1}
+	}
+	return core.StreamConfig{
+		Config:    core.Config{Seed: 7, Trials: 2},
+		Dims:      2,
+		RawRanges: rr,
+		Period:    1 << 30,
+	}
+}
+
+// TestShardUpMirrorMatchesDetector hammers the two demotion paths
+// against each other — probe-driven recoveries (observeProbe) racing
+// traffic-path ForceDown (markDown). The up mirror is written under
+// detMu, so at every quiescent point it must equal the detector's
+// verdict. Before that fix, a recovery transition could store up=true
+// after a racing ForceDown stored false; the detector then reported
+// changed=false on every later markDown, so the stale true mirror kept
+// the ring routing to a shard the detector had ruled dead.
+func TestShardUpMirrorMatchesDetector(t *testing.T) {
+	r, err := New(Config{
+		Shards:           []string{"http://s1"},
+		Stream:           internalTestStream(),
+		FailThreshold:    1,
+		RecoverThreshold: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sh := r.shards["http://s1"]
+	for round := 0; round < 200; round++ {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.observeProbe(sh, true, "")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.markDown(sh, "injected transport error")
+			}
+		}()
+		wg.Wait()
+		sh.detMu.Lock()
+		det, mirror := sh.det.Up(), sh.up.Load()
+		sh.detMu.Unlock()
+		if det != mirror {
+			t.Fatalf("round %d: up mirror %v diverged from detector verdict %v", round, mirror, det)
+		}
+	}
+}
