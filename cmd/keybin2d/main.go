@@ -13,7 +13,7 @@
 //	         [-checkpoint-every 30s] [-drain-timeout 30s]
 //	         [-wal-dir wal/] [-fsync always|interval|never]
 //	         [-fsync-interval 100ms] [-wal-segment-bytes 4194304]
-//	         [-log-level info] [-trace-log traces.jsonl] [-pprof]
+//	         [-log-level info] [-trace-log traces.jsonl] [-slow-span 50ms] [-pprof]
 //	         [-follow http://primary:7420] [-follow-poll 2s]
 //	         [-node-id id] [-shard name] [-epoch 0]
 //
@@ -113,6 +113,7 @@ type daemonOpts struct {
 	walSegment int64
 	logLevel   string
 	traceLog   string
+	slowSpan   time.Duration
 	pprof      bool
 	follow     string
 	followPoll time.Duration
@@ -144,6 +145,7 @@ func main() {
 	flag.Int64Var(&o.walSegment, "wal-segment-bytes", 4<<20, "WAL segment rotation threshold")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
 	flag.StringVar(&o.traceLog, "trace-log", "", "append finished pipeline traces as JSON lines to this file")
+	flag.DurationVar(&o.slowSpan, "slow-span", 0, "log trace IDs of pipeline spans slower than this (0 = off)")
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.StringVar(&o.follow, "follow", "", "run as a follower replica of the primary at this base URL (e.g. http://127.0.0.1:7420)")
 	flag.DurationVar(&o.followPoll, "follow-poll", 2*time.Second, "long-poll wait against the primary's WAL tail when caught up")
@@ -250,6 +252,9 @@ func run(o daemonOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 		}
 		defer f.Close()
 		cfg.Tracer.SetLogSink(func(line []byte) { f.Write(line) })
+	}
+	if o.slowSpan > 0 {
+		cfg.Tracer.SetSlowSpanLog(o.slowSpan, logger)
 	}
 
 	srv, err := server.New(cfg)

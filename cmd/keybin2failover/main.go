@@ -16,13 +16,15 @@
 //	keybin2failover -nodes http://a:7420,http://b:7421,http://c:7422
 //	                [-addr :7430] [-probe-every 500ms] [-probe-timeout 2s]
 //	                [-fail-after 3] [-recover-after 2] [-jitter 0.2]
-//	                [-seed 1] [-log-level info]
+//	                [-seed 1] [-log-level info] [-pprof] [-slow-span 100ms]
 //
 // API:
 //
-//	GET /status  → cluster view: epoch, primary, per-node liveness
+//	GET /status  → cluster view: run_id, epoch, primary, per-node liveness
 //	GET /metrics → Prometheus text exposition (keybin2failover_* series)
+//	GET /trace   → recent probe-round traces (probe/converge spans)
 //	GET /healthz → supervisor liveness
+//	GET /debug/pprof/* → runtime profiles (only with -pprof)
 //
 // Election is deterministic: live followers ordered by highest replayed
 // sequence, then lowest node id. A zombie whose applied horizon is AT OR
@@ -57,6 +59,8 @@ type supervisorOpts struct {
 	jitter       float64
 	seed         int64
 	logLevel     string
+	pprof        bool
+	slowSpan     time.Duration
 }
 
 func main() {
@@ -70,6 +74,8 @@ func main() {
 	flag.Float64Var(&o.jitter, "jitter", 0.2, "per-node probe jitter as a fraction of -probe-every")
 	flag.Int64Var(&o.seed, "seed", 1, "probe-jitter random seed")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&o.slowSpan, "slow-span", 0, "log trace IDs of probe rounds slower than this (0 = off)")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -110,6 +116,8 @@ func buildConfig(o supervisorOpts) (failover.Config, error) {
 		Jitter:       o.jitter,
 		Seed:         o.seed,
 		Registry:     obs.NewRegistry(),
+		RunID:        obs.NewRunID(),
+		EnablePprof:  o.pprof,
 	}
 	return cfg, nil
 }
@@ -123,9 +131,13 @@ func run(o supervisorOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 		return err
 	}
 	lvl, _ := obs.ParseLevel(o.logLevel) // validated by buildConfig
-	runID := obs.NewRunID()
-	logger := obs.NewLogger(os.Stderr, lvl, obs.KV("run_id", runID))
+	logger := obs.NewLogger(os.Stderr, lvl, obs.KV("run_id", cfg.RunID))
 	cfg.Logf = logger.Logf
+	cfg.Tracer = obs.NewTracer(128)
+	cfg.Tracer.SetRunID(cfg.RunID)
+	if o.slowSpan > 0 {
+		cfg.Tracer.SetSlowSpanLog(o.slowSpan, logger)
+	}
 
 	sup, err := failover.New(cfg)
 	if err != nil {
@@ -143,7 +155,8 @@ func run(o supervisorOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	logger.Info("listening",
 		obs.KV("addr", ln.Addr()), obs.KV("role", "failover-supervisor"),
 		obs.KV("nodes", len(cfg.Nodes)), obs.KV("probe_every", o.probeEvery),
-		obs.KV("fail_after", o.failAfter), obs.KV("recover_after", o.recoverAfter))
+		obs.KV("fail_after", o.failAfter), obs.KV("recover_after", o.recoverAfter),
+		obs.KV("pprof", o.pprof))
 
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(ln) }()

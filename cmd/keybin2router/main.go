@@ -26,7 +26,7 @@
 //	              [-seed 1] [-depth 0] [-vnodes 64] [-merge-every 10s]
 //	              [-health-every 500ms] [-shard-timeout 10s]
 //	              [-fail-after 2] [-recover-after 2] [-probe-jitter 0.2]
-//	              [-node-id id] [-log-level info]
+//	              [-node-id id] [-log-level info] [-pprof] [-slow-span 50ms]
 //
 // The stream flags (-dims -range -trials -seed -depth) MUST match the
 // shards' flags: the router re-derives the global model from the merged
@@ -42,8 +42,10 @@
 //	GET  /ring    → hash-ring ownership, balance, liveness
 //	POST /merge   → run one merge epoch now
 //	GET  /metrics → Prometheus text exposition (keybin2router_* series)
+//	GET  /trace   → recent distributed traces (proxy hops, merge epochs)
 //	GET  /healthz → router liveness
 //	GET  /readyz  → 200 when ≥ 1 shard is up
+//	GET  /debug/pprof/* → runtime profiles (only with -pprof)
 package main
 
 import (
@@ -81,6 +83,8 @@ type routerOpts struct {
 	probeJitter  float64
 	nodeID       string
 	logLevel     string
+	pprof        bool
+	slowSpan     time.Duration
 }
 
 func main() {
@@ -101,6 +105,8 @@ func main() {
 	flag.Float64Var(&o.probeJitter, "probe-jitter", 0.2, "per-shard probe jitter as a fraction of -health-every")
 	flag.StringVar(&o.nodeID, "node-id", "", "stable router identity for logs (default: the run_id)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug | info | warn | error")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&o.slowSpan, "slow-span", 0, "log trace IDs of spans slower than this (0 = off)")
 	flag.Parse()
 
 	if err := run(o, nil, nil); err != nil {
@@ -164,6 +170,7 @@ func buildConfig(o routerOpts) (shardcluster.Config, error) {
 		ProbeJitter:      o.probeJitter,
 		ShardTimeout:     o.shardTimeout,
 		RunID:            obs.NewRunID(),
+		EnablePprof:      o.pprof,
 	}
 	return cfg, nil
 }
@@ -182,6 +189,11 @@ func run(o routerOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	}
 	logger := obs.NewLogger(os.Stderr, lvl, obs.KV("run_id", cfg.RunID))
 	cfg.Logf = logger.Logf
+	cfg.Tracer = obs.NewTracer(256)
+	cfg.Tracer.SetRunID(cfg.RunID)
+	if o.slowSpan > 0 {
+		cfg.Tracer.SetSlowSpanLog(o.slowSpan, logger)
+	}
 
 	r, err := shardcluster.New(cfg)
 	if err != nil {
@@ -199,7 +211,7 @@ func run(o routerOpts, stop <-chan struct{}, ready chan<- net.Addr) error {
 	logger.Info("listening",
 		obs.KV("addr", ln.Addr()), obs.KV("node_id", nodeID), obs.KV("role", "router"),
 		obs.KV("shards", len(cfg.Shards)), obs.KV("vnodes", cfg.VNodes),
-		obs.KV("merge_every", o.mergeEvery))
+		obs.KV("merge_every", o.mergeEvery), obs.KV("pprof", o.pprof))
 
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(ln) }()

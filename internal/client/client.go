@@ -132,6 +132,11 @@ type IngestAck struct {
 	// The client adopts it as its token for subsequent ingests, which is
 	// what fences a zombie ex-primary after a failover.
 	Epoch int64 `json:"epoch,omitempty"`
+	// TraceID is the distributed trace ID this client stamped on the
+	// request (client-side, not part of the daemon's ack JSON): the key
+	// for finding the batch's span tree on the daemon's — and, through a
+	// router, the owning shard's — /trace endpoint.
+	TraceID string `json:"-"`
 }
 
 // Client talks to one keybin2d daemon — or, with SetEndpoints, to a
@@ -268,15 +273,20 @@ func (c *Client) adoptEndpoint(hint string) {
 }
 
 func (c *Client) post(ctx context.Context, path string, body []byte, pseq uint64) (*http.Response, error) {
-	return c.postTo(ctx, c.base, path, body, pseq)
+	return c.postTraced(ctx, c.base, path, body, pseq, obs.NewSpanContext())
 }
 
-func (c *Client) postTo(ctx context.Context, base, path string, body []byte, pseq uint64) (*http.Response, error) {
+// postTraced issues one POST stamped with the given span context as a
+// traceparent header — every client request names its own distributed
+// trace, which servers join so the request's server-side span tree is
+// findable by the ID the client holds.
+func (c *Client) postTraced(ctx context.Context, base, path string, body []byte, pseq uint64, sc obs.SpanContext) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	sc.Inject(req.Header)
 	if c.producer != "" && pseq > 0 {
 		req.Header.Set("X-Producer", c.producer)
 		req.Header.Set("X-Batch-Seq", strconv.FormatUint(pseq, 10))
@@ -360,10 +370,12 @@ func (c *Client) ingestRawSeqTo(ctx context.Context, base string, raw []byte, ro
 
 func (c *Client) ingestRawTo(ctx context.Context, base string, raw []byte, rows int, pseq uint64) (IngestAck, error) {
 	var ack IngestAck
-	resp, err := c.postTo(ctx, base, "/ingest", raw, pseq)
+	sc := obs.NewSpanContext()
+	resp, err := c.postTraced(ctx, base, "/ingest", raw, pseq, sc)
 	if err != nil {
 		return ack, err
 	}
+	ack.TraceID = sc.TraceID
 	defer resp.Body.Close()
 	if v := resp.Header.Get("X-KB2-Epoch"); v != "" {
 		// Any epoch the fleet shows us — on acks, redirects, or fencing
@@ -377,7 +389,7 @@ func (c *Client) ingestRawTo(ctx context.Context, base string, raw []byte, rows 
 		if derr := json.NewDecoder(resp.Body).Decode(&ack); derr != nil {
 			// The batch WAS accepted; a malformed ack body shouldn't turn
 			// success into a retry (which would re-send the batch).
-			ack = IngestAck{Queued: rows}
+			ack = IngestAck{Queued: rows, TraceID: sc.TraceID}
 		}
 		c.learnEpoch(ack.Epoch)
 		return ack, nil
@@ -663,6 +675,7 @@ func (c *Client) PromoteEpoch(ctx context.Context, epoch int64) (uint64, int64, 
 	if err != nil {
 		return 0, 0, err
 	}
+	obs.NewSpanContext().Inject(req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, 0, err
@@ -696,6 +709,7 @@ func (c *Client) Fence(ctx context.Context, epoch int64, primary string) error {
 	if err != nil {
 		return err
 	}
+	obs.NewSpanContext().Inject(req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -718,6 +732,7 @@ func (c *Client) AdoptEpoch(ctx context.Context, epoch int64) error {
 	if err != nil {
 		return err
 	}
+	obs.NewSpanContext().Inject(req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -101,6 +101,14 @@ type LoadReport struct {
 	FinalRefits   int64 `json:"final_refits"`
 	FinalClusters int   `json:"final_clusters"`
 
+	// SlowestIngestMs is the wall time of the slowest single ingest
+	// request the run observed (retry loops included), and
+	// SlowestIngestTrace the trace ID that request stamped — paste it
+	// into GET /trace on the daemon (or router + shard) to see where the
+	// time went, span by span.
+	SlowestIngestMs    float64 `json:"slowest_ingest_ms"`
+	SlowestIngestTrace string  `json:"slowest_ingest_trace,omitempty"`
+
 	// MetricsDelta holds, for every monotone (_total) series on /metrics,
 	// the increase observed across the load run — the daemon's own account
 	// of what the run did (batches by outcome, WAL appends/fsyncs, refit
@@ -207,6 +215,9 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 	start := time.Now()
 	var iwg sync.WaitGroup
 	var ingestErr atomic.Pointer[error]
+	var slowMu sync.Mutex
+	var slowestDur time.Duration
+	var slowestTrace string
 	for w := 0; w < cfg.Ingesters; w++ {
 		if len(shards[w]) == 0 {
 			continue
@@ -229,12 +240,20 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 				if sender.Producer() != "" {
 					pseq = sender.NextBatchSeq()
 				}
-				if _, err := sender.ingestRawRetry(ctx, b.raw, b.rows, pseq, pol); err != nil {
+				t0 := time.Now()
+				ack, err := sender.ingestRawRetry(ctx, b.raw, b.rows, pseq, pol)
+				if err != nil {
 					if ctx.Err() == nil {
 						ingestErr.Store(&err)
 					}
 					return
 				}
+				d := time.Since(t0)
+				slowMu.Lock()
+				if d > slowestDur {
+					slowestDur, slowestTrace = d, ack.TraceID
+				}
+				slowMu.Unlock()
 			}
 		}(w, sender)
 	}
@@ -260,6 +279,8 @@ func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (LoadReport, error)
 	rep.QueryP95Ms = percentile(lats, 0.95)
 	rep.QueryP99Ms = percentile(lats, 0.99)
 	rep.Backpressure = backpressure.Load()
+	rep.SlowestIngestMs = float64(slowestDur.Microseconds()) / 1000
+	rep.SlowestIngestTrace = slowestTrace
 	rep.IngestSeconds = ingestWall.Seconds()
 	if rep.IngestSeconds > 0 {
 		rep.IngestPointsPerSec = float64(cfg.Points) / rep.IngestSeconds

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -42,8 +43,9 @@ import (
 // or resume after a supervisor restart. Running two supervisors against
 // one fleet is an operator error the epochs mitigate but do not excuse.
 type Supervisor struct {
-	cfg Config
-	rng *xrand.Stream // probe jitter; only touched on the Round goroutine
+	cfg    Config
+	rng    *xrand.Stream // probe jitter; only touched on the Round goroutine
+	tracer *obs.Tracer
 
 	mu           sync.Mutex
 	members      []*member
@@ -83,6 +85,14 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Registry receives the supervisor's metrics (default: private).
 	Registry *obs.Registry
+	// Tracer records one trace per probe-and-converge round (probe spans,
+	// election/fence outcomes) and backs GET /trace (default: fresh,
+	// capacity 128 — ~64s of history at the default cadence).
+	Tracer *obs.Tracer
+	// RunID identifies this supervisor incarnation (default: minted).
+	RunID string
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 	// Seed fixes the jitter stream (default 1).
 	Seed int64
 }
@@ -105,6 +115,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.RunID == "" {
+		c.RunID = obs.NewRunID()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(128)
+		c.Tracer.SetRunID(c.RunID)
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -130,9 +147,10 @@ func New(cfg Config) (*Supervisor, error) {
 		return nil, fmt.Errorf("failover: no nodes to supervise")
 	}
 	s := &Supervisor{
-		cfg:  cfg,
-		rng:  xrand.New(cfg.Seed),
-		done: make(chan struct{}),
+		cfg:    cfg,
+		rng:    xrand.New(cfg.Seed),
+		tracer: cfg.Tracer,
+		done:   make(chan struct{}),
 	}
 	seenURL := map[string]bool{}
 	for _, n := range cfg.Nodes {
@@ -195,6 +213,11 @@ func (s *Supervisor) Stop() {
 // demands. Exported so tests (and the chaos harness) can drive the
 // control plane deterministically without the wall-clock loop.
 func (s *Supervisor) Round(ctx context.Context) {
+	// One trace per round: a probe span per node, a converge span, and
+	// outcome tags (primary, epoch, elections/fences this round) — the
+	// control plane's decision record, scrapeable at GET /trace.
+	tr := s.tracer.Start("failover_round", obs.KV("nodes", len(s.members)))
+	defer tr.Finish()
 	type probe struct {
 		st  server.Stats
 		err error
@@ -208,6 +231,8 @@ func (s *Supervisor) Round(ctx context.Context) {
 		wg.Add(1)
 		go func(i int, m *member, delay time.Duration) {
 			defer wg.Done()
+			sp := tr.Span("probe", obs.KV("node", m.url))
+			defer func() { sp.End(obs.KV("ok", results[i].err == nil)) }()
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
@@ -221,11 +246,13 @@ func (s *Supervisor) Round(ctx context.Context) {
 	}
 	wg.Wait()
 	if ctx.Err() != nil {
+		tr.AddAttrs(obs.KV("outcome", "aborted"))
 		return // shutdown mid-round: stale misses must not demote anyone
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	up := 0
 	for i, m := range s.members {
 		ok := results[i].err == nil
 		if ok {
@@ -242,8 +269,17 @@ func (s *Supervisor) Round(ctx context.Context) {
 				s.logf("failover: %s is down (%v)", m.url, results[i].err)
 			}
 		}
+		if m.det.Up() {
+			up++
+		}
 	}
+	e0, f0 := s.elections, s.fenceOps
+	sp := tr.Span("converge")
 	s.convergeLocked(ctx)
+	sp.End(obs.KV("elections", s.elections-e0), obs.KV("fences", s.fenceOps-f0))
+	tr.AddAttrs(obs.KV("up", up), obs.KV("primary", s.primaryURL),
+		obs.KV("epoch", s.clusterEpoch),
+		obs.KV("elections", s.elections-e0), obs.KV("fences", s.fenceOps-f0))
 	s.tel.rounds.Inc()
 }
 
@@ -473,6 +509,7 @@ type NodeStatus struct {
 
 // Status is the supervisor's fleet view, served at GET /status.
 type Status struct {
+	RunID        string       `json:"run_id"`
 	ClusterEpoch int64        `json:"cluster_epoch"`
 	Primary      string       `json:"primary"`
 	Elections    int64        `json:"elections"`
@@ -485,6 +522,7 @@ func (s *Supervisor) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Status{
+		RunID:        s.cfg.RunID,
 		ClusterEpoch: s.clusterEpoch,
 		Primary:      s.primaryURL,
 		Elections:    s.elections,
@@ -513,17 +551,39 @@ func (s *Supervisor) Status() Status {
 //	GET /status  → Status JSON (fleet view, epoch, election count)
 //	GET /healthz → 200 "ok"
 //	GET /metrics → Prometheus text exposition
+//	GET /trace   → recent probe-round traces
+//	GET /debug/pprof/* → net/http/pprof (only with Config.EnablePprof)
 func (s *Supervisor) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/status", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.Status())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
-	})
+	}))
 	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	mux.Handle("/trace", s.tracer.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", getOnly(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", getOnly(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", getOnly(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", getOnly(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", getOnly(pprof.Trace))
+	}
 	return mux
+}
+
+// getOnly rejects anything but GET/HEAD with a 405 carrying Allow.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // supTelemetry bundles the supervisor's instruments. Event counters are

@@ -25,6 +25,12 @@ type Tracer struct {
 	logMu sync.Mutex
 	logW  func([]byte) // sink for finished traces (nil = off)
 
+	// Slow-span logging (SetSlowSpanLog): spans or traces at or above
+	// slowNs log their trace ID through slowLog, linking a metrics
+	// anomaly (a latency histogram spike) to the exact trace behind it.
+	slowNs  atomic.Int64
+	slowLog atomic.Pointer[Logger]
+
 	seq atomic.Uint64
 	run string // run-ID prefix for trace IDs
 }
@@ -56,26 +62,64 @@ func (t *Tracer) SetLogSink(fn func(line []byte)) {
 	t.logMu.Unlock()
 }
 
-// Start begins a trace. The caller must Finish it; until then it is not
-// visible in the ring.
+// SetSlowSpanLog arms slow-span logging: any span (or whole trace) whose
+// duration reaches threshold logs its trace ID, span name, and duration
+// through logger at warn level when the trace finishes. threshold <= 0 or
+// a nil logger disables. Safe to call concurrently with tracing.
+func (t *Tracer) SetSlowSpanLog(threshold time.Duration, logger *Logger) {
+	if threshold <= 0 || logger == nil {
+		t.slowNs.Store(0)
+		t.slowLog.Store(nil)
+		return
+	}
+	t.slowLog.Store(logger)
+	t.slowNs.Store(int64(threshold))
+}
+
+// Start begins a root trace with a fresh trace ID. The caller must Finish
+// it; until then it is not visible in the ring.
 func (t *Tracer) Start(name string, attrs ...Attr) *Trace {
 	return &Trace{
-		tr:    t,
-		ID:    fmt.Sprintf("%s-%06d", t.run, t.seq.Add(1)),
-		Name:  name,
-		Begin: time.Now(),
-		attrs: attrs,
+		tr:      t,
+		ID:      fmt.Sprintf("%s-%06d", t.run, t.seq.Add(1)),
+		TraceID: NewTraceID(),
+		SpanID:  NewSpanID(),
+		Name:    name,
+		Begin:   time.Now(),
+		attrs:   attrs,
 	}
+}
+
+// StartLinked begins a trace joined to a remote caller's context
+// (typically extracted from a traceparent header): the new trace shares
+// the caller's trace ID and records the caller's span ID as its parent,
+// so the two processes' ring buffers hold two halves of one trace. An
+// invalid parent degrades to Start — a fresh root trace.
+func (t *Tracer) StartLinked(name string, parent SpanContext, attrs ...Attr) *Trace {
+	tr := t.Start(name, attrs...)
+	if parent.Valid() {
+		tr.TraceID = parent.TraceID
+		tr.ParentID = parent.SpanID
+	}
+	return tr
 }
 
 // Trace is one in-flight or finished unit of work. Its methods are safe
 // for concurrent use: a trace may be handed between goroutines (e.g. from
 // an HTTP handler to the writer goroutine).
 type Trace struct {
-	tr    *Tracer
-	ID    string
-	Name  string
-	Begin time.Time
+	tr *Tracer
+	// ID is the human-scannable run-local identity ("<run>-000042");
+	// TraceID/SpanID/ParentID are the distributed identity (see
+	// tracectx.go): TraceID names the cross-process trace, SpanID this
+	// process's root span within it, ParentID the remote caller's span
+	// (empty at a trace root).
+	ID       string
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Name     string
+	Begin    time.Time
 
 	mu      sync.Mutex
 	spans   []SpanData
@@ -85,12 +129,21 @@ type Trace struct {
 	pending int // extra Finish calls required before publication (see RequireFinishes)
 }
 
-// SpanData is one completed stage inside a trace.
+// Context returns the span context downstream requests should carry: this
+// trace's ID with its root span as the parent-to-be.
+func (t *Trace) Context() SpanContext {
+	return SpanContext{TraceID: t.TraceID, SpanID: t.SpanID}
+}
+
+// SpanData is one completed stage inside a trace. ID is the span's own
+// identity, Parent the span it nests under (the trace's root span).
 type SpanData struct {
-	Name  string
-	Start time.Time
-	Dur   time.Duration
-	Attrs []Attr
+	Name   string
+	ID     string
+	Parent string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
 }
 
 // Span is an open stage; End closes it.
@@ -112,11 +165,15 @@ func (s *Span) End(attrs ...Attr) {
 	s.t.AddSpan(s.name, s.start, d, append(s.attrs, attrs...)...)
 }
 
-// AddSpan records an already-timed stage.
+// AddSpan records an already-timed stage as a child of the trace's root
+// span, minting the span its own ID.
 func (t *Trace) AddSpan(name string, start time.Time, d time.Duration, attrs ...Attr) {
 	t.mu.Lock()
 	if !t.done {
-		t.spans = append(t.spans, SpanData{Name: name, Start: start, Dur: d, Attrs: attrs})
+		t.spans = append(t.spans, SpanData{
+			Name: name, ID: NewSpanID(), Parent: t.SpanID,
+			Start: start, Dur: d, Attrs: attrs,
+		})
 	}
 	t.mu.Unlock()
 }
@@ -192,23 +249,58 @@ func (t *Trace) Finish() {
 		}
 	}
 	tr.logMu.Unlock()
+
+	if th := time.Duration(tr.slowNs.Load()); th > 0 {
+		if lg := tr.slowLog.Load(); lg != nil {
+			t.logSlow(th, lg)
+		}
+	}
+}
+
+// logSlow emits one warn line per span at or above the threshold (and one
+// for the whole trace), each carrying the trace ID — the pivot from a
+// latency alert to the exact cross-process trace behind it. Called after
+// Finish sealed the trace; the lock only guards against a straggling
+// AddSpan appending mid-read.
+func (t *Trace) logSlow(th time.Duration, lg *Logger) {
+	t.mu.Lock()
+	spans := append([]SpanData(nil), t.spans...)
+	dur := t.dur
+	t.mu.Unlock()
+	for _, sp := range spans {
+		if sp.Dur >= th {
+			lg.Warn("slow span",
+				KV("trace_id", t.TraceID), KV("span_id", sp.ID), KV("trace", t.Name),
+				KV("span", sp.Name), KV("dur_ms", float64(sp.Dur.Microseconds())/1000))
+		}
+	}
+	if dur >= th {
+		lg.Warn("slow trace",
+			KV("trace_id", t.TraceID), KV("span_id", t.SpanID), KV("trace", t.Name),
+			KV("spans", len(spans)), KV("dur_ms", float64(dur.Microseconds())/1000))
+	}
 }
 
 // TraceJSON is the wire shape of one finished trace, served by the /trace
 // handler and written to the trace log.
 type TraceJSON struct {
-	ID    string         `json:"id"`
-	Name  string         `json:"name"`
-	Start string         `json:"start"` // RFC3339Nano
-	DurUs float64        `json:"dur_us"`
-	Attrs map[string]any `json:"attrs,omitempty"`
-	Spans []SpanJSON     `json:"spans,omitempty"`
+	ID       string         `json:"id"`
+	TraceID  string         `json:"trace_id"`
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Name     string         `json:"name"`
+	Start    string         `json:"start"` // RFC3339Nano
+	DurUs    float64        `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Spans    []SpanJSON     `json:"spans,omitempty"`
 }
 
 // SpanJSON is one stage in TraceJSON. OffsetUs is the span start relative
 // to the trace start.
 type SpanJSON struct {
 	Name     string         `json:"name"`
+	ID       string         `json:"span_id"`
+	Parent   string         `json:"parent_id,omitempty"`
 	OffsetUs float64        `json:"offset_us"`
 	DurUs    float64        `json:"dur_us"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
@@ -229,15 +321,20 @@ func (t *Trace) export() TraceJSON {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := TraceJSON{
-		ID:    t.ID,
-		Name:  t.Name,
-		Start: t.Begin.Format(time.RFC3339Nano),
-		DurUs: float64(t.dur.Microseconds()),
-		Attrs: attrMap(t.attrs),
+		ID:       t.ID,
+		TraceID:  t.TraceID,
+		SpanID:   t.SpanID,
+		ParentID: t.ParentID,
+		Name:     t.Name,
+		Start:    t.Begin.Format(time.RFC3339Nano),
+		DurUs:    float64(t.dur.Microseconds()),
+		Attrs:    attrMap(t.attrs),
 	}
 	for _, sp := range t.spans {
 		out.Spans = append(out.Spans, SpanJSON{
 			Name:     sp.Name,
+			ID:       sp.ID,
+			Parent:   sp.Parent,
 			OffsetUs: float64(sp.Start.Sub(t.Begin).Microseconds()),
 			DurUs:    float64(sp.Dur.Microseconds()),
 			Attrs:    attrMap(sp.Attrs),

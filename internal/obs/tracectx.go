@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Trace context: the identifiers that let one unit of work be followed
+// across process boundaries. A distributed trace is named by a 128-bit
+// trace ID; every trace (and every span inside it) carries a 64-bit span
+// ID, and a child records its parent's span ID. The IDs travel between
+// processes in a W3C Trace Context "traceparent" HTTP header:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^^^^^^ trace id ^^^^^^^^ ^^^ span id ^^^^^ ^^
+//	          version            (32 hex)               (16 hex)    flags
+//
+// A server that extracts the header and starts its trace with StartLinked
+// shares the caller's trace ID and records the caller's span ID as its
+// parent — which is what lets keybin2top reassemble one ingest's journey
+// from client through router to shard out of three processes' ring
+// buffers.
+
+// TraceparentHeader is the canonical header name (http.Header.Set
+// canonicalizes to this form on the wire).
+const TraceparentHeader = "Traceparent"
+
+// SpanContext names one span within one distributed trace — the part of a
+// trace that crosses process boundaries.
+type SpanContext struct {
+	TraceID string // 32 lowercase hex digits, not all zero
+	SpanID  string // 16 lowercase hex digits, not all zero
+}
+
+// Valid reports whether the context carries well-formed, non-zero IDs.
+func (c SpanContext) Valid() bool {
+	return isHexID(c.TraceID, 32) && isHexID(c.SpanID, 16)
+}
+
+// Inject stamps the context onto h as a traceparent header (sampled
+// flag set — keybin2 traces everything into ring buffers; sampling is
+// retention, not collection). Invalid contexts stamp nothing.
+func (c SpanContext) Inject(h http.Header) {
+	if !c.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, "00-"+c.TraceID+"-"+c.SpanID+"-01")
+}
+
+// ExtractTraceparent parses the traceparent header out of h. The second
+// return is false when the header is absent or malformed — callers start
+// a fresh root trace in that case.
+func ExtractTraceparent(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceparentHeader)
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2)
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, false
+	}
+	if v[0] != '0' || v[1] != '0' {
+		// Only version 00 is understood; ff is forbidden by the spec and
+		// anything else may have a different layout.
+		return SpanContext{}, false
+	}
+	c := SpanContext{TraceID: v[3:35], SpanID: v[36:52]}
+	if !c.Valid() || !isHexID(v[53:55], 2) {
+		return SpanContext{}, false
+	}
+	return c, true
+}
+
+// isHexID reports whether s is exactly n lowercase hex digits and not all
+// zeros (all-zero IDs are the spec's "invalid" sentinel).
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return zero == false || n == 2 // flags may be 00; IDs may not
+}
+
+// idState seeds trace/span ID generation: a crypto-random starting point
+// walked by a splitmix64 step per ID. Collision-resistant across
+// processes (each seeds independently) without paying a crypto/rand read
+// per span on the ingest hot path.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// nextID returns the next non-zero 64-bit ID (splitmix64 over an atomic
+// counter — one atomic add and a few multiplies per ID).
+func nextID() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // the all-zero ID is the invalid sentinel
+	}
+	return x
+}
+
+// NewTraceID mints a fresh 128-bit trace ID (32 lowercase hex digits).
+func NewTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], nextID())
+	binary.BigEndian.PutUint64(b[8:], nextID())
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a fresh 64-bit span ID (16 lowercase hex digits).
+func NewSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], nextID())
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanContext mints a root context: a fresh trace ID with a fresh span
+// ID. Clients stamp one onto each outgoing request so the receiving
+// server's trace joins a trace the client named.
+func NewSpanContext() SpanContext {
+	return SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}

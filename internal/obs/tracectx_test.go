@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanContextInjectExtract: a context round-trips through the
+// traceparent header byte-for-byte.
+func TestSpanContextInjectExtract(t *testing.T) {
+	sc := NewSpanContext()
+	if !sc.Valid() {
+		t.Fatalf("NewSpanContext invalid: %+v", sc)
+	}
+	if len(sc.TraceID) != 32 || len(sc.SpanID) != 16 {
+		t.Fatalf("ID lengths: trace %d, span %d", len(sc.TraceID), len(sc.SpanID))
+	}
+	h := http.Header{}
+	sc.Inject(h)
+	tp := h.Get(TraceparentHeader)
+	if want := "00-" + sc.TraceID + "-" + sc.SpanID + "-01"; tp != want {
+		t.Fatalf("traceparent = %q, want %q", tp, want)
+	}
+	got, ok := ExtractTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("extract = %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+// TestExtractTraceparentRejectsMalformed: absent, truncated, non-hex,
+// all-zero, and unknown-version headers all fail closed.
+func TestExtractTraceparentRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"", // absent
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e47XY-00f067aa0ba902b7-01",   // non-hex trace
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // trailing junk
+	}
+	for _, c := range cases {
+		h := http.Header{}
+		if c != "" {
+			h.Set(TraceparentHeader, c)
+		}
+		if sc, ok := ExtractTraceparent(h); ok {
+			t.Errorf("extract(%q) accepted as %+v", c, sc)
+		}
+	}
+}
+
+// TestStartLinkedJoinsParent: a linked trace shares the parent's trace ID,
+// records the parent span, mints its own root span, and exports all three
+// — while an invalid parent degrades to a fresh root.
+func TestStartLinkedJoinsParent(t *testing.T) {
+	tr := NewTracer(16)
+	parent := NewSpanContext()
+	trace := tr.StartLinked("ingest_batch", parent)
+	if trace.TraceID != parent.TraceID {
+		t.Errorf("trace id = %q, want parent's %q", trace.TraceID, parent.TraceID)
+	}
+	if trace.ParentID != parent.SpanID {
+		t.Errorf("parent id = %q, want %q", trace.ParentID, parent.SpanID)
+	}
+	if trace.SpanID == parent.SpanID || !isHexID(trace.SpanID, 16) {
+		t.Errorf("root span id %q not freshly minted", trace.SpanID)
+	}
+	trace.AddSpan("wal_append", time.Now(), time.Millisecond)
+	trace.Finish()
+
+	got := tr.Snapshot()[0]
+	if got.TraceID != parent.TraceID || got.ParentID != parent.SpanID || got.SpanID != trace.SpanID {
+		t.Errorf("export ids = %q/%q/%q", got.TraceID, got.SpanID, got.ParentID)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Parent != trace.SpanID || !isHexID(got.Spans[0].ID, 16) {
+		t.Errorf("span linkage: %+v", got.Spans)
+	}
+
+	root := tr.StartLinked("orphan", SpanContext{TraceID: "zz", SpanID: "short"})
+	if root.ParentID != "" || !isHexID(root.TraceID, 32) {
+		t.Errorf("invalid parent should degrade to a root trace: %+v", root)
+	}
+	root.Finish()
+}
+
+// TestUniqueIDs: trace and span IDs do not collide over a realistic burst.
+func TestUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool, 20000)
+	for i := 0; i < 10000; i++ {
+		for _, id := range []string{NewTraceID(), NewSpanID()} {
+			if seen[id] {
+				t.Fatalf("duplicate id %q after %d draws", id, len(seen))
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestSlowSpanLog: spans and traces at or above the threshold log their
+// trace ID at warn level; below-threshold traces stay silent.
+func TestSlowSpanLog(t *testing.T) {
+	tr := NewTracer(16)
+	var buf bytes.Buffer
+	tr.SetSlowSpanLog(10*time.Millisecond, NewLogger(&buf, LevelWarn))
+
+	fast := tr.Start("fast")
+	fast.AddSpan("stage", fast.Begin, time.Millisecond)
+	fast.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %q", buf.String())
+	}
+
+	slow := tr.Start("ingest_batch")
+	slow.AddSpan("fsync", slow.Begin, 25*time.Millisecond)
+	slow.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "slow span") || !strings.Contains(out, "trace_id="+slow.TraceID) {
+		t.Fatalf("slow span line missing trace id: %q", out)
+	}
+	if !strings.Contains(out, "span=fsync") {
+		t.Errorf("slow span line missing span name: %q", out)
+	}
+
+	tr.SetSlowSpanLog(0, nil) // disarm
+	buf.Reset()
+	s2 := tr.Start("quiet")
+	s2.AddSpan("fsync", s2.Begin, 25*time.Millisecond)
+	s2.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("disarmed tracer logged: %q", buf.String())
+	}
+}

@@ -1112,8 +1112,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// The batch is past validation, dedupe, and backpressure: it will be
 	// acknowledged (or fail loudly). Start its trace; the "ingest" span
 	// covers decode, validation, and the accept-path locking so far.
-	tr := s.tracer.Start("ingest_batch",
-		obs.KV("points", rows), obs.KV("producer", producer), obs.KV("pseq", pseq))
+	// A traceparent header joins the caller's distributed trace — the
+	// ingest→wal_append→fsync→apply chain becomes child spans of the
+	// client's (or router's) trace, reconstructable across processes by
+	// the shared trace ID.
+	var tr *obs.Trace
+	if pc, ok := obs.ExtractTraceparent(r.Header); ok {
+		tr = s.tracer.StartLinked("ingest_batch", pc,
+			obs.KV("points", rows), obs.KV("producer", producer), obs.KV("pseq", pseq))
+	} else {
+		tr = s.tracer.Start("ingest_batch",
+			obs.KV("points", rows), obs.KV("producer", producer), obs.KV("pseq", pseq))
+	}
 	tr.AddSpan("ingest", ingestStart, time.Since(ingestStart))
 	seq := s.nextSeq + 1
 	waitDurable := false

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"keybin2/internal/core"
+	"keybin2/internal/obs"
 )
 
 // Shard-cluster endpoints. A keybin2d node running as one shard of a
@@ -58,6 +59,13 @@ func (s *Server) handleHist(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
 		return
+	}
+	// Join the coordinator's merge-epoch trace when it sent one: the
+	// shard-side export cost lands in the same distributed trace as the
+	// router's pull/fold/install spans.
+	if pc, ok := obs.ExtractTraceparent(r.Header); ok {
+		tr := s.tracer.StartLinked("hist_export", pc, obs.KV("node", s.cfg.NodeID))
+		defer tr.Finish()
 	}
 	resp := make(chan histResult, 1)
 	timeout := time.NewTimer(5 * time.Second)
@@ -139,6 +147,11 @@ func (s *Server) handleHistInstall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	if pc, ok := obs.ExtractTraceparent(r.Header); ok {
+		tr := s.tracer.StartLinked("hist_install", pc,
+			obs.KV("node", s.cfg.NodeID), obs.KV("epoch", epoch))
+		defer tr.Finish()
+	}
 	s.mergeMu.Lock()
 	if cur := s.mergeEpoch.Load(); epoch <= cur {
 		s.mergeMu.Unlock()

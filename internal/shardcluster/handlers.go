@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
+	"keybin2/internal/obs"
 	"keybin2/internal/server"
 )
 
@@ -20,8 +22,10 @@ import (
 //	GET  /ring    → hash-ring ownership and shard liveness
 //	POST /merge   → run one merge epoch now; returns MergeResult
 //	GET  /metrics → Prometheus text exposition (router's own series)
+//	GET  /trace   → recent distributed traces (proxy hops, merge epochs)
 //	GET  /healthz → 200 (router liveness)
 //	GET  /readyz  → 200 when ≥ 1 shard is up, else 503
+//	GET  /debug/pprof/* → net/http/pprof (only with Config.EnablePprof)
 //
 // Ingest routing: the X-Producer header (the same idempotency identity
 // the daemon dedupes on) hashes onto the ring, so one producer's batches
@@ -35,11 +39,32 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/ring", r.handleRing)
 	mux.HandleFunc("/merge", r.handleMerge)
 	mux.Handle("/metrics", r.cfg.Registry.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+	mux.Handle("/trace", r.tracer.Handler())
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, req *http.Request) {
 		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("/readyz", r.handleReady)
+	}))
+	mux.HandleFunc("/readyz", getOnly(r.handleReady))
+	if r.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", getOnly(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", getOnly(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", getOnly(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", getOnly(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", getOnly(pprof.Trace))
+	}
 	return mux
+}
+
+// getOnly rejects anything but GET/HEAD with a 405 carrying Allow —
+// read-only endpoints must say so instead of silently accepting writes.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, req)
+	}
 }
 
 // batchPoints parses the point count out of a KB2B batch header (count
@@ -55,8 +80,11 @@ func batchPoints(body []byte) int64 {
 // proxy forwards body to one shard and relays the response verbatim
 // (status, headers of interest, body). Returns false on a transport
 // error, after marking the shard down — the caller picks a survivor and
-// retries with the same bytes.
-func (r *Router) proxy(w http.ResponseWriter, req *http.Request, sh *shard, path string, body []byte) bool {
+// retries with the same bytes. The router's trace context is injected
+// into the downstream request, so the shard's server-side trace joins
+// the same trace ID the caller stamped on the router.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request, sh *shard, path string, body []byte, tr *obs.Trace) bool {
+	sp := tr.Span("proxy", obs.KV("shard", sh.url))
 	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ShardTimeout)
 	defer cancel()
 	// A fresh bytes.Reader per attempt: failover retries must resend the
@@ -71,17 +99,21 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, sh *shard, path
 			preq.Header.Set(h, v)
 		}
 	}
+	tr.Context().Inject(preq.Header)
 	resp, err := r.hc.Do(preq)
 	if err != nil {
 		if req.Context().Err() != nil {
 			// The producer hung up; nothing to fail over for, and the shard
 			// did nothing wrong.
+			sp.End(obs.KV("outcome", "caller_gone"))
 			return true
 		}
+		sp.End(obs.KV("outcome", "transport_error"))
 		r.markDown(sh, path+" proxy: "+err.Error())
 		r.tel.failovers.Inc()
 		return false
 	}
+	sp.End(obs.KV("status", resp.StatusCode))
 	defer resp.Body.Close()
 	for _, h := range []string{"Content-Type", "Retry-After", "X-Retry-After-Ms", "X-KB2-Primary", "X-Model-Gen"} {
 		if v := resp.Header.Get(h); v != "" {
@@ -110,6 +142,12 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	producer := req.Header.Get("X-Producer")
+	// Join the producer's trace when it sent one — the router hop becomes a
+	// child of the client's root span, and the shard's ingest trace in turn
+	// joins this one: one trace ID, reconstructable across all three.
+	tr := r.startLinked(req, "router_ingest",
+		obs.KV("producer", producer), obs.KV("points", batchPoints(body)))
+	defer tr.Finish()
 	// Bounded failover: at most one attempt per cluster member. Each
 	// transport failure marks its target down, so the next Lookup sees a
 	// smaller up-set — the ring has already rebalanced.
@@ -125,14 +163,24 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		if sh == nil {
 			break
 		}
-		if r.proxy(w, req, sh, "/ingest", body) {
+		if r.proxy(w, req, sh, "/ingest", body, tr) {
 			sh.batches.Add(1)
 			sh.points.Add(batchPoints(body))
 			r.tel.proxiedBatches.Inc()
 			return
 		}
 	}
+	tr.AddAttrs(obs.KV("error", "no shards available"))
 	http.Error(w, "no shards available", http.StatusServiceUnavailable)
+}
+
+// startLinked begins a router-side trace, joined to the caller's
+// traceparent when the request carries a valid one.
+func (r *Router) startLinked(req *http.Request, name string, attrs ...obs.Attr) *obs.Trace {
+	if pc, ok := obs.ExtractTraceparent(req.Header); ok {
+		return r.tracer.StartLinked(name, pc, attrs...)
+	}
+	return r.tracer.Start(name, attrs...)
 }
 
 func (r *Router) handleLabel(w http.ResponseWriter, req *http.Request) {
@@ -150,6 +198,8 @@ func (r *Router) handleLabel(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "batch exceeds router body limit", http.StatusRequestEntityTooLarge)
 		return
 	}
+	tr := r.startLinked(req, "router_label", obs.KV("bytes", len(body)))
+	defer tr.Finish()
 	// Post-merge every shard serves the identical global model, so ANY
 	// live shard answers correctly — that indifference is the point of the
 	// collective, and what makes the read path scale with shard count.
@@ -159,12 +209,13 @@ func (r *Router) handleLabel(w http.ResponseWriter, req *http.Request) {
 			break
 		}
 		sh := up[int(r.rr.Add(1))%len(up)]
-		if r.proxy(w, req, sh, "/label", body) {
+		if r.proxy(w, req, sh, "/label", body, tr) {
 			sh.labels.Add(1)
 			r.tel.proxiedLabels.Inc()
 			return
 		}
 	}
+	tr.AddAttrs(obs.KV("error", "no shards available"))
 	http.Error(w, "no shards available", http.StatusServiceUnavailable)
 }
 

@@ -1,0 +1,140 @@
+package shardcluster_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"keybin2/internal/client"
+	"keybin2/internal/linalg"
+	"keybin2/internal/obs"
+	"keybin2/internal/shardcluster"
+)
+
+// TestParseExpositionRoundTripsRouterRegistry scrapes a LIVE router's
+// /metrics and asserts obs.ParseExposition recovers exactly what the
+// registry rendered: labeled vec series under their full rendered
+// identity, histogram buckets cumulative and monotone, and counter
+// values matching what the cluster actually did.
+func TestParseExpositionRoundTripsRouterRegistry(t *testing.T) {
+	const dims = 3
+	var urls []string
+	for _, n := range []string{"rt1", "rt2"} {
+		_, ts := newShard(t, n, n, dims)
+		urls = append(urls, ts.URL)
+	}
+	r, err := shardcluster.New(shardcluster.Config{
+		Shards: urls, Stream: shardConfig(dims),
+		RunID: "roundtrip-run", Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := httptest.NewServer(r.Handler())
+	defer rt.Close()
+
+	// Drive real traffic so the scraped series carry nonzero state: one
+	// proxied batch and one merge epoch (which fills the merge-seconds
+	// histogram).
+	ctx := context.Background()
+	c := client.New(rt.URL)
+	c.SetProducer("roundtrip-producer")
+	if _, err := c.IngestSeq(ctx, linalg.NewMatrix(40, dims), c.NextBatchSeq()); err != nil {
+		t.Fatal(err)
+	}
+	owner := r.OwnerOf("roundtrip-producer")
+	if err := client.New(owner).WaitSeen(ctx, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MergeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(rt.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	m, err := obs.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ParseExposition on live scrape: %v", err)
+	}
+
+	// Labeled vec round-trips under its exact rendered identity.
+	if got := m[`keybin2router_build_info{run_id="roundtrip-run"}`]; got != 1 {
+		t.Errorf("build_info = %v, want 1 (keys: %v)", got, keysLike(m, "build_info"))
+	}
+	// Plain counters reflect what the cluster did.
+	if got := m["keybin2router_proxied_batches_total"]; got != 1 {
+		t.Errorf("proxied_batches_total = %v, want 1", got)
+	}
+	if got := m["keybin2router_merge_epochs_total"]; got != 1 {
+		t.Errorf("merge_epochs_total = %v, want 1", got)
+	}
+	// Histogram: buckets parse back as cumulative, monotone, and agree
+	// with _count at +Inf.
+	var les []float64
+	byLe := map[float64]float64{}
+	var inf float64
+	for k, v := range m {
+		const pfx = `keybin2router_merge_seconds_bucket{le="`
+		if !strings.HasPrefix(k, pfx) {
+			continue
+		}
+		leStr := strings.TrimSuffix(k[len(pfx):], `"}`)
+		if leStr == "+Inf" {
+			inf = v
+			continue
+		}
+		le, perr := strconv.ParseFloat(leStr, 64)
+		if perr != nil {
+			t.Fatalf("unparseable le in %q", k)
+		}
+		les = append(les, le)
+		byLe[le] = v
+	}
+	if len(les) == 0 {
+		t.Fatal("no merge_seconds buckets on /metrics")
+	}
+	sort.Float64s(les)
+	prev := 0.0
+	for _, le := range les {
+		if byLe[le] < prev {
+			t.Fatalf("bucket le=%g count %g < previous %g: not cumulative", le, byLe[le], prev)
+		}
+		prev = byLe[le]
+	}
+	count := m["keybin2router_merge_seconds_count"]
+	if inf != count || count != 1 {
+		t.Errorf("+Inf bucket %v / _count %v, want both 1", inf, count)
+	}
+	// Every parsed series identity is literally present in the scrape —
+	// ParseExposition must not rewrite identities on the way through.
+	text := string(raw)
+	for k := range m {
+		if !strings.Contains(text, k+" ") {
+			t.Errorf("parsed series %q not found verbatim in exposition", k)
+		}
+	}
+}
+
+func keysLike(m map[string]float64, frag string) []string {
+	var out []string
+	for k := range m {
+		if strings.Contains(k, frag) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

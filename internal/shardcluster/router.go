@@ -57,6 +57,11 @@ type Config struct {
 	HTTPClient *http.Client
 	// Registry backs GET /metrics (default: fresh).
 	Registry *obs.Registry
+	// Tracer records distributed traces — proxied ingest/label hops and
+	// merge epochs — and backs GET /trace (default: fresh, capacity 256).
+	Tracer *obs.Tracer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 	// Logf receives operational log lines.
 	Logf func(format string, args ...any)
 	// RunID identifies this router incarnation (default: minted).
@@ -93,6 +98,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RunID == "" {
 		c.RunID = obs.NewRunID()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(256)
+		c.Tracer.SetRunID(c.RunID)
 	}
 	return c
 }
@@ -142,6 +151,7 @@ type Router struct {
 	global *core.GlobalModelState
 	hc     *http.Client
 	tel    *routerTelemetry
+	tracer *obs.Tracer
 	rng    *xrand.Stream // probe jitter; only touched on the health loop goroutine
 
 	// mergeMu serializes merge epochs (ticker + manual POST /merge +
@@ -203,6 +213,7 @@ func New(cfg Config) (*Router, error) {
 		order:  names,
 		global: global,
 		hc:     hc,
+		tracer: cfg.Tracer,
 		rng:    xrand.New(cfg.Seed),
 		done:   make(chan struct{}),
 	}
@@ -305,7 +316,7 @@ func (r *Router) markUp(sh *shard) {
 	r.tel.shardUp.Inc()
 	r.logf("shard %s recovered; ring range restored", sh.url)
 	if li := r.lastInstall.Load(); li != nil && sh.epoch.Load() < li.epoch {
-		if err := r.installOn(sh, li); err != nil {
+		if err := r.installOn(sh, li, obs.SpanContext{}); err != nil {
 			r.logf("shard %s: catch-up install epoch %d: %v", sh.url, li.epoch, err)
 		} else {
 			r.logf("shard %s: caught up to merge epoch %d", sh.url, li.epoch)
@@ -410,6 +421,12 @@ func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
 	if len(up) == 0 {
 		return MergeResult{}, fmt.Errorf("shardcluster: no shards up")
 	}
+	// One trace per merge epoch: the per-shard pulls and installs carry the
+	// router's traceparent, so the shard-side hist_export/hist_install
+	// traces join this trace ID and the whole collective reconstructs from
+	// the fleet's ring buffers.
+	tr := r.tracer.Start("merge_epoch", obs.KV("shards_up", len(up)))
+	defer tr.Finish()
 	// Pull phase — concurrent, failures demote.
 	type pull struct {
 		sh    *shard
@@ -422,6 +439,8 @@ func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
+			sp := tr.Span("hist_pull", obs.KV("shard", sh.url))
+			defer func() { sp.End(obs.KV("ok", pulls[i].err == nil)) }()
 			cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 			defer cancel()
 			req, err := http.NewRequestWithContext(cctx, http.MethodGet, sh.url+"/hist", nil)
@@ -429,6 +448,7 @@ func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
 				pulls[i] = pull{sh: sh, err: err}
 				return
 			}
+			tr.Context().Inject(req.Header)
 			resp, err := r.hc.Do(req)
 			if err != nil {
 				r.markDown(sh, "hist pull: "+err.Error())
@@ -465,19 +485,25 @@ func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
 	}
 	if len(states) == 0 {
 		r.tel.mergeFailures.Inc()
+		tr.AddAttrs(obs.KV("error", "no shard states"))
 		return MergeResult{}, fmt.Errorf("shardcluster: merge epoch aborted: no shard states (cluster of %d)", len(up))
 	}
 
+	foldStart := time.Now()
 	merged, err := core.MergeShardStates(states...)
 	if err != nil {
 		r.tel.mergeFailures.Inc()
+		tr.AddAttrs(obs.KV("error", err.Error()))
 		return MergeResult{}, fmt.Errorf("shardcluster: merge: %w", err)
 	}
 	model, err := r.global.Install(merged)
 	if err != nil {
 		r.tel.mergeFailures.Inc()
+		tr.AddAttrs(obs.KV("error", err.Error()))
 		return MergeResult{}, fmt.Errorf("shardcluster: global refit: %w", err)
 	}
+	tr.AddSpan("fold", foldStart, time.Since(foldStart),
+		obs.KV("states", len(states)), obs.KV("clusters", model.K()))
 
 	epoch := r.epoch.Load() + 1
 	li := &installedBlob{blob: model.Encode(), epoch: epoch, seen: int64(r.global.Seen())}
@@ -486,12 +512,16 @@ func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
 	// that fails here is marked down; it will catch up on recovery.
 	installed := 0
 	for _, sh := range r.upShards() {
-		if err := r.installOn(sh, li); err != nil {
+		sp := tr.Span("install", obs.KV("shard", sh.url), obs.KV("epoch", epoch))
+		err := r.installOn(sh, li, tr.Context())
+		sp.End(obs.KV("ok", err == nil))
+		if err != nil {
 			r.logf("merge: install on %s failed: %v", sh.url, err)
 			continue
 		}
 		installed++
 	}
+	tr.AddAttrs(obs.KV("epoch", epoch), obs.KV("installed", installed))
 	r.epoch.Store(epoch)
 	r.lastInstall.Store(li)
 	r.tel.mergeEpochs.Inc()
@@ -509,8 +539,11 @@ func (r *Router) MergeOnce(ctx context.Context) (MergeResult, error) {
 
 // installOn ships the merged model to one shard. Transport failure marks
 // it down; a 409 (the shard already holds a newer epoch) is success — the
-// model there is newer than or equal to ours, never stale.
-func (r *Router) installOn(sh *shard, li *installedBlob) error {
+// model there is newer than or equal to ours, never stale. A valid sc
+// (the merge epoch's trace context) rides along so the shard-side
+// hist_install trace joins the collective's trace ID; catch-up installs
+// from the health loop pass the zero context and stay unlinked.
+func (r *Router) installOn(sh *shard, li *installedBlob, sc obs.SpanContext) error {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
 	defer cancel()
 	url := fmt.Sprintf("%s/hist/install?epoch=%d&seen=%d", sh.url, li.epoch, li.seen)
@@ -519,6 +552,9 @@ func (r *Router) installOn(sh *shard, li *installedBlob) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if sc.Valid() {
+		sc.Inject(req.Header)
+	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		r.markDown(sh, "install: "+err.Error())
